@@ -1,0 +1,1 @@
+bench/main.ml: Array Bohm_harness List Micro Printf String Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Bohm_core Bohm_harness Bohm_runtime Bohm_storage Bohm_txn Bohm_util Float Hashtbl Instance List Measure Printf Staged Test Time Toolkit

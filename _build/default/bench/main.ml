@@ -1,0 +1,51 @@
+(* Benchmark harness entry point.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation on the simulated multicore machine, runs the ablation
+   benches, and finishes with the Bechamel component micro-benchmarks.
+   Pass experiment names (fig4 fig5 fig6 fig7 fig8 tab9 fig10
+   ablation-batch ablation-annotation ablation-gc ablation-cc-split micro)
+   to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
+   multiplies transaction counts. *)
+
+module Experiments = Bohm_harness.Experiments
+
+let usage () =
+  prerr_endline "usage: main.exe [--quick] [--scale=F] [experiment ...]";
+  prerr_endline "experiments:";
+  List.iter
+    (fun (name, _) -> prerr_endline ("  " ^ name))
+    Experiments.experiments;
+  prerr_endline "  micro";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let scale = ref 1.0 in
+  let selected = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        if arg = "--quick" then quick := true
+        else if String.length arg > 8 && String.sub arg 0 8 = "--scale=" then
+          scale := float_of_string (String.sub arg 8 (String.length arg - 8))
+        else if arg = "--help" || arg = "-h" then usage ()
+        else selected := arg :: !selected)
+    Sys.argv;
+  let selected = List.rev !selected in
+  let t0 = Unix.gettimeofday () in
+  let run_one name =
+    if name = "micro" then Micro.run ()
+    else
+      match List.assoc_opt name Experiments.experiments with
+      | Some f -> List.iter Experiments.print (f ~scale:!scale ~quick:!quick ())
+      | None ->
+          prerr_endline ("unknown experiment: " ^ name);
+          usage ()
+  in
+  (match selected with
+  | [] ->
+      Experiments.run_all ~scale:!scale ~quick:!quick ();
+      Micro.run ()
+  | names -> List.iter run_one names);
+  Printf.printf "\nTotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,239 @@
+(* Command-line front-end over the experiment harness.
+
+   bohm_cli run   — one engine x workload configuration on the simulator
+   bohm_cli bench — regenerate paper figures/tables (same drivers as
+                    bench/main.exe) *)
+
+open Cmdliner
+
+module Stats = Bohm_txn.Stats
+module Ycsb = Bohm_workload.Ycsb
+module Smallbank = Bohm_workload.Smallbank
+module Runner = Bohm_harness.Runner
+module Report = Bohm_harness.Report
+module Experiments = Bohm_harness.Experiments
+
+(* --- shared converters --- *)
+
+module Mvto_sim = Bohm_mvto.Engine.Make (Bohm_runtime.Sim)
+
+type cli_engine = Std of Runner.engine | Mvto
+
+let engine_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "bohm" -> Ok (Std Runner.Bohm)
+    | "hekaton" -> Ok (Std Runner.Hekaton)
+    | "si" | "snapshot" -> Ok (Std Runner.Si)
+    | "occ" | "silo" -> Ok (Std Runner.Occ)
+    | "2pl" | "locking" -> Ok (Std Runner.Twopl)
+    | "mvto" -> Ok Mvto
+    | _ -> Error (`Msg ("unknown engine: " ^ s ^ " (bohm|hekaton|si|occ|2pl|mvto)"))
+  in
+  let print fmt = function
+    | Std e -> Format.pp_print_string fmt (Runner.name e)
+    | Mvto -> Format.pp_print_string fmt "MVTO"
+  in
+  Arg.conv (parse, print)
+
+type workload_kind = W_10rmw | W_2rmw8r | W_readonly_mix | W_smallbank
+
+let workload_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "10rmw" | "ycsb-10rmw" -> Ok W_10rmw
+    | "2rmw8r" | "ycsb-2rmw8r" -> Ok W_2rmw8r
+    | "readonly-mix" -> Ok W_readonly_mix
+    | "smallbank" -> Ok W_smallbank
+    | _ ->
+        Error
+          (`Msg
+            ("unknown workload: " ^ s
+           ^ " (10rmw|2rmw8r|readonly-mix|smallbank)"))
+  in
+  let print fmt w =
+    Format.pp_print_string fmt
+      (match w with
+      | W_10rmw -> "10rmw"
+      | W_2rmw8r -> "2rmw8r"
+      | W_readonly_mix -> "readonly-mix"
+      | W_smallbank -> "smallbank")
+  in
+  Arg.conv (parse, print)
+
+(* --- run command --- *)
+
+let run_cmd =
+  let engine =
+    Arg.(value & opt engine_conv (Std Runner.Bohm) & info [ "e"; "engine" ] ~doc:"Engine: bohm, hekaton, si, occ, 2pl or mvto.")
+  in
+  let workload =
+    Arg.(value & opt workload_conv W_10rmw & info [ "w"; "workload" ] ~doc:"Workload: 10rmw, 2rmw8r, readonly-mix or smallbank.")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Total simulated threads.")
+  in
+  let theta =
+    Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipfian contention parameter (YCSB).")
+  in
+  let rows =
+    Arg.(value & opt int 100_000 & info [ "rows" ] ~doc:"Table rows (YCSB) / customers (SmallBank).")
+  in
+  let count =
+    Arg.(value & opt int 10_000 & info [ "n"; "txns" ] ~doc:"Transactions to run.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let cc_fraction =
+    Arg.(value & opt float 0.25 & info [ "cc-fraction" ] ~doc:"Fraction of threads for BOHM's CC layer.")
+  in
+  let batch =
+    Arg.(value & opt int 1000 & info [ "batch" ] ~doc:"BOHM batch size.")
+  in
+  let no_gc = Arg.(value & flag & info [ "no-gc" ] ~doc:"Disable BOHM garbage collection.") in
+  let no_annotation =
+    Arg.(value & flag & info [ "no-annotation" ] ~doc:"Disable BOHM's read-annotation optimization.")
+  in
+  let action engine workload threads theta rows count seed cc_fraction batch
+      no_gc no_annotation =
+    let spec, txns =
+      match workload with
+      | W_10rmw ->
+          ( {
+              Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
+              init = Ycsb.initial_value;
+            },
+            Ycsb.generate ~rows ~theta ~count ~seed (Ycsb.rmw_profile 10) )
+      | W_2rmw8r ->
+          ( {
+              Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
+              init = Ycsb.initial_value;
+            },
+            Ycsb.generate ~rows ~theta ~count ~seed
+              (Ycsb.mixed_profile ~rmws:2 ~reads:8) )
+      | W_readonly_mix ->
+          ( {
+              Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
+              init = Ycsb.initial_value;
+            },
+            Ycsb.generate_mix ~rows ~read_only_fraction:0.01 ~scan:1000
+              ~update_profile:(Ycsb.rmw_profile 10) ~theta ~count ~seed )
+      | W_smallbank ->
+          ( {
+              Runner.tables = Smallbank.tables ~customers:rows;
+              init = Smallbank.initial_value;
+            },
+            Smallbank.generate ~customers:rows ~count ~seed ~spin:4_000 () )
+    in
+    let bohm =
+      {
+        Runner.cc_fraction;
+        batch_size = batch;
+        gc = not no_gc;
+        read_annotation = not no_annotation;
+      }
+    in
+    let name, stats =
+      match engine with
+      | Std e -> (Runner.name e, Runner.run_sim ~bohm e ~threads spec txns)
+      | Mvto ->
+          ( "MVTO",
+            Bohm_runtime.Sim.run (fun () ->
+                let db =
+                  Mvto_sim.create ~workers:threads ~tables:spec.Runner.tables
+                    spec.Runner.init
+                in
+                Mvto_sim.run db txns) )
+    in
+    Report.header ~title:(Printf.sprintf "%s / %d threads" name threads);
+    Report.print_kv
+      ([
+         ("throughput", Report.float_to_string (Stats.throughput stats) ^ " txns/s");
+         ("transactions", string_of_int stats.Stats.txns);
+         ("committed", string_of_int stats.Stats.committed);
+         ("logic aborts", string_of_int stats.Stats.logic_aborts);
+         ("cc aborts", string_of_int stats.Stats.cc_aborts);
+         ("virtual time", Printf.sprintf "%.4f s" stats.Stats.elapsed);
+       ]
+      @ List.map
+          (fun (k, v) -> (k, Report.float_to_string v))
+          stats.Stats.extra)
+  in
+  let term =
+    Term.(
+      const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
+      $ cc_fraction $ batch $ no_gc $ no_annotation)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
+
+(* --- tune command (SEDA thread-allocation search, paper 4.1) --- *)
+
+let tune_cmd =
+  let threads =
+    Arg.(value & opt int 16 & info [ "t"; "threads" ] ~doc:"Total simulated threads to divide.")
+  in
+  let theta =
+    Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipfian contention parameter.")
+  in
+  let rows = Arg.(value & opt int 100_000 & info [ "rows" ] ~doc:"Table rows.") in
+  let bytes =
+    Arg.(value & opt int 1000 & info [ "record-bytes" ] ~doc:"Record size in bytes.")
+  in
+  let rmws = Arg.(value & opt int 10 & info [ "rmws" ] ~doc:"RMWs per transaction.") in
+  let reads = Arg.(value & opt int 0 & info [ "reads" ] ~doc:"Pure reads per transaction.") in
+  let action threads theta rows bytes rmws reads =
+    let spec =
+      { Runner.tables = Ycsb.tables ~rows ~record_bytes:bytes; init = Ycsb.initial_value }
+    in
+    let txns =
+      Ycsb.generate ~rows ~theta ~count:6_000 ~seed:1
+        (Ycsb.mixed_profile ~rmws ~reads)
+    in
+    let r = Bohm_harness.Autotune.search ~threads spec txns in
+    Report.header
+      ~title:(Printf.sprintf "Autotune: %d threads, %dRMW-%dR, theta=%.2f" threads rmws reads theta);
+    Report.print_series ~x_label:"cc threads" ~columns:[ "txns/s" ]
+      ~rows:
+        (List.map
+           (fun (cc, t) -> (string_of_int cc, [ Some t ]))
+           r.Bohm_harness.Autotune.samples);
+    print_newline ();
+    Report.print_kv
+      [
+        ("best split", Printf.sprintf "%d cc / %d exec"
+           r.Bohm_harness.Autotune.cc_threads r.Bohm_harness.Autotune.exec_threads);
+        ("throughput", Report.float_to_string r.Bohm_harness.Autotune.throughput ^ " txns/s");
+      ]
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Search for the best CC/execution thread split (SEDA controller).")
+    Term.(const action $ threads $ theta $ rows $ bytes $ rmws $ reads)
+
+(* --- bench command --- *)
+
+let bench_cmd =
+  let names =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all). One of fig4 fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc ablation-cc-split.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps for a smoke run.") in
+  let scale =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Multiply transaction counts.")
+  in
+  let action names quick scale =
+    match names with
+    | [] -> Experiments.run_all ~scale ~quick ()
+    | names ->
+        List.iter
+          (fun name ->
+            match List.assoc_opt name Experiments.experiments with
+            | Some f -> List.iter Experiments.print (f ~scale ~quick ())
+            | None -> Printf.eprintf "unknown experiment: %s\n" name)
+          names
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const action $ names $ quick $ scale)
+
+let () =
+  let doc = "BOHM multi-version concurrency control — experiment driver" in
+  let info = Cmd.info "bohm_cli" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; bench_cmd; tune_cmd ]))

@@ -1,0 +1,1 @@
+examples/durable_bank.ml: Array Bohm_core Bohm_runtime Bohm_storage Bohm_txn Bohm_wal Filename List Printf String Sys

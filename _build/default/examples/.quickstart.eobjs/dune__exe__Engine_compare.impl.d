@@ -1,0 +1,1 @@
+examples/engine_compare.ml: Bohm_harness Bohm_txn Bohm_workload List

@@ -1,0 +1,1 @@
+examples/gc_demo.ml: Array Bohm_core Bohm_runtime Bohm_storage Bohm_txn Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bohm_core Bohm_runtime Bohm_storage Bohm_txn Format

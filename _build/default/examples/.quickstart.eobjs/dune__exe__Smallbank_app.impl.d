@@ -1,0 +1,1 @@
+examples/smallbank_app.ml: Array Bohm_core Bohm_harness Bohm_runtime Bohm_txn Bohm_workload Format

@@ -1,0 +1,1 @@
+examples/smallbank_app.mli:

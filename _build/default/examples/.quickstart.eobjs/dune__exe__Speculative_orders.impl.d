@@ -1,0 +1,1 @@
+examples/speculative_orders.ml: Bohm_core Bohm_runtime Bohm_storage Bohm_txn Bohm_util Fun List Printf

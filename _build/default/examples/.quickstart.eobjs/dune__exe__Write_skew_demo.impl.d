@@ -1,0 +1,1 @@
+examples/write_skew_demo.ml: Bohm_core Bohm_hekaton Bohm_runtime Bohm_storage Bohm_txn Bohm_util Fun List Printf

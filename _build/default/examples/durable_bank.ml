@@ -1,0 +1,75 @@
+(* Durability demo: deterministic command logging and crash recovery.
+
+   BOHM's serialization order is the input order, so logging the
+   stored-procedure invocations *before* executing them is a complete
+   recovery story: replaying the log through a fresh engine reconstructs
+   the exact pre-crash state — no physical undo/redo.
+
+     dune exec examples/durable_bank.exe *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Procedure = Bohm_wal.Procedure
+module Durable = Bohm_wal.Wal.Durable.Make (Bohm_runtime.Real)
+
+let accounts = Table.make ~tid:0 ~name:"accounts" ~rows:8 ~record_bytes:8
+let key ~row = Table.key accounts ~row
+
+let registry =
+  let r = Procedure.create () in
+  Procedure.register r ~name:"deposit" (fun ~id ~args ->
+      let k = key ~row:args.(0) in
+      Txn.make ~id ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+          ctx.Txn.write k (Value.add (ctx.Txn.read k) args.(1));
+          Txn.Commit));
+  Procedure.register r ~name:"transfer" (fun ~id ~args ->
+      let src = key ~row:args.(0) and dst = key ~row:args.(1) in
+      Txn.make ~id ~read_set:[ src; dst ] ~write_set:[ src; dst ] (fun ctx ->
+          if Value.to_int (ctx.Txn.read src) < args.(2) then Txn.Abort
+          else begin
+            ctx.Txn.write src (Value.add (ctx.Txn.read src) (-args.(2)));
+            ctx.Txn.write dst (Value.add (ctx.Txn.read dst) args.(2));
+            Txn.Commit
+          end));
+  r
+
+let config = Bohm_core.Config.make ~cc_threads:1 ~exec_threads:2 ~batch_size:16 ()
+let inv id proc args = { Procedure.id; proc; args }
+
+let balances db =
+  List.init 8 (fun row -> Value.to_int (Durable.read_latest db (key ~row)))
+
+let () =
+  let path = Filename.temp_file "durable_bank" ".log" in
+  let db =
+    Durable.open_db ~path ~registry ~config ~tables:[| accounts |] (fun _ ->
+        Value.of_int 100)
+  in
+  ignore
+    (Durable.submit db
+       [| inv 0 "deposit" [| 0; 50 |]; inv 1 "transfer" [| 0; 3; 120 |] |]);
+  ignore (Durable.submit db [| inv 2 "transfer" [| 3; 7; 60 |] |]);
+  let before = balances db in
+  Printf.printf "before crash : %s\n"
+    (String.concat " " (List.map string_of_int before));
+
+  (* Simulated crash: the handle is dropped without a clean close. Every
+     submitted batch was flushed to the log first, so nothing is lost. *)
+  let recovered =
+    Durable.open_db ~path ~registry ~config ~tables:[| accounts |] (fun _ ->
+        Value.of_int 100)
+  in
+  let after = balances recovered in
+  Printf.printf "after recover: %s  (%d batches replayed)\n"
+    (String.concat " " (List.map string_of_int after))
+    (Durable.recovered_batches recovered);
+  assert (before = after);
+
+  (* Life goes on after recovery. *)
+  ignore (Durable.submit recovered [| inv 3 "deposit" [| 7; 1 |] |]);
+  assert (Value.to_int (Durable.read_latest recovered (key ~row:7)) = 161);
+  Durable.close recovered;
+  Sys.remove path;
+  print_endline "durable_bank: OK (state identical after crash + replay)"

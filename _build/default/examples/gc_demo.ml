@@ -1,0 +1,50 @@
+(* Garbage collection demo: BOHM's Condition-3 batch GC (paper 3.3.2).
+
+   Hammers one hot record with read-modify-writes and shows the version
+   chain staying bounded with GC on (old versions unlinked once every
+   execution thread passes the batch watermark) versus growing without
+   bound with GC off.
+
+     dune exec examples/gc_demo.exe *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Table = Bohm_storage.Table
+module Sim = Bohm_runtime.Sim
+module Engine = Bohm_core.Engine.Make (Sim)
+
+let table = Table.make ~tid:0 ~name:"hot" ~rows:8 ~record_bytes:8
+let hot = Table.key table ~row:0
+
+let incr_hot id =
+  Txn.make ~id ~read_set:[ hot ] ~write_set:[ hot ] (fun ctx ->
+      ctx.Txn.write hot (Value.add (ctx.Txn.read hot) 1);
+      Txn.Commit)
+
+let run ~gc =
+  Sim.run (fun () ->
+      let config =
+        Bohm_core.Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:128 ~gc ()
+      in
+      let db = Engine.create config ~tables:[| table |] (fun _ -> Value.zero) in
+      let txns = Array.init 4_096 incr_hot in
+      let stats = Engine.run db txns in
+      let collected =
+        match Stats.extra stats "gc_collected" with Some f -> int_of_float f | None -> 0
+      in
+      (Value.to_int (Engine.read_latest db hot), Engine.chain_length db hot, collected))
+
+let () =
+  let value_on, chain_on, collected_on = run ~gc:true in
+  let value_off, chain_off, collected_off = run ~gc:false in
+  Printf.printf "4096 RMWs of one hot record (batch = 128):\n";
+  Printf.printf "  gc=on   final=%4d  chain length=%4d  versions collected=%d\n"
+    value_on chain_on collected_on;
+  Printf.printf "  gc=off  final=%4d  chain length=%4d  versions collected=%d\n"
+    value_off chain_off collected_off;
+  assert (value_on = 4096 && value_off = 4096);
+  assert (chain_off = 4097);
+  assert (chain_on < chain_off && collected_on > 0);
+  print_endline "gc_demo: OK (same answer, bounded memory)"

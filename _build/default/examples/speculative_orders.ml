@@ -1,0 +1,97 @@
+(* Speculative write-sets: transactions whose footprints depend on data.
+
+   BOHM needs each transaction's write-set before execution. An order
+   router cannot declare one statically: which warehouse it debits depends
+   on a routing record that other transactions update. The paper's answer
+   (section 1/3, citing Calvin) is a trial run against current state to
+   predict the footprint, with mispredicted transactions retried — rare,
+   because footprint volatility is low.
+
+     dune exec examples/speculative_orders.exe *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Speculate = Bohm_txn.Speculate
+module Rng = Bohm_util.Rng
+module Engine = Bohm_core.Engine.Make (Bohm_runtime.Real)
+
+(* Table 0: route pointers (product -> warehouse); table 1: warehouse
+   stock. *)
+let routes = Table.make ~tid:0 ~name:"routes" ~rows:16 ~record_bytes:8
+let stock = Table.make ~tid:1 ~name:"stock" ~rows:4 ~record_bytes:8
+let route p = Table.key routes ~row:p
+let warehouse w = Table.key stock ~row:w
+
+let init k =
+  if Key.table k = 0 then Value.of_int (Key.row k mod 4) (* initial routing *)
+  else Value.of_int 1_000 (* initial stock *)
+
+(* Ship one unit of product [p]: reads the route, debits the routed
+   warehouse — a data-dependent write-set. *)
+let ship ~id ~p =
+  Speculate.create ~id (fun ctx ->
+      let w = Value.to_int (ctx.Txn.read (route p)) in
+      let k = warehouse w in
+      ctx.Txn.write k (Value.add (ctx.Txn.read k) (-1));
+      Txn.Commit)
+
+(* Re-route product [p] to warehouse [w]: this is what invalidates others'
+   predictions. *)
+let reroute ~id ~p ~w =
+  Speculate.create ~id (fun ctx ->
+      ignore (ctx.Txn.read (route p));
+      ctx.Txn.write (route p) (Value.of_int w);
+      Txn.Commit)
+
+let () =
+  let rng = Rng.create ~seed:2026 in
+  let orders =
+    List.init 400 (fun i ->
+        if Rng.int rng 20 = 0 then
+          reroute ~id:i ~p:(Rng.int rng 16) ~w:(Rng.int rng 4)
+        else ship ~id:i ~p:(Rng.int rng 16))
+  in
+  let db =
+    Engine.create
+      (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:64 ())
+      ~tables:[| routes; stock |] init
+  in
+  let committed = ref 0 in
+  let run txns =
+    let stats = Engine.run db txns in
+    committed := !committed + stats.Bohm_txn.Stats.committed;
+    stats
+  in
+  let rounds = Speculate.settle ~run ~read:(Engine.read_latest db) orders in
+  let shipped =
+    4_000
+    - List.fold_left
+        (fun acc w -> acc + Value.to_int (Engine.read_latest db (warehouse w)))
+        0 [ 0; 1; 2; 3 ]
+  in
+  let ships = List.length (List.filter (fun _ -> true) orders) in
+  ignore ships;
+  Printf.printf "400 orders settled in %d speculation round(s)\n" rounds;
+  Printf.printf "units shipped: %d; transactions committed: %d\n" shipped !committed;
+  (* Every order eventually commits exactly once; every ship debits
+     exactly one unit. *)
+  assert (!committed = 400);
+  let reroutes =
+    (* deterministic re-derivation of the mix *)
+    let rng = Rng.create ~seed:2026 in
+    List.length
+      (List.filter Fun.id
+         (List.init 400 (fun _ ->
+              let is_reroute = Rng.int rng 20 = 0 in
+              if is_reroute then begin
+                ignore (Rng.int rng 16);
+                ignore (Rng.int rng 4)
+              end
+              else ignore (Rng.int rng 16);
+              is_reroute)))
+  in
+  assert (shipped = 400 - reroutes);
+  Printf.printf "speculative_orders: OK (%d reroutes forced retries, none lost)\n"
+    reroutes

@@ -1,0 +1,68 @@
+(* Write-skew demo: the anomaly that separates snapshot isolation from
+   serializability (paper section 2, Figure 1).
+
+   Two doctors are on call (x = y = 1). Hospital policy: at least one must
+   remain. Each transaction checks the policy against its snapshot and
+   takes one doctor off call. Under any serial order one request must see
+   the other's effect and abort; under snapshot isolation both can commit
+   because their write sets don't overlap. BOHM forbids the anomaly; the
+   SI engine exhibits it.
+
+     dune exec examples/write_skew_demo.exe *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Sim = Bohm_runtime.Sim
+module Bohm = Bohm_core.Engine.Make (Sim)
+module Mv = Bohm_hekaton.Engine.Make (Sim)
+
+let table = Table.make ~tid:0 ~name:"oncall" ~rows:2 ~record_bytes:8
+let x = Table.key table ~row:0
+let y = Table.key table ~row:1
+
+let go_off_call ~id ~target =
+  Txn.make ~id ~read_set:[ x; y ] ~write_set:[ target ] (fun ctx ->
+      let on_call = Value.to_int (ctx.Txn.read x) + Value.to_int (ctx.Txn.read y) in
+      ctx.Txn.spin 20_000 (* paperwork; forces the two requests to overlap *);
+      if on_call >= 2 then begin
+        ctx.Txn.write target Value.zero;
+        Txn.Commit
+      end
+      else Txn.Abort)
+
+let txns = [| go_off_call ~id:0 ~target:x; go_off_call ~id:1 ~target:y |]
+
+let run_bohm seed =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Bohm.create
+          (Bohm_core.Config.make ~cc_threads:1 ~exec_threads:2 ~batch_size:2 ())
+          ~tables:[| table |]
+          (fun _ -> Value.of_int 1)
+      in
+      ignore (Bohm.run db txns);
+      Value.to_int (Bohm.read_latest db x) + Value.to_int (Bohm.read_latest db y))
+
+let run_si seed =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Mv.create ~mode:Bohm_hekaton.Engine.Snapshot ~workers:2 ~tables:[| table |]
+          (fun _ -> Value.of_int 1)
+      in
+      ignore (Mv.run db txns);
+      Value.to_int (Mv.read_latest db x) + Value.to_int (Mv.read_latest db y))
+
+let () =
+  let trials = 20 in
+  let count f = List.length (List.filter (fun s -> f s = 0) (List.init trials Fun.id)) in
+  let bohm_violations = count run_bohm in
+  let si_violations = count run_si in
+  Printf.printf "policy violations (nobody on call) over %d schedules:\n" trials;
+  Printf.printf "  BOHM (serializable)     : %2d\n" bohm_violations;
+  Printf.printf "  Snapshot isolation      : %2d\n" si_violations;
+  assert (bohm_violations = 0);
+  assert (si_violations > 0);
+  print_endline "write_skew_demo: OK (SI shows the anomaly, BOHM never does)"

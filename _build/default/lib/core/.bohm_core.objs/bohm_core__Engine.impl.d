@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bohm_runtime Bohm_storage Bohm_txn Config List Printf Version

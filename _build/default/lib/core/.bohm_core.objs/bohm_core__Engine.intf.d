@@ -1,0 +1,1 @@
+lib/core/engine.mli: Bohm_runtime Bohm_storage Bohm_txn Config

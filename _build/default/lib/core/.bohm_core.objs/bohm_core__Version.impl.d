@@ -1,0 +1,1 @@
+lib/core/version.ml: Bohm_runtime Bohm_txn

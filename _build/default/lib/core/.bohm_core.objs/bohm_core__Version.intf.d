@@ -1,0 +1,1 @@
+lib/core/version.mli: Bohm_runtime Bohm_txn

@@ -1,0 +1,19 @@
+type t = {
+  cc_threads : int;
+  exec_threads : int;
+  batch_size : int;
+  gc : bool;
+  read_annotation : bool;
+  preprocess : bool;
+}
+
+let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
+    ?(read_annotation = true) ?(preprocess = false) () =
+  if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
+  if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
+  if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
+  { cc_threads; exec_threads; batch_size; gc; read_annotation; preprocess }
+
+let pp fmt t =
+  Format.fprintf fmt "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b"
+    t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess

@@ -1,0 +1,36 @@
+(** BOHM engine configuration.
+
+    The division of cores between concurrency-control and execution threads
+    is the administrator-tuned parameter the paper studies in Figure 4; the
+    batch size is the coordination-amortization knob of §3.2.4. *)
+
+type t = private {
+  cc_threads : int;  (** Version-insertion threads (partitioned by key hash). *)
+  exec_threads : int;  (** Transaction-logic threads. *)
+  batch_size : int;  (** Transactions per coordination epoch. *)
+  gc : bool;  (** Condition-3 batch garbage collection (§3.3.2). *)
+  read_annotation : bool;
+      (** The read-set optimization of §3.2.3: CC threads stamp each
+          transaction with references to the exact versions it must read,
+          so execution never walks version chains. *)
+  preprocess : bool;
+      (** The §3.2.2 Amdahl workaround: a parallel pre-processing pass
+          computes, per transaction, exactly which footprint entries each
+          CC thread owns, so CC threads no longer scan every
+          transaction. *)
+}
+
+val make :
+  ?cc_threads:int ->
+  ?exec_threads:int ->
+  ?batch_size:int ->
+  ?gc:bool ->
+  ?read_annotation:bool ->
+  ?preprocess:bool ->
+  unit ->
+  t
+(** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
+    read annotation on, preprocessing off. Raises [Invalid_argument] on
+    non-positive thread counts or batch size. *)
+
+val pp : Format.formatter -> t -> unit

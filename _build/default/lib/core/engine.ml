@@ -1,0 +1,491 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Local_writes = Bohm_txn.Local_writes
+
+(* Work charges (cycles) for computation the cell/copy model does not cover:
+   per-transaction write-set scanning in each CC thread (the serial fraction
+   discussed under Amdahl's law in §3.2.2), version allocation, dispatch and
+   read resolution in the execution layer. *)
+let cc_scan_base = 30
+let cc_scan_per_key = 4
+let cc_insert_work = 40
+let cc_dispatch_work = 12 (* per-txn cost when preprocessing supplies the keys *)
+let preprocess_per_key = 6
+let exec_dispatch_work = 150
+let read_resolve_work = 20
+
+(* Transaction states (§3.3.1). *)
+let st_unprocessed = 0
+let st_executing = 1
+let st_complete = 2
+
+module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+  module Store = Bohm_storage.Store.Make (R)
+  module V = Version.Make (R)
+  module Sync = Bohm_runtime.Sync.Make (R)
+
+  type wrapped = {
+    txn : Txn.t;
+    ts : int;
+    state : int R.Cell.t;
+    (* Parallel to txn.read_set: the version to read, stamped by CC
+       threads when read annotation is on. *)
+    read_refs : wrapped V.t option R.Cell.t array;
+    (* Parallel to txn.write_set: the placeholder versions inserted by CC
+       threads. *)
+    write_refs : wrapped V.t option R.Cell.t array;
+    (* With preprocessing (3.2.2): for each CC thread, the footprint
+       entries it owns, encoded as read-set index, or read-set length +
+       write-set index. Written by one preprocessor thread and published
+       to the CC threads by the spawn that starts them. *)
+    mutable owned_keys : int array array;
+  }
+
+  type t = {
+    config : Config.t;
+    store : wrapped V.t R.Cell.t Store.t;
+    mutable next_ts : int;
+  }
+
+  exception Blocked_on of wrapped
+
+  let create config ~tables init =
+    let store =
+      Store.create_hash ~tables (fun k -> R.Cell.make (V.initial (init k)))
+    in
+    { config; store; next_ts = 1 }
+
+  let config t = t.config
+
+  let partition_of cc_threads k = Key.hash k mod cc_threads
+
+  let wrap t i txn =
+    {
+      txn;
+      ts = t.next_ts + i;
+      state = R.Cell.make st_unprocessed;
+      read_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.read_set;
+      write_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.write_set;
+      owned_keys = [||];
+    }
+
+  (* Index of [k] in a sorted key array, or -1. *)
+  let find_key sorted k =
+    let rec go lo hi =
+      if lo >= hi then -1
+      else
+        let mid = (lo + hi) / 2 in
+        let c = Key.compare k sorted.(mid) in
+        if c = 0 then mid else if c < 0 then go lo mid else go (mid + 1) hi
+    in
+    go 0 (Array.length sorted)
+
+  (* --- Concurrency-control phase (§3.2) --- *)
+
+  type cc_stat = { mutable gc_collected : int; mutable inserted : int }
+
+  (* Annotate read-set entry [i] of [w] with the version it must read.
+     Heads in this thread's partition only ever advance when this thread
+     inserts, so the current head is exactly the version visible to [w];
+     the annotation is an uncontended write into space reserved inside the
+     transaction (3.2.3). *)
+  let cc_annotate_read t w i =
+    let head = R.Cell.get (Store.get t.store w.txn.Txn.read_set.(i)) in
+    R.Cell.set w.read_refs.(i) (Some head)
+
+  (* Insert the placeholder for write-set entry [i] of [w] and invalidate
+     its predecessor (3.2.3, Figure 3). *)
+  let cc_insert_write t stat low_watermark w i =
+    let k = w.txn.Txn.write_set.(i) in
+    let slot = Store.get t.store k in
+    let prev = R.Cell.get slot in
+    R.work cc_insert_work;
+    let v = V.placeholder ~ts:w.ts ~producer:w ~prev in
+    R.Cell.set w.write_refs.(i) (Some v);
+    R.Cell.set prev.V.end_ts w.ts;
+    R.Cell.set slot v;
+    stat.inserted <- stat.inserted + 1;
+    if t.config.Config.gc && stat.inserted land 31 = 0 then begin
+      (* Condition 3 (3.3.2): every transaction at or below the
+         low-watermark batch boundary has finished executing, so versions
+         invalidated at or before that timestamp are invisible forever. *)
+      let gc_ts = R.Cell.get low_watermark * t.config.Config.batch_size in
+      if gc_ts > 0 then
+        stat.gc_collected <- stat.gc_collected + V.truncate_older_than v ~gc_ts
+    end
+
+  let cc_process_txn t my_partition stat low_watermark w =
+    let cc_threads = t.config.Config.cc_threads in
+    let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
+    let n_rs = Array.length rs in
+    if t.config.Config.preprocess then begin
+      (* The preprocessing layer already determined which entries are
+         ours: no per-transaction scan (the Amdahl term of 3.2.2). *)
+      let mine = w.owned_keys.(my_partition) in
+      R.work (cc_dispatch_work + (cc_scan_per_key * Array.length mine));
+      Array.iter
+        (fun encoded ->
+          if encoded < n_rs then begin
+            if t.config.Config.read_annotation then cc_annotate_read t w encoded
+          end
+          else cc_insert_write t stat low_watermark w (encoded - n_rs))
+        mine
+    end
+    else begin
+      (* Every CC thread scans the whole transaction to find its keys. *)
+      R.work (cc_scan_base + (cc_scan_per_key * (n_rs + Array.length ws)));
+      if t.config.Config.read_annotation then
+        Array.iteri
+          (fun i k ->
+            if partition_of cc_threads k = my_partition then
+              cc_annotate_read t w i)
+          rs;
+      Array.iteri
+        (fun i k ->
+          if partition_of cc_threads k = my_partition then
+            cc_insert_write t stat low_watermark w i)
+        ws
+    end
+
+  (* The 3.2.2 pre-processing layer: embarrassingly parallel over
+     transactions, it computes for each CC thread the footprint entries in
+     its partition so that the CC layer's per-transaction work no longer
+     grows with the number of CC threads. *)
+  let preprocess_loop t wrapped me workers =
+    let m = t.config.Config.cc_threads in
+    let scratch = Array.make m [] in
+    let idx = ref me in
+    let n = Array.length wrapped in
+    while !idx < n do
+      let w = wrapped.(!idx) in
+      let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
+      let n_rs = Array.length rs in
+      R.work
+        (cc_scan_base + (preprocess_per_key * (n_rs + Array.length ws)));
+      Array.fill scratch 0 m [];
+      Array.iteri
+        (fun i k ->
+          let p = partition_of m k in
+          scratch.(p) <- i :: scratch.(p))
+        rs;
+      Array.iteri
+        (fun i k ->
+          let p = partition_of m k in
+          scratch.(p) <- (n_rs + i) :: scratch.(p))
+        ws;
+      w.owned_keys <- Array.map (fun l -> Array.of_list (List.rev l)) scratch;
+      idx := !idx + workers
+    done
+
+  let cc_loop t my_partition stat low_watermark barrier cc_done wrapped n_batches =
+    let bs = t.config.Config.batch_size in
+    let n = Array.length wrapped in
+    for b = 0 to n_batches - 1 do
+      let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
+      for idx = lo to hi do
+        cc_process_txn t my_partition stat low_watermark wrapped.(idx)
+      done;
+      Sync.Barrier.await barrier;
+      if my_partition = 0 then R.Cell.set cc_done b
+    done
+
+  (* --- Execution phase (§3.3) --- *)
+
+  type exec_stat = {
+    mutable committed : int;
+    mutable logic_aborts : int;
+    mutable dep_blocks : int;
+    mutable steals : int;
+  }
+
+  let resolve_version t w k =
+    R.work read_resolve_work;
+    (* A key in the write set reads its own predecessor version (the
+       placeholder's prev); otherwise the CC annotation (if on) or a chain
+       walk from the head locates the visible version. *)
+    match find_key w.txn.Txn.write_set k with
+    | j when j >= 0 -> (
+        match R.Cell.get w.write_refs.(j) with
+        | Some mine -> (
+            match R.Cell.get mine.V.prev with
+            | Some prev -> prev
+            | None -> assert false (* placeholders always have a prev *))
+        | None -> assert false (* CC finished this batch before exec began *))
+    | _ -> (
+        match find_key w.txn.Txn.read_set k with
+        | i when i >= 0 && t.config.Config.read_annotation -> (
+            match R.Cell.get w.read_refs.(i) with
+            | Some v -> v
+            | None -> assert false)
+        | i when i >= 0 -> (
+            let head = R.Cell.get (Store.get t.store k) in
+            match V.visible_at head ~ts:w.ts with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  "Bohm: version visible to transaction was garbage collected")
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Bohm: read of undeclared key %s"
+                 (Key.to_string k)))
+
+  let read_version_data t k v =
+    match R.Cell.get v.V.data with
+    | Some value ->
+        R.copy ~bytes:(Store.record_bytes t.store k);
+        value
+    | None -> (
+        match v.V.producer with
+        | Some producer -> raise (Blocked_on producer)
+        | None -> assert false (* bulk-loaded versions carry data *))
+
+  (* Fill every placeholder of [w]. On [Abort] — or for declared write-set
+     keys the logic never wrote — the predecessor's value is copied
+     forward (§3.3.1, "Write Dependencies"). *)
+  let install t w local outcome =
+    Array.iteri
+      (fun j k ->
+        let v =
+          match R.Cell.get w.write_refs.(j) with
+          | Some v -> v
+          | None -> assert false
+        in
+        let value =
+          let chosen =
+            match outcome with
+            | Txn.Commit -> Local_writes.find local k
+            | Txn.Abort -> None
+          in
+          match chosen with
+          | Some value -> value
+          | None -> (
+              match R.Cell.get v.V.prev with
+              | Some prev -> read_version_data t k prev
+              | None -> assert false)
+        in
+        R.copy ~bytes:(Store.record_bytes t.store k);
+        R.Cell.set v.V.data (Some value))
+      w.txn.Txn.write_set
+
+  (* One exclusive execution attempt; caller has claimed [w]. Returns the
+     blocking transaction if a needed version is still unproduced. Logic is
+     re-run from scratch on retry, so it must be a pure function of its
+     reads. *)
+  let attempt t stat local w =
+    try
+      Local_writes.clear local;
+      R.work exec_dispatch_work;
+      let ctx =
+        {
+          Txn.read =
+            (fun k ->
+              match Local_writes.find local k with
+              | Some value -> value
+              | None -> read_version_data t k (resolve_version t w k));
+          write =
+            (fun k value ->
+              if not (Txn.writes w.txn k) then
+                invalid_arg
+                  (Printf.sprintf "Bohm: write of undeclared key %s"
+                     (Key.to_string k));
+              Local_writes.set local k value);
+          spin = R.work;
+        }
+      in
+      let outcome = w.txn.Txn.logic ctx in
+      install t w local outcome;
+      (match outcome with
+      | Txn.Commit -> stat.committed <- stat.committed + 1
+      | Txn.Abort -> stat.logic_aborts <- stat.logic_aborts + 1);
+      R.Cell.set w.state st_complete;
+      None
+    with Blocked_on dep ->
+      stat.dep_blocks <- stat.dep_blocks + 1;
+      Some dep
+
+  let claim w = R.Cell.cas w.state st_unprocessed st_executing
+  let release w = R.Cell.set w.state st_unprocessed
+
+  type advance = Done | Busy | Blocked_by of wrapped
+
+  (* One non-blocking pass at driving [w] to completion (§3.3.1): claim it,
+     attempt it, and on a dependency block release it — so any thread can
+     pick it up — and help the dependency (recursively, to bounded depth).
+     Reports the blocking transaction so the caller can avoid re-running
+     [w]'s logic before the dependency has resolved. *)
+  let rec try_advance t stat local ~depth ~mine w =
+    let rec go retries =
+      let s = R.Cell.get w.state in
+      if s = st_complete then Done
+      else if s = st_executing || depth > 32 then Busy
+      else if claim w then begin
+        match attempt t stat local w with
+        | None ->
+            if not mine then stat.steals <- stat.steals + 1;
+            Done
+        | Some dep ->
+            release w;
+            ignore (try_advance t stat local ~depth:(depth + 1) ~mine:false dep);
+            (* If helping resolved the dependency, finish [w] right away —
+               its own dependents may be waiting on it. If the dependency
+               is mid-execution on another thread, park [w] on the caller's
+               retry list rather than spin. *)
+            if retries < 12 && R.Cell.get dep.state = st_complete then
+              go (retries + 1)
+            else Blocked_by dep
+      end
+      else Busy
+    in
+    go 0
+
+  let exec_loop t me stat exec_progress low_watermark cc_done wrapped n_batches =
+    let bs = t.config.Config.batch_size in
+    let k = t.config.Config.exec_threads in
+    let n = Array.length wrapped in
+    let local = Local_writes.create () in
+    for b = 0 to n_batches - 1 do
+      Sync.spin_until (fun () -> R.Cell.get cc_done >= b);
+      let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
+      (* First pass over the transactions this thread is responsible for;
+         blocked ones go to a retry list instead of stalling the thread
+         ("T is later picked up by an execution thread", §3.3.1). Each
+         retry entry remembers the dependency that blocked it so logic is
+         not re-run before that dependency resolves. *)
+      let pending = ref [] in
+      let note w = function
+        | Done -> ()
+        | Busy -> pending := (w, None) :: !pending
+        | Blocked_by dep -> pending := (w, Some dep) :: !pending
+      in
+      (* Retry parked transactions whose blocking dependency has resolved;
+         with [force] also the ones still apparently blocked. *)
+      let sweep ~force =
+        let progressed = ref false in
+        pending :=
+          List.filter_map
+            (fun (w, dep) ->
+              match dep with
+              | Some d when (not force) && R.Cell.get d.state <> st_complete ->
+                  Some (w, dep)
+              | _ -> (
+                  match try_advance t stat local ~depth:0 ~mine:true w with
+                  | Done ->
+                      progressed := true;
+                      None
+                  | Busy -> Some (w, None)
+                  | Blocked_by d -> Some (w, Some d)))
+            !pending;
+        !progressed
+      in
+      let idx = ref (lo + me) in
+      while !idx <= hi do
+        let w = wrapped.(!idx) in
+        note w (try_advance t stat local ~depth:0 ~mine:true w);
+        (* Keep dependency chains moving: anything whose dependency has
+           since completed is finished before taking on new work. *)
+        if !pending <> [] then ignore (sweep ~force:false);
+        idx := !idx + k
+      done;
+      while !pending <> [] do
+        if not (sweep ~force:false) && not (sweep ~force:true) then R.relax ()
+      done;
+      (* Work stealing across assignments (§3.3.1: "other threads are
+         allowed to execute transactions assigned to i"): before leaving
+         the batch, pick up any transaction still unprocessed — typically
+         ones queued behind a long read-only transaction on another
+         thread. *)
+      for steal_idx = lo to hi do
+        let w = wrapped.(steal_idx) in
+        if R.Cell.get w.state = st_unprocessed then
+          ignore (try_advance t stat local ~depth:0 ~mine:false w)
+      done;
+      R.Cell.set exec_progress.(me) (b + 1);
+      if me = 0 then begin
+        (* RCU-style low watermark: the minimum batch every execution
+           thread has finished (§3.3.2). *)
+        let minimum = ref max_int in
+        Array.iter
+          (fun cell ->
+            let p = R.Cell.get cell in
+            if p < !minimum then minimum := p)
+          exec_progress;
+        R.Cell.set low_watermark !minimum
+      end
+    done
+
+  (* --- Driver --- *)
+
+  let run t txns =
+    let n = Array.length txns in
+    let wrapped = Array.mapi (wrap t) txns in
+    t.next_ts <- t.next_ts + n;
+    let bs = t.config.Config.batch_size in
+    let n_batches = (n + bs - 1) / bs in
+    let m = t.config.Config.cc_threads and k = t.config.Config.exec_threads in
+    let barrier = Sync.Barrier.create ~parties:m in
+    let cc_done = R.Cell.make (-1) in
+    let low_watermark = R.Cell.make 0 in
+    let exec_progress = Array.init k (fun _ -> R.Cell.make 0) in
+    let cc_stats = Array.init m (fun _ -> { gc_collected = 0; inserted = 0 }) in
+    let exec_stats =
+      Array.init k (fun _ ->
+          { committed = 0; logic_aborts = 0; dep_blocks = 0; steals = 0 })
+    in
+    let start = R.now () in
+    if t.config.Config.preprocess then begin
+      (* Run the pre-processing stage first; its joins publish the
+         per-thread key lists to the CC threads. *)
+      let workers = m + k in
+      let pre =
+        List.init workers (fun me ->
+            R.spawn (fun () -> preprocess_loop t wrapped me workers))
+      in
+      List.iter R.join pre
+    end;
+    let cc_threads =
+      List.init m (fun j ->
+          R.spawn (fun () ->
+              cc_loop t j cc_stats.(j) low_watermark barrier cc_done wrapped
+                n_batches))
+    in
+    let exec_threads =
+      List.init k (fun e ->
+          R.spawn (fun () ->
+              exec_loop t e exec_stats.(e) exec_progress low_watermark cc_done
+                wrapped n_batches))
+    in
+    List.iter R.join cc_threads;
+    List.iter R.join exec_threads;
+    let elapsed = R.now () -. start in
+    let committed = Array.fold_left (fun acc s -> acc + s.committed) 0 exec_stats in
+    let logic_aborts =
+      Array.fold_left (fun acc s -> acc + s.logic_aborts) 0 exec_stats
+    in
+    let sum f arr = Array.fold_left (fun acc s -> acc + f s) 0 arr in
+    Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed
+      ~extra:
+        [
+          ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
+          ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
+          ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
+        ]
+      ()
+
+  (* --- Inspection --- *)
+
+  let read_latest t k =
+    let head = R.Cell.get (Store.get t.store k) in
+    let rec newest v =
+      match R.Cell.get v.V.data with
+      | Some value -> value
+      | None -> (
+          match R.Cell.get v.V.prev with
+          | Some prev -> newest prev
+          | None -> raise Not_found)
+    in
+    newest head
+
+  let chain_length t k = V.chain_length (R.Cell.get (Store.get t.store k))
+end

@@ -1,0 +1,60 @@
+(** The BOHM engine (paper §3).
+
+    Processing is pipelined over batches by two thread groups sharing no
+    locks:
+
+    - {b Concurrency-control threads} scan every transaction of a batch in
+      timestamp order. Each owns a hash partition of the key space and, for
+      write-set keys in its partition, inserts an uninitialized placeholder
+      version, invalidates the predecessor, and (optionally) truncates the
+      GC'd tail of the chain. For read-set keys in its partition it stamps
+      the transaction with a reference to the exact version to read
+      (the §3.2.3 read-annotation optimization). CC threads synchronize
+      only at batch boundaries, through one barrier.
+
+    - {b Execution threads} pick up batches the CC layer has finished.
+      Thread [i] is responsible for transactions [i, i+k, …] of the batch
+      but any thread may execute any transaction: claiming is a single CAS
+      on the transaction's state (Unprocessed → Executing). A read that
+      lands on a still-empty placeholder recursively drags the producing
+      transaction to completion (§3.3.1); logic then re-runs — it must be a
+      pure function of its reads. Logical aborts and unexercised write-set
+      entries are finalized by copying the predecessor version forward, so
+      every placeholder is always eventually filled and writers never
+      abort.
+
+    Reads never block writes, reads write no shared memory, there is no
+    global timestamp counter, and the serialization order is exactly the
+    input order. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    Config.t ->
+    tables:Bohm_storage.Table.t array ->
+    (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+    t
+  (** Build the database: a hash-indexed store with one bulk-loaded version
+      per row (timestamp 0). *)
+
+  val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Stats.t
+  (** Process the stream to completion: spawn the configured CC and
+      execution threads, pipeline all batches through them, join, and
+      report. The array order {e is} the serialization order. Repeated
+      calls continue the timestamp sequence, so a database can be driven
+      by several successive streams.
+
+      Extra stat counters: ["gc_collected"] (versions unlinked),
+      ["dep_blocks"] (execution attempts that hit an unproduced version),
+      ["steals"] (executions completed by a non-responsible thread). *)
+
+  val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+  (** Newest produced value of a key — for post-run inspection; raises
+      [Not_found] if the key does not exist. *)
+
+  val chain_length : t -> Bohm_txn.Key.t -> int
+  (** Number of versions currently linked for the key (GC observability). *)
+
+  val config : t -> Config.t
+end

@@ -1,0 +1,54 @@
+module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+  type 'txn t = {
+    begin_ts : int;
+    end_ts : int R.Cell.t;
+    data : Bohm_txn.Value.t option R.Cell.t;
+    producer : 'txn option;
+    prev : 'txn t option R.Cell.t;
+  }
+
+  let infinity_ts = max_int
+
+  let initial value =
+    {
+      begin_ts = 0;
+      end_ts = R.Cell.make infinity_ts;
+      data = R.Cell.make (Some value);
+      producer = None;
+      prev = R.Cell.make None;
+    }
+
+  let placeholder ~ts ~producer ~prev =
+    {
+      begin_ts = ts;
+      end_ts = R.Cell.make infinity_ts;
+      data = R.Cell.make None;
+      producer = Some producer;
+      prev = R.Cell.make (Some prev);
+    }
+
+  let rec visible_at v ~ts =
+    if v.begin_ts <= ts then Some v
+    else
+      match R.Cell.get v.prev with
+      | None -> None
+      | Some older -> visible_at older ~ts
+
+  let chain_length v =
+    let rec go v acc =
+      match R.Cell.get v.prev with None -> acc | Some older -> go older (acc + 1)
+    in
+    go v 1
+
+  let truncate_older_than v ~gc_ts =
+    match visible_at v ~ts:gc_ts with
+    | None -> 0
+    | Some keep ->
+        let dropped =
+          match R.Cell.get keep.prev with
+          | None -> 0
+          | Some older -> chain_length older
+        in
+        if dropped > 0 then R.Cell.set keep.prev None;
+        dropped
+end

@@ -1,0 +1,47 @@
+(** Version records and chain operations (paper §3.2.3, Figure 3).
+
+    A version carries: begin timestamp (immutable — set at creation by the
+    owning CC thread), end timestamp (written once, by the CC thread that
+    inserts the next version), the data placeholder (written by whichever
+    execution thread evaluates the producing transaction), a reference to
+    that producing transaction ("Txn Pointer"), and the previous version
+    ("Prev Pointer", rewritten only when GC truncates the chain).
+
+    The type is polymorphic in the producer so it can reference the
+    engine's transaction wrapper without a circular dependency. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type 'txn t = {
+    begin_ts : int;
+    end_ts : int R.Cell.t;  (** [infinity_ts] until invalidated. *)
+    data : Bohm_txn.Value.t option R.Cell.t;  (** [None] = placeholder. *)
+    producer : 'txn option;  (** [None] for bulk-loaded versions. *)
+    prev : 'txn t option R.Cell.t;
+  }
+
+  val infinity_ts : int
+
+  val initial : Bohm_txn.Value.t -> 'txn t
+  (** A bulk-loaded version: begin 0, end infinity, data present. *)
+
+  val placeholder : ts:int -> producer:'txn -> prev:'txn t -> 'txn t
+  (** The version the CC thread inserts for a write: data uninitialized,
+      end infinity, linked to [prev]. Does {e not} modify [prev]; the
+      caller invalidates it ([Cell.set prev.end_ts ts]) as a separate step
+      so tests can observe the intermediate state. *)
+
+  val visible_at : 'txn t -> ts:int -> 'txn t option
+  (** Walk the chain from the given (newest-first) version to the version
+      visible at [ts] — the first whose [begin_ts <= ts]. [None] if the
+      chain holds no version that old (it was GC'd or never existed). *)
+
+  val chain_length : 'txn t -> int
+
+  val truncate_older_than : 'txn t -> gc_ts:int -> int
+  (** From [v], find the newest version with [begin_ts <= gc_ts] and cut
+      the chain below it; returns the number of versions unlinked. Only
+      the CC thread owning the record's partition may call this
+      (single-writer chains); concurrent readers at [ts > gc_ts] never
+      reach the cut region, which is the RCU argument of §3.3.2,
+      Condition 3. *)
+end

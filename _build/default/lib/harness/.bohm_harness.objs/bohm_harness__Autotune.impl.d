@@ -1,0 +1,1 @@
+lib/harness/autotune.ml: Array Bohm_txn List Runner

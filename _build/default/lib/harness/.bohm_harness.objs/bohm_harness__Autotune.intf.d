@@ -1,0 +1,1 @@
+lib/harness/autotune.mli: Bohm_txn Runner

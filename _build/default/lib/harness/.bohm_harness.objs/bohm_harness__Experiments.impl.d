@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Bohm_mvto Bohm_runtime Bohm_txn Bohm_workload List Printf Report Runner

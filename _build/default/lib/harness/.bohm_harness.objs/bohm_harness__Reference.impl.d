@@ -1,0 +1,1 @@
+lib/harness/reference.ml: Array Bohm_storage Bohm_txn Hashtbl

@@ -1,0 +1,1 @@
+lib/harness/reference.mli: Bohm_storage Bohm_txn

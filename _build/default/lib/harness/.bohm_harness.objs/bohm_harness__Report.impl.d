@@ -1,0 +1,1 @@
+lib/harness/report.ml: Buffer Float Int64 List Printf String

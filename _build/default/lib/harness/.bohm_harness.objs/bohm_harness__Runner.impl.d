@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Bohm_core Bohm_hekaton Bohm_runtime Bohm_silo Bohm_storage Bohm_twopl Bohm_txn Float

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Bohm_storage Bohm_txn

@@ -1,0 +1,1 @@
+lib/harness/serialization_check.ml: Array Bohm_txn Bohm_util Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/serialization_check.mli: Bohm_txn

@@ -1,0 +1,55 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Local_writes = Bohm_txn.Local_writes
+
+type t = { tables : Table.t array; data : (Key.t, Value.t) Hashtbl.t }
+
+let create ~tables init =
+  let data = Hashtbl.create 4096 in
+  Array.iter
+    (fun (tbl : Table.t) ->
+      for row = 0 to tbl.Table.rows - 1 do
+        let k = Key.make ~table:tbl.Table.tid ~row in
+        Hashtbl.replace data k (init k)
+      done)
+    tables;
+  { tables; data }
+
+let read t k =
+  match Hashtbl.find_opt t.data k with
+  | Some v -> v
+  | None -> raise Not_found
+
+let run_one t txn =
+  let pending = Local_writes.create () in
+  let ctx =
+    {
+      Txn.read =
+        (fun k ->
+          match Local_writes.find pending k with
+          | Some v -> v
+          | None -> read t k);
+      write = (fun k v -> Local_writes.set pending k v);
+      spin = (fun _ -> ());
+    }
+  in
+  let outcome = txn.Txn.logic ctx in
+  (match outcome with
+  | Txn.Commit -> Local_writes.iter pending (fun k v -> Hashtbl.replace t.data k v)
+  | Txn.Abort -> ());
+  outcome
+
+let run t txns = Array.map (run_one t) txns
+
+let fold t ~init f =
+  let acc = ref init in
+  Array.iter
+    (fun (tbl : Table.t) ->
+      for row = 0 to tbl.Table.rows - 1 do
+        let k = Key.make ~table:tbl.Table.tid ~row in
+        acc := f k (Hashtbl.find t.data k) !acc
+      done)
+    t.tables;
+  !acc

@@ -1,0 +1,25 @@
+(** Serial reference executor: the correctness oracle.
+
+    Runs a transaction stream one at a time, in array order, against a
+    plain hash table. Since a serializable engine processing the same
+    stream must be equivalent to {e some} serial order — and BOHM must be
+    equivalent to exactly {e this} order (its timestamp order is the input
+    order) — the final state produced here is what engine tests compare
+    against. *)
+
+type t
+
+val create :
+  tables:Bohm_storage.Table.t array ->
+  (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+  t
+
+val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Txn.outcome array
+(** Execute serially; logic aborts roll their writes back. Returns each
+    transaction's outcome. *)
+
+val read : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+(** Raises [Not_found] for keys outside the schema. *)
+
+val fold : t -> init:'a -> (Bohm_txn.Key.t -> Bohm_txn.Value.t -> 'a -> 'a) -> 'a
+(** Over every row in (table, row) order. *)

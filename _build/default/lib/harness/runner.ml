@@ -1,0 +1,79 @@
+module Stats = Bohm_txn.Stats
+module Sim = Bohm_runtime.Sim
+
+module Bohm_sim = Bohm_core.Engine.Make (Sim)
+module Hek_sim = Bohm_hekaton.Engine.Make (Sim)
+module Silo_sim = Bohm_silo.Engine.Make (Sim)
+module Twopl_sim = Bohm_twopl.Engine.Make (Sim)
+
+type engine = Bohm | Hekaton | Si | Occ | Twopl
+
+let all = [ Twopl; Bohm; Occ; Si; Hekaton ]
+
+let name = function
+  | Bohm -> "Bohm"
+  | Hekaton -> "Hekaton"
+  | Si -> "SI"
+  | Occ -> "OCC"
+  | Twopl -> "2PL"
+
+type spec = {
+  tables : Bohm_storage.Table.t array;
+  init : Bohm_txn.Key.t -> Bohm_txn.Value.t;
+}
+
+type bohm_opts = {
+  cc_fraction : float;
+  batch_size : int;
+  gc : bool;
+  read_annotation : bool;
+}
+
+let default_bohm_opts =
+  { cc_fraction = 0.25; batch_size = 1000; gc = true; read_annotation = true }
+
+let split_threads opts threads =
+  let cc = max 1 (int_of_float (Float.round (float_of_int threads *. opts.cc_fraction))) in
+  let cc = min cc (max 1 (threads - 1)) in
+  let exec = max 1 (threads - cc) in
+  (cc, exec)
+
+let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
+    ?(preprocess = false) spec txns =
+  Sim.run (fun () ->
+      let config =
+        Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
+          ~gc ~read_annotation:annotate ~preprocess ()
+      in
+      let db = Bohm_sim.create config ~tables:spec.tables spec.init in
+      Bohm_sim.run db txns)
+
+let run_sim ?(bohm = default_bohm_opts) engine ~threads spec txns =
+  if threads <= 0 then invalid_arg "Runner.run_sim: threads must be positive";
+  match engine with
+  | Bohm ->
+      let cc, exec = split_threads bohm threads in
+      run_bohm_sim ~cc ~exec ~batch:bohm.batch_size ~gc:bohm.gc
+        ~annotate:bohm.read_annotation spec txns
+  | Hekaton ->
+      Sim.run (fun () ->
+          let db =
+            Hek_sim.create ~mode:Bohm_hekaton.Engine.Hekaton ~workers:threads
+              ~tables:spec.tables spec.init
+          in
+          Hek_sim.run db txns)
+  | Si ->
+      Sim.run (fun () ->
+          let db =
+            Hek_sim.create ~mode:Bohm_hekaton.Engine.Snapshot ~workers:threads
+              ~tables:spec.tables spec.init
+          in
+          Hek_sim.run db txns)
+  | Occ ->
+      Sim.run (fun () ->
+          let db = Silo_sim.create ~workers:threads ~tables:spec.tables spec.init in
+          Silo_sim.run db txns)
+  | Twopl ->
+      Sim.run (fun () ->
+          let db = Twopl_sim.create ~workers:threads ~tables:spec.tables spec.init in
+          Twopl_sim.run db txns)

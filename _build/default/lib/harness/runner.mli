@@ -1,0 +1,47 @@
+(** Uniform driver over the five engines, instantiated on the simulator.
+
+    The benchmark harness compares engines at equal {e total} thread
+    (core) counts, as the paper does. BOHM divides its threads between the
+    concurrency-control and execution layers ({!bohm_opts.cc_fraction});
+    all other engines use every thread as a worker. *)
+
+type engine = Bohm | Hekaton | Si | Occ | Twopl
+
+val all : engine list
+(** In the paper's legend order: 2PL, BOHM, OCC, SI, Hekaton. *)
+
+val name : engine -> string
+
+type spec = {
+  tables : Bohm_storage.Table.t array;
+  init : Bohm_txn.Key.t -> Bohm_txn.Value.t;
+}
+
+type bohm_opts = {
+  cc_fraction : float;  (** Fraction of threads given to the CC layer. *)
+  batch_size : int;
+  gc : bool;
+  read_annotation : bool;
+}
+
+val default_bohm_opts : bohm_opts
+(** cc_fraction 0.25, batch 1000, gc on, annotation on. *)
+
+val run_sim :
+  ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
+  Bohm_txn.Stats.t
+(** One complete simulated run: fresh database, all transactions, stats.
+    Deterministic. *)
+
+val run_bohm_sim :
+  cc:int ->
+  exec:int ->
+  ?batch:int ->
+  ?gc:bool ->
+  ?annotate:bool ->
+  ?preprocess:bool ->
+  spec ->
+  Bohm_txn.Txn.t array ->
+  Bohm_txn.Stats.t
+(** Explicit CC/exec split, for the Figure 4 module-interaction experiment
+    and the ablations. *)

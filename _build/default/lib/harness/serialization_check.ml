@@ -1,0 +1,205 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Rng = Bohm_util.Rng
+
+(* Observations are filled by whichever thread finally executes the
+   transaction's logic; engines run logic attempts one at a time per
+   transaction, and the run's join provides the ordering for our read. *)
+type obs = {
+  mutable rmw_preds : (int * int) list; (* row, observed writer id *)
+  mutable pure_reads : (int * int) list;
+}
+
+type workload = {
+  rows : int;
+  txn_array : Txn.t array;
+  observations : obs array;
+}
+
+let initial_value _ = Value.zero
+
+let distinct_rows rng rows n =
+  let chosen = Array.make n (-1) in
+  let filled = ref 0 in
+  while !filled < n do
+    let candidate = Rng.int rng rows in
+    let duplicate = ref false in
+    for i = 0 to !filled - 1 do
+      if chosen.(i) = candidate then duplicate := true
+    done;
+    if not !duplicate then begin
+      chosen.(!filled) <- candidate;
+      incr filled
+    end
+  done;
+  chosen
+
+let make_workload ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed =
+  if rows < rmws_per_txn + reads_per_txn then
+    invalid_arg "Serialization_check.make_workload: footprint exceeds rows";
+  let rng = Rng.create ~seed in
+  let observations =
+    Array.init txns (fun _ -> { rmw_preds = []; pure_reads = [] })
+  in
+  let txn_array =
+    Array.init txns (fun i ->
+        let id = i + 1 (* 0 is the initial-version writer *) in
+        let all = distinct_rows rng rows (rmws_per_txn + reads_per_txn) in
+        let rmw_rows = Array.sub all 0 rmws_per_txn in
+        let read_rows = Array.sub all rmws_per_txn reads_per_txn in
+        let keys rows_arr =
+          Array.to_list (Array.map (fun row -> Key.make ~table:0 ~row) rows_arr)
+        in
+        let o = observations.(i) in
+        Txn.make ~id
+          ~read_set:(keys rmw_rows @ keys read_rows)
+          ~write_set:(keys rmw_rows)
+          (fun ctx ->
+            o.rmw_preds <- [];
+            o.pure_reads <- [];
+            Array.iter
+              (fun row ->
+                let k = Key.make ~table:0 ~row in
+                let seen = Value.to_int (ctx.Txn.read k) in
+                o.rmw_preds <- (row, seen) :: o.rmw_preds;
+                ctx.Txn.write k (Value.of_int id))
+              rmw_rows;
+            Array.iter
+              (fun row ->
+                let k = Key.make ~table:0 ~row in
+                o.pure_reads <- (row, Value.to_int (ctx.Txn.read k)) :: o.pure_reads)
+              read_rows;
+            Txn.Commit))
+  in
+  { rows; txn_array; observations }
+
+let txns w = w.txn_array
+
+type verdict = Serializable | Cycle of int list | Corrupt of string
+
+let verdict_to_string = function
+  | Serializable -> "serializable"
+  | Cycle ids ->
+      "cycle: " ^ String.concat " -> " (List.map string_of_int ids)
+  | Corrupt msg -> "corrupt execution: " ^ msg
+
+exception Corrupt_exn of string
+
+(* Recover each key's version order from RMW observations: every writer
+   names its predecessor, so per key the successor map must be a simple
+   path 0 -> w1 -> ... -> final writer. *)
+let recover_chains w ~final_read =
+  let per_key_succ = Hashtbl.create 64 in
+  let is_writer = Hashtbl.create 64 in
+  (* (row, pred) -> writer *)
+  Array.iteri
+    (fun i o ->
+      let id = i + 1 in
+      List.iter
+        (fun (row, pred) ->
+          if Hashtbl.mem per_key_succ (row, pred) then
+            raise
+              (Corrupt_exn
+                 (Printf.sprintf
+                    "lost update on row %d: two writers observed writer %d" row
+                    pred));
+          Hashtbl.replace per_key_succ (row, pred) id;
+          Hashtbl.replace is_writer (row, id) ())
+        o.rmw_preds)
+    w.observations;
+  (* Validate: following successors from the initial version visits every
+     writer of the row exactly once and ends at the engine's final
+     value. *)
+  let writers_per_row = Hashtbl.create 64 in
+  Array.iteri
+    (fun i o ->
+      List.iter
+        (fun (row, _) ->
+          Hashtbl.replace writers_per_row row
+            (1 + Option.value ~default:0 (Hashtbl.find_opt writers_per_row row));
+          ignore i)
+        o.rmw_preds)
+    w.observations;
+  Hashtbl.iter
+    (fun row count ->
+      let final = Value.to_int (final_read (Key.make ~table:0 ~row)) in
+      let rec walk at steps =
+        match Hashtbl.find_opt per_key_succ (row, at) with
+        | Some next -> walk next (steps + 1)
+        | None ->
+            if steps <> count then
+              raise
+                (Corrupt_exn
+                   (Printf.sprintf "row %d: chain covers %d of %d writers" row
+                      steps count));
+            if at <> final then
+              raise
+                (Corrupt_exn
+                   (Printf.sprintf
+                      "row %d: chain ends at writer %d but final value is %d"
+                      row at final))
+      in
+      walk 0 0)
+    writers_per_row;
+  (per_key_succ, is_writer)
+
+let check w ~final_read =
+  match
+    let succ, is_writer = recover_chains w ~final_read in
+    let n = Array.length w.txn_array in
+    let edges = Array.make (n + 1) [] in
+    let add_edge a b = if a <> b && a <> 0 then edges.(a) <- b :: edges.(a) in
+    Array.iteri
+      (fun i o ->
+        let id = i + 1 in
+        let reads_edges (row, seen) =
+          if seen <> 0 && not (Hashtbl.mem is_writer (row, seen)) then
+            raise
+              (Corrupt_exn
+                 (Printf.sprintf "row %d: txn %d read phantom value %d" row id
+                    seen));
+          (* wr: the observed writer precedes us. *)
+          add_edge seen id;
+          (* rw anti-dependency: we precede whoever overwrote what we
+             read. *)
+          match Hashtbl.find_opt succ (row, seen) with
+          | Some overwriter when overwriter <> id -> add_edge id overwriter
+          | _ -> ()
+        in
+        List.iter reads_edges o.rmw_preds;
+        List.iter reads_edges o.pure_reads)
+      w.observations;
+    (* DFS cycle detection with path recovery. *)
+    let color = Array.make (n + 1) 0 in
+    let parent = Array.make (n + 1) 0 in
+    let cycle = ref None in
+    let rec dfs v =
+      if !cycle = None then begin
+        color.(v) <- 1;
+        List.iter
+          (fun u ->
+            if !cycle = None then
+              if color.(u) = 0 then begin
+                parent.(u) <- v;
+                dfs u
+              end
+              else if color.(u) = 1 then begin
+                (* Found a back edge v -> u: recover the path u ... v. *)
+                let rec collect at acc =
+                  if at = u then u :: acc else collect parent.(at) (at :: acc)
+                in
+                cycle := Some (collect v [ u ])
+              end)
+          edges.(v);
+        color.(v) <- 2
+      end
+    in
+    for v = 1 to n do
+      if color.(v) = 0 then dfs v
+    done;
+    !cycle
+  with
+  | None -> Serializable
+  | Some ids -> Cycle ids
+  | exception Corrupt_exn msg -> Corrupt msg

@@ -1,0 +1,56 @@
+(** Serializability checking from observed executions, after the
+    serialization-graph formalism the paper builds on (Adya et al. [1],
+    §2.2).
+
+    The checker instruments a workload so that every committed execution
+    reveals its own data-flow: each write stores the writer's transaction
+    id, and every writer first {e reads} the key it overwrites, so the
+    per-key version order is recoverable from the values alone. From one
+    run it reconstructs the direct serialization graph —
+
+    - ww edges: predecessor writer → writer (from each RMW's observed
+      predecessor),
+    - wr edges: writer → reader (from each read's observed value),
+    - rw anti-dependency edges: reader → the writer that overwrote the
+      version it read —
+
+    and reports a cycle if one exists. A cyclic graph is a proof of
+    non-serializability; an acyclic graph certifies the run was
+    serializable. This is how the test suite validates BOHM, Hekaton,
+    Silo-OCC and 2PL under randomized simulator schedules, and how it
+    exhibits genuine cycles under Snapshot Isolation. *)
+
+type workload
+(** An instrumented workload plus the observation buffers its
+    transactions fill in as they execute. *)
+
+val make_workload :
+  rows:int ->
+  txns:int ->
+  rmws_per_txn:int ->
+  reads_per_txn:int ->
+  seed:int ->
+  workload
+(** Random transactions over a single table of [rows] records (tid 0):
+    [rmws_per_txn] read-modify-writes plus [reads_per_txn] pure reads,
+    keys distinct within a transaction. Initial record values must be 0
+    (use {!initial_value}). *)
+
+val initial_value : Bohm_txn.Key.t -> Bohm_txn.Value.t
+
+val txns : workload -> Bohm_txn.Txn.t array
+(** Run these through an engine (exactly once). *)
+
+type verdict =
+  | Serializable
+  | Cycle of int list  (** Transaction ids forming a dependency cycle. *)
+  | Corrupt of string
+      (** The observations are inconsistent with {e any} one-copy
+          execution — e.g. a lost update (two writers observed the same
+          predecessor) or a phantom value. *)
+
+val check : workload -> final_read:(Bohm_txn.Key.t -> Bohm_txn.Value.t) -> verdict
+(** Analyze the observations after the run. [final_read] is the engine's
+    committed state, used to anchor each key's last writer. *)
+
+val verdict_to_string : verdict -> string

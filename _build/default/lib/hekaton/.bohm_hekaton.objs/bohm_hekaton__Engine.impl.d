@@ -1,0 +1,1 @@
+lib/hekaton/engine.ml: Array Bohm_runtime Bohm_storage Bohm_txn List

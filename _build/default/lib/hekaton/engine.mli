@@ -1,0 +1,54 @@
+(** Hekaton-style optimistic multi-version concurrency control, and
+    Snapshot Isolation implemented in the same codebase — the paper's two
+    multi-version baselines (§4, after Larson et al. [21] and Berenson et
+    al. [6]).
+
+    Shared machinery (both modes):
+    - a {b global timestamp counter}: every transaction attempt performs two
+      atomic fetch-and-adds on one cell (begin and end timestamps) — the
+      scalability bottleneck the paper identifies (§4.2.2);
+    - versions carry begin/end metadata that is either a timestamp or a
+      reference to the owning in-flight transaction;
+    - writes take the newest version by CAS-ing its end stamp
+    (first-writer-wins); losing the race is a write-write conflict that
+      aborts and retries the whole transaction;
+    - {b commit dependencies}: a reader may speculatively consume a version
+      whose producer is validating (Preparing) with an assigned end
+      timestamp below the reader's snapshot; the reader then cannot commit
+      until the producer resolves;
+    - per the paper's setup, {e no} incremental garbage collection and a
+      fixed-size array index.
+
+    Mode differences at commit:
+    - [Hekaton] (serializable): every version read is re-validated as still
+      visible at the end timestamp; a reader whose read was overwritten
+      aborts — this is how rw conflicts abort readers (§2.2).
+    - [Snapshot] (SI): no read validation; only first-writer-wins on
+      write-write conflicts. Subject to write-skew — the test suite
+      demonstrates the anomaly on this engine. *)
+
+type mode = Hekaton | Snapshot
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    mode:mode ->
+    workers:int ->
+    tables:Bohm_storage.Table.t array ->
+    (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+    t
+
+  val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Stats.t
+  (** Transactions are dealt round-robin to the workers; each worker
+      retries its transaction (with capped exponential back-off) until it
+      commits or its logic aborts.
+
+      Extra stat counters: ["counter_faa"] (global-counter RMWs),
+      ["version_steps"] (chain-walk hops beyond the head — the traversal
+      overhead of §4.2.3), ["ww_aborts"], ["validation_aborts"],
+      ["dep_aborts"]. *)
+
+  val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+  val chain_length : t -> Bohm_txn.Key.t -> int
+end

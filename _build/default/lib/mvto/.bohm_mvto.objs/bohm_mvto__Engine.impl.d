@@ -1,0 +1,1 @@
+lib/mvto/engine.ml: Array Bohm_runtime Bohm_storage Bohm_txn List

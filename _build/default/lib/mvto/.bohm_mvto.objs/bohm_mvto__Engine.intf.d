@@ -1,0 +1,1 @@
+lib/mvto/engine.mli: Bohm_runtime Bohm_storage Bohm_txn

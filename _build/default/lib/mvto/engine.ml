@@ -1,0 +1,333 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Local_writes = Bohm_txn.Local_writes
+
+let dispatch_work = 130
+let read_resolve_work = 14
+let max_backoff = 8192
+
+module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+  module Store = Bohm_storage.Store.Make (R)
+  module Sync = Bohm_runtime.Sync.Make (R)
+
+  let st_active = 0
+  let st_committed = 1
+  let st_aborted = 2
+
+  type mtxn = { state : int R.Cell.t }
+
+  type version = {
+    wts : int;
+    data : Value.t;
+    (* Largest timestamp that has read this version — written by READERS,
+       the shared-memory read tracking of §2.2. *)
+    read_ts : int R.Cell.t;
+    producer : mtxn option; (* None = bulk-loaded *)
+    prev : version option R.Cell.t;
+  }
+
+  type record = { lock : int R.Cell.t; head : version R.Cell.t }
+
+  type t = {
+    workers : int;
+    store : record Store.t;
+    counter : int R.Cell.t;
+  }
+
+  exception Conflict of [ `Reader_induced | `Wait ]
+
+  type worker_stat = {
+    mutable committed : int;
+    mutable logic_aborts : int;
+    mutable reader_induced : int;
+    mutable wait_aborts : int;
+    mutable faa : int;
+    mutable read_stamps : int;
+  }
+
+  let create ~workers ~tables init =
+    if workers <= 0 then invalid_arg "Mvto: workers must be positive";
+    {
+      workers;
+      store =
+        Store.create_hash ~tables (fun k ->
+            {
+              lock = R.Cell.make 0;
+              head =
+                R.Cell.make
+                  {
+                    wts = 0;
+                    data = init k;
+                    read_ts = R.Cell.make 0;
+                    producer = None;
+                    prev = R.Cell.make None;
+                  };
+            });
+      counter = R.Cell.make 1;
+    }
+
+  let lock_record r =
+    let rec go () =
+      if R.Cell.get r.lock = 0 && R.Cell.cas r.lock 0 1 then ()
+      else begin
+        R.relax ();
+        go ()
+      end
+    in
+    go ()
+
+  let unlock_record r = R.Cell.set r.lock 0
+
+  let settled tx =
+    let s = R.Cell.get tx.state in
+    s = st_committed || s = st_aborted
+
+  (* The version with the largest [wts <= ts]; the chain is sorted by
+     [wts] descending. *)
+  let rec version_at v ts =
+    if v.wts <= ts then v
+    else
+      match R.Cell.get v.prev with
+      | Some p -> version_at p ts
+      | None -> assert false (* bulk-loaded version has wts = 0 *)
+
+  (* Reed's read: locate, wait out an unsettled producer, stamp the
+     version with our timestamp, and re-validate that no writer slipped a
+     version between the one we stamped and our timestamp. *)
+  let read_version t stat self ts k =
+    let r = Store.get t.store k in
+    let rec attempt () =
+      let v = version_at (R.Cell.get r.head) ts in
+      match v.producer with
+      | Some tx when tx != self && not (settled tx) ->
+          Sync.spin_until (fun () -> settled tx);
+          attempt ()
+      | Some tx when tx != self && R.Cell.get tx.state = st_aborted ->
+          (* Unlink race: re-walk from the head. *)
+          attempt ()
+      | _ ->
+          (* Stamp: the contended shared-memory write BOHM avoids. *)
+          let rec bump () =
+            let current = R.Cell.get v.read_ts in
+            if current >= ts then ()
+            else if R.Cell.cas v.read_ts current ts then
+              stat.read_stamps <- stat.read_stamps + 1
+            else bump ()
+          in
+          bump ();
+          (* A writer below our timestamp may have inserted between our
+             walk and our stamp; writers double-check after insert, so one
+             of us is guaranteed to notice. *)
+          let v' = version_at (R.Cell.get r.head) ts in
+          if v' != v then attempt ()
+          else begin
+            R.copy ~bytes:(Store.record_bytes t.store k);
+            v.data
+          end
+    in
+    attempt ()
+
+  (* Insert [value] as a version at [ts]: find the timestamp predecessor,
+     abort if a later reader already consumed it, insert in timestamp
+     order, then re-check the reader stamp (see [read_version]). *)
+  let write_version t self ts k value writes =
+    let r = Store.get t.store k in
+    lock_record r;
+    let unlock_and_raise e =
+      unlock_record r;
+      raise e
+    in
+    (* Find parent (last version with wts > ts) and predecessor. *)
+    let rec locate parent v =
+      if v.wts > ts then
+        match R.Cell.get v.prev with
+        | Some p -> locate (Some v) p
+        | None -> assert false
+      else (parent, v)
+    in
+    let parent, pred = locate None (R.Cell.get r.head) in
+    (match pred.producer with
+    | Some tx when tx != self && not (settled tx) ->
+        (* Writing right above an in-flight write: wait it out to keep
+           recoverability simple. *)
+        unlock_and_raise (Conflict `Wait)
+    | _ -> ());
+    if pred.wts = ts then begin
+      (* Second write of this transaction to the key: replace our own
+         version. *)
+      let nv =
+        {
+          wts = ts;
+          data = value;
+          read_ts = R.Cell.make 0;
+          producer = Some self;
+          prev = R.Cell.make (R.Cell.get pred.prev);
+        }
+      in
+      (match parent with
+      | None -> R.Cell.set r.head nv
+      | Some p -> R.Cell.set p.prev (Some nv));
+      R.copy ~bytes:(Store.record_bytes t.store k);
+      unlock_record r;
+      writes := (r, nv) :: List.remove_assq r !writes
+    end
+    else begin
+      if R.Cell.get pred.read_ts > ts then
+        unlock_and_raise (Conflict `Reader_induced);
+      let nv =
+        {
+          wts = ts;
+          data = value;
+          read_ts = R.Cell.make 0;
+          producer = Some self;
+          prev = R.Cell.make (Some pred);
+        }
+      in
+      (match parent with
+      | None -> R.Cell.set r.head nv
+      | Some p -> R.Cell.set p.prev (Some nv));
+      R.copy ~bytes:(Store.record_bytes t.store k);
+      (* Double-check: a reader may have stamped the predecessor between
+         our check and our insert. *)
+      if R.Cell.get pred.read_ts > ts then begin
+        (* Undo the insert before aborting. *)
+        (match parent with
+        | None -> R.Cell.set r.head pred
+        | Some p -> R.Cell.set p.prev (Some pred));
+        unlock_and_raise (Conflict `Reader_induced)
+      end;
+      unlock_record r;
+      writes := (r, nv) :: !writes
+    end
+
+  let unlink t self writes =
+    ignore t;
+    ignore self;
+    List.iter
+      (fun (r, nv) ->
+        lock_record r;
+        let rec cut parent v =
+          if v == nv then
+            match parent with
+            | None -> (
+                match R.Cell.get v.prev with
+                | Some p -> R.Cell.set r.head p
+                | None -> assert false)
+            | Some p -> R.Cell.set p.prev (R.Cell.get v.prev)
+          else
+            match R.Cell.get v.prev with
+            | Some p -> cut (Some v) p
+            | None -> () (* already unlinked *)
+        in
+        cut None (R.Cell.get r.head);
+        unlock_record r)
+      writes
+
+  let run_attempt t stat txn =
+    let self = { state = R.Cell.make st_active } in
+    let ts = R.Cell.faa t.counter 1 in
+    stat.faa <- stat.faa + 1;
+    let writes = ref [] in
+    let buffer = Local_writes.create () in
+    try
+      R.work dispatch_work;
+      let ctx =
+        {
+          Txn.read =
+            (fun k ->
+              match Local_writes.find buffer k with
+              | Some v -> v
+              | None ->
+                  R.work read_resolve_work;
+                  read_version t stat self ts k);
+          write =
+            (fun k v ->
+              Local_writes.set buffer k v;
+              write_version t self ts k v writes);
+          spin = R.work;
+        }
+      in
+      match txn.Txn.logic ctx with
+      | Txn.Commit ->
+          R.Cell.set self.state st_committed;
+          stat.committed <- stat.committed + 1;
+          true
+      | Txn.Abort ->
+          R.Cell.set self.state st_aborted;
+          unlink t self !writes;
+          stat.logic_aborts <- stat.logic_aborts + 1;
+          true
+    with Conflict reason ->
+      R.Cell.set self.state st_aborted;
+      unlink t self !writes;
+      (match reason with
+      | `Reader_induced -> stat.reader_induced <- stat.reader_induced + 1
+      | `Wait -> stat.wait_aborts <- stat.wait_aborts + 1);
+      false
+
+  let worker_loop t me stat txns =
+    let n = Array.length txns in
+    let idx = ref me in
+    while !idx < n do
+      let backoff = ref 1 in
+      while not (run_attempt t stat txns.(!idx)) do
+        for _ = 1 to !backoff do
+          R.relax ()
+        done;
+        if !backoff < max_backoff then backoff := !backoff * 2
+      done;
+      idx := !idx + t.workers
+    done
+
+  let run t txns =
+    let stats =
+      Array.init t.workers (fun _ ->
+          {
+            committed = 0;
+            logic_aborts = 0;
+            reader_induced = 0;
+            wait_aborts = 0;
+            faa = 0;
+            read_stamps = 0;
+          })
+    in
+    let start = R.now () in
+    let threads =
+      List.init t.workers (fun me ->
+          R.spawn (fun () -> worker_loop t me stats.(me) txns))
+    in
+    List.iter R.join threads;
+    let elapsed = R.now () -. start in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+    Stats.make ~txns:(Array.length txns)
+      ~committed:(sum (fun s -> s.committed))
+      ~logic_aborts:(sum (fun s -> s.logic_aborts))
+      ~cc_aborts:(sum (fun s -> s.reader_induced) + sum (fun s -> s.wait_aborts))
+      ~elapsed
+      ~extra:
+        [
+          ("counter_faa", float_of_int (sum (fun s -> s.faa)));
+          ("read_stamps", float_of_int (sum (fun s -> s.read_stamps)));
+          ("reader_induced_aborts", float_of_int (sum (fun s -> s.reader_induced)));
+          ("wait_aborts", float_of_int (sum (fun s -> s.wait_aborts)));
+        ]
+      ()
+
+  let read_latest t k =
+    let rec newest v =
+      match v.producer with
+      | None -> v.data
+      | Some tx when R.Cell.get tx.state = st_committed -> v.data
+      | Some _ -> (
+          match R.Cell.get v.prev with Some p -> newest p | None -> v.data)
+    in
+    newest (R.Cell.get (Store.get t.store k).head)
+
+  let chain_length t k =
+    let rec go v acc =
+      match R.Cell.get v.prev with Some p -> go p (acc + 1) | None -> acc
+    in
+    go (R.Cell.get (Store.get t.store k).head) 1
+end

@@ -1,0 +1,37 @@
+(** Multiversion timestamp ordering, after Reed (paper §5, "Concurrency
+    Control Protocols") — the archetypal "Track Reads" design of §2.2 that
+    BOHM is built to avoid.
+
+    Each transaction takes one timestamp from a global counter. A read
+    returns the version with the largest write timestamp at or below the
+    reader's, and {e stamps the version with the reader's timestamp} — a
+    write to shared memory on every read, the exact coordination cost the
+    paper's motivation section attacks. A write must install its version
+    immediately after its timestamp-predecessor; if that predecessor has
+    already been read by a {e later} transaction, committing the write
+    would invalidate that read, so the writer aborts — readers abort
+    writers, the second property BOHM eliminates. Readers landing on an
+    uncommitted version wait for its producer to settle (recoverability).
+
+    Serializable. Included as a sixth engine to quantify §2.2's claims;
+    it is not part of the paper's measured baselines, so the figure
+    drivers exclude it — the [mvto] bench compares it against BOHM
+    directly. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    workers:int ->
+    tables:Bohm_storage.Table.t array ->
+    (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+    t
+
+  val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Stats.t
+  (** Extra stat counters: ["counter_faa"], ["read_stamps"] (shared-memory
+      writes performed by reads), ["reader_induced_aborts"] (writers
+      killed by a later reader's stamp), ["wait_aborts"]. *)
+
+  val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+  val chain_length : t -> Bohm_txn.Key.t -> int
+end

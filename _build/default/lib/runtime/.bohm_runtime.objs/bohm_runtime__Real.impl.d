@@ -1,0 +1,1 @@
+lib/runtime/real.ml: Atomic Domain Sys Unix

@@ -1,0 +1,1 @@
+lib/runtime/real.mli: Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Bohm_util Costs Effect Fun List Printf

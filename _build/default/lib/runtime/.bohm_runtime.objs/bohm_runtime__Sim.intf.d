@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: Bohm_util Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/sync.mli: Runtime_intf

@@ -1,0 +1,26 @@
+let cache_hit = ref 4
+let dram_read = ref 100
+let coherence_read = ref 200
+let store_owned = ref 8
+let dram_write = ref 120
+let line_transfer = ref 450
+let atomic_rmw = ref 45
+let relax_base = ref 25
+let bytes_per_cycle = ref 1
+let spawn_cost = ref 2_000
+let recency_window = ref 30_000
+
+let cycles_per_second = 2.0e9
+
+let defaults () =
+  cache_hit := 4;
+  dram_read := 100;
+  coherence_read := 200;
+  store_owned := 8;
+  dram_write := 120;
+  line_transfer := 450;
+  atomic_rmw := 45;
+  relax_base := 25;
+  bytes_per_cycle := 1;
+  spawn_cost := 2_000;
+  recency_window := 30_000

@@ -1,0 +1,54 @@
+(** Cost model of the simulated multicore machine, in CPU cycles.
+
+    The constants are mutable so the benchmark harness and the ablation
+    benches can explore sensitivity; {!defaults} restores the published
+    configuration. The defaults are calibrated against the qualitative
+    behaviour of the paper's 4-socket Intel E7-8850 testbed: an uncontended
+    atomic RMW costs tens of cycles; a line bouncing between sockets costs
+    hundreds; a long-untouched line costs a DRAM access. Those facts alone
+    produce the global-counter plateau of Hekaton/SI (paper §4.2.2).
+
+    A line is {e hot} when its last write completed within
+    {!recency_window} cycles — approximating "still dirty in another
+    core's cache". *)
+
+val cache_hit : int ref
+(** Load of a line this thread owns or that is in shared state. *)
+
+val dram_read : int ref
+(** Load of a cold (long-untouched) line. *)
+
+val coherence_read : int ref
+(** Load of a line another core wrote recently (cache-to-cache). *)
+
+val store_owned : int ref
+(** Store to a line this thread already owns exclusively. *)
+
+val dram_write : int ref
+(** Ownership acquisition of a cold line. *)
+
+val line_transfer : int ref
+(** Ownership acquisition of a hot line (modified in another cache). Hot
+    cells hammered by RMWs serialize at [atomic_rmw + line_transfer] per
+    operation — the hard ceiling of a global counter. *)
+
+val atomic_rmw : int ref
+(** Base cost of an atomic read-modify-write, before transfer penalties. *)
+
+val relax_base : int ref
+(** One spin-loop iteration (pause + reload). *)
+
+val bytes_per_cycle : int ref
+(** Memory-copy bandwidth used by {!Runtime_intf.S.copy}. *)
+
+val spawn_cost : int ref
+(** Thread start-up charge. *)
+
+val recency_window : int ref
+(** Cycles after a write during which the line counts as hot. *)
+
+val cycles_per_second : float
+(** Virtual clock rate used to convert cycles to seconds (2 GHz). *)
+
+val defaults : unit -> unit
+(** Reset every constant to its documented default. *)

@@ -1,0 +1,8 @@
+(** Real parallel runtime: OCaml 5 domains and [Atomic] cells.
+
+    Implements {!Runtime_intf.S} with genuine parallelism. Used by the test
+    suite to check engine correctness (serializability, linearizable
+    counters, absence of lost updates) under real interleavings, and by the
+    examples. Thread counts should stay near the machine's core count. *)
+
+include Runtime_intf.S

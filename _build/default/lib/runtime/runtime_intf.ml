@@ -1,0 +1,78 @@
+(** The execution substrate every engine in this repository is written
+    against.
+
+    All five concurrency-control engines (BOHM, Hekaton, SI, Silo-OCC, 2PL)
+    are functors over {!S}. Instantiated with {!Real} they run on OCaml 5
+    domains with genuine parallelism — this is how the test suite validates
+    serializability. Instantiated with {!Sim} they run on the deterministic
+    multicore simulator whose virtual clock charges for cache misses,
+    cache-line transfers and serialized atomic read-modify-writes — this is
+    how the benchmark harness regenerates the paper's 40-core figures on a
+    small machine.
+
+    Discipline required of engine code: {e every} mutable location shared
+    between threads must be a {!S.Cell.t}. Plain [ref]s/[mutable] fields may
+    only be touched by the thread that owns them. This is exactly the
+    discipline a C implementation needs for its atomics, and it is what lets
+    the simulator account for all coherence traffic. *)
+
+module type S = sig
+  val name : string
+
+  (** Shared mutable cells with sequentially-consistent semantics.
+
+      In {!Real} a cell is an [Atomic.t]. In {!Sim} a cell additionally
+      models one cache line: reads by non-owners charge a remote-read;
+      writes migrate ownership and charge a line transfer; atomic RMWs
+      serialize on the line, so a hot cell (e.g. a global timestamp
+      counter) has a hard throughput ceiling no matter how many threads
+      hammer it. *)
+  module Cell : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    (** Free of charge in the simulator; allocation is not modelled. *)
+
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+
+    val cas : 'a t -> 'a -> 'a -> bool
+    (** [cas c expected desired]: atomic compare-and-set. Comparison is
+        physical equality, so compare against a value previously obtained
+        from [get] (for immediate values such as [int] this coincides with
+        structural equality). *)
+
+    val faa : int t -> int -> int
+    (** [faa c n] atomically adds [n] and returns the previous value. *)
+
+    val incr : int t -> unit
+  end
+
+  type thread
+
+  val spawn : (unit -> unit) -> thread
+  val join : thread -> unit
+
+  val work : int -> unit
+  (** [work n] burns approximately [n] cycles of thread-local computation
+      (simulator: advances the virtual clock; real: a busy loop). *)
+
+  val copy : bytes:int -> unit
+  (** Charge the memory-bandwidth cost of moving [bytes] bytes, e.g. when a
+      multi-version engine materializes a record version. The payloads in
+      this repository are small; the {e declared} record size is charged
+      here (DESIGN.md, substitution 2). *)
+
+  val relax : unit -> unit
+  (** Spin-wait hint; use inside busy-wait loops. *)
+
+  val now : unit -> float
+  (** Seconds. Virtual time in the simulator, wall-clock time otherwise.
+      Ratios of durations are meaningful; absolute values are not
+      comparable across runtimes. *)
+
+  val without_cost : (unit -> 'a) -> 'a
+  (** Run a setup phase (bulk-loading tables, building indexes) without
+      charging the virtual clock. Identity on the real runtime. Must not
+      be used while worker threads run. *)
+end

@@ -1,0 +1,66 @@
+module Make (R : Runtime_intf.S) = struct
+  let max_backoff = 256
+
+  let spin_until cond =
+    let backoff = ref 1 in
+    while not (cond ()) do
+      for _ = 1 to !backoff do
+        R.relax ()
+      done;
+      if !backoff < max_backoff then backoff := !backoff * 2
+    done
+
+  module Barrier = struct
+    type t = {
+      parties : int;
+      arrived : int R.Cell.t;
+      sense : int R.Cell.t;
+      completed : int R.Cell.t;
+    }
+
+    let create ~parties =
+      if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
+      {
+        parties;
+        arrived = R.Cell.make 0;
+        sense = R.Cell.make 0;
+        completed = R.Cell.make 0;
+      }
+
+    let await t =
+      let my_sense = R.Cell.get t.sense in
+      let position = R.Cell.faa t.arrived 1 in
+      if position = t.parties - 1 then begin
+        (* Last arrival: reset the counter, then release everyone. *)
+        R.Cell.set t.arrived 0;
+        R.Cell.incr t.completed;
+        R.Cell.set t.sense (my_sense + 1)
+      end
+      else spin_until (fun () -> R.Cell.get t.sense <> my_sense)
+
+    let rounds t = R.Cell.get t.completed
+  end
+
+  module Spinlock = struct
+    type t = int R.Cell.t
+
+    let create () = R.Cell.make 0
+
+    let try_acquire t = R.Cell.get t = 0 && R.Cell.cas t 0 1
+
+    let acquire t =
+      let backoff = ref 1 in
+      while not (try_acquire t) do
+        for _ = 1 to !backoff do
+          R.relax ()
+        done;
+        if !backoff < max_backoff then backoff := !backoff * 2
+      done
+
+    let release t = R.Cell.set t 0
+
+    let with_lock t f =
+      acquire t;
+      Fun.protect ~finally:(fun () -> release t) f
+  end
+end

@@ -1,0 +1,36 @@
+(** Runtime-generic synchronization primitives built only from
+    {!Runtime_intf.S} cells and spin hints, mirroring what a main-memory
+    database implements over raw atomics. *)
+
+module Make (R : Runtime_intf.S) : sig
+  val spin_until : (unit -> bool) -> unit
+  (** Busy-wait with capped exponential back-off until the condition holds.
+      The condition is re-evaluated after each back-off round; reads inside
+      it are charged normally by the simulator. *)
+
+  (** Sense-reversing barrier: the last of [parties] arrivals releases the
+      rest and flips the sense, so the same barrier is reusable across
+      rounds — this is the batch-boundary coordination the BOHM paper
+      amortizes over large batches (§3.2.4). *)
+  module Barrier : sig
+    type t
+
+    val create : parties:int -> t
+    val await : t -> unit
+    val rounds : t -> int
+    (** Number of completed barrier episodes; for tests and stats. *)
+  end
+
+  (** Test-and-test-and-set spinlock with exponential back-off — the
+      per-bucket latch used by the 2PL lock table and the index write
+      paths. *)
+  module Spinlock : sig
+    type t
+
+    val create : unit -> t
+    val acquire : t -> unit
+    val release : t -> unit
+    val try_acquire : t -> bool
+    val with_lock : t -> (unit -> 'a) -> 'a
+  end
+end

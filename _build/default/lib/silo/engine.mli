@@ -1,0 +1,33 @@
+(** Single-version optimistic concurrency control in the style of Silo
+    (Tu et al., SOSP 2013) — the paper's OCC baseline (§4).
+
+    Distinctive properties preserved from Silo:
+    - {b no global timestamp counter}: transaction IDs are generated
+      decentrally (greater than every TID observed in the footprint and
+      the worker's previous TID);
+    - {b reads write no shared memory}: a read snapshots the record's TID
+      word, re-checking it for stability, and is validated at commit by
+      comparing TIDs;
+    - writes are {b buffered locally} in a per-worker buffer that is reused
+      across transactions (the cache-locality advantage over multi-version
+      write paths the paper discusses in §4.2.1), then installed under
+      per-record locks taken in sorted key order;
+    - contention {b back-off}: aborted transactions retry after capped
+      exponential back-off, which keeps throughput from collapsing under
+      high write-write contention (§4.2.1). *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    workers:int ->
+    tables:Bohm_storage.Table.t array ->
+    (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+    t
+
+  val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Stats.t
+  (** Extra stat counters: ["read_validation_aborts"], ["read_retries"]
+      (unstable-TID re-reads). *)
+
+  val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+end

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Bohm_runtime Bohm_txn Table

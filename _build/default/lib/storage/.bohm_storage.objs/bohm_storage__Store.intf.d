@@ -1,0 +1,1 @@
+lib/storage/store.mli: Bohm_runtime Bohm_txn Table

@@ -1,0 +1,1 @@
+lib/storage/table.ml: Bohm_txn Format

@@ -1,0 +1,39 @@
+(** Key-to-slot mapping for a fixed schema.
+
+    A store resolves a {!Bohm_txn.Key.t} to the slot holding whatever the
+    engine keeps per record — a version-chain head for the multi-version
+    engines, a (value, TID) pair for Silo, a value cell for 2PL. Two
+    backends mirror the paper's implementations (§4): a {e fixed-size
+    array} index (used by Hekaton and SI) and a {e hash} index (used by
+    BOHM, OCC and 2PL). Both are immutable after load; engines mutate the
+    slots, never the index structure, which is why lookups are latch-free.
+
+    Lookups charge the runtime a small fixed cost (array) or a
+    hash-plus-probe cost (hash); slot contents are charged by the engine
+    when it touches them. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type 'a t
+
+  val create_array : tables:Table.t array -> (Bohm_txn.Key.t -> 'a) -> 'a t
+  (** Dense per-table arrays; [tables.(i)] must have [tid = i]. *)
+
+  val create_hash :
+    ?bucket_factor:int -> tables:Table.t array -> (Bohm_txn.Key.t -> 'a) -> 'a t
+  (** Chained hash index with [rows / bucket_factor] buckets per table
+      (default factor 1). *)
+
+  val get : 'a t -> Bohm_txn.Key.t -> 'a
+  (** Raises [Not_found] for unknown tables or out-of-range rows. *)
+
+  val tables : 'a t -> Table.t array
+  val table : 'a t -> int -> Table.t
+  (** Raises [Not_found] for an unknown table id. *)
+
+  val record_bytes : 'a t -> Bohm_txn.Key.t -> int
+  (** Declared record size of the key's table. *)
+
+  val iter : 'a t -> (Bohm_txn.Key.t -> 'a -> unit) -> unit
+  (** Every slot, in (table, row) order. For loading checks and tests;
+      charges nothing. *)
+end

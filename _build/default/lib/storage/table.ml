@@ -1,0 +1,14 @@
+type t = { tid : int; name : string; rows : int; record_bytes : int }
+
+let make ~tid ~name ~rows ~record_bytes =
+  if tid < 0 then invalid_arg "Table.make: negative tid";
+  if rows <= 0 then invalid_arg "Table.make: rows must be positive";
+  if record_bytes <= 0 then invalid_arg "Table.make: record_bytes must be positive";
+  { tid; name; rows; record_bytes }
+
+let key t ~row =
+  if row < 0 || row >= t.rows then invalid_arg "Table.key: row out of range";
+  Bohm_txn.Key.make ~table:t.tid ~row
+
+let pp fmt t =
+  Format.fprintf fmt "%s(#%d, %d rows x %dB)" t.name t.tid t.rows t.record_bytes

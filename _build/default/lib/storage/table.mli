@@ -1,0 +1,16 @@
+(** Table metadata.
+
+    [record_bytes] is the declared record size: the simulator charges this
+    many bytes whenever an engine materializes or reads a version of a row
+    (YCSB: 1000 B; SmallBank: 8 B). Rows are dense integers [0 .. rows-1] —
+    all workloads in the paper address records by primary key. *)
+
+type t = private { tid : int; name : string; rows : int; record_bytes : int }
+
+val make : tid:int -> name:string -> rows:int -> record_bytes:int -> t
+(** Requires [tid >= 0], [rows > 0], [record_bytes > 0]. *)
+
+val key : t -> row:int -> Bohm_txn.Key.t
+(** [key t ~row] with bounds check. *)
+
+val pp : Format.formatter -> t -> unit

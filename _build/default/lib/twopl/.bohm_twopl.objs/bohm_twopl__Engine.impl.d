@@ -1,0 +1,1 @@
+lib/twopl/engine.ml: Array Bohm_runtime Bohm_storage Bohm_txn List Lock_table

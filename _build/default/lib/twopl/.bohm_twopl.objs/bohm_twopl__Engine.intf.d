@@ -1,0 +1,1 @@
+lib/twopl/engine.mli: Bohm_runtime Bohm_storage Bohm_txn

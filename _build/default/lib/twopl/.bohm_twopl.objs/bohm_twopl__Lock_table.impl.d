@@ -1,0 +1,1 @@
+lib/twopl/lock_table.ml: Bohm_runtime Bohm_storage

@@ -1,0 +1,1 @@
+lib/twopl/lock_table.mli: Bohm_runtime Bohm_storage Bohm_txn

@@ -1,0 +1,22 @@
+(** Two-phase locking — the paper's pessimistic single-version baseline
+    (§4). Strict 2PL over the {!Lock_table}: every transaction acquires its
+    whole declared footprint up front in lexicographic order (write mode
+    for written keys, read mode otherwise), runs its logic against
+    in-place record storage with a local write buffer, installs on commit,
+    and releases. Deadlock-free by construction, so there is no detector,
+    and no transaction ever aborts for concurrency-control reasons. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  val create :
+    workers:int ->
+    tables:Bohm_storage.Table.t array ->
+    (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+    t
+
+  val run : t -> Bohm_txn.Txn.t array -> Bohm_txn.Stats.t
+  (** Extra stat counters: ["locks_acquired"]. *)
+
+  val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+end

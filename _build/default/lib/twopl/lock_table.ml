@@ -1,0 +1,42 @@
+module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+  module Store = Bohm_storage.Store.Make (R)
+
+  type mode = Read | Write
+
+  (* Lock word: -1 = writer held, 0 = free, n > 0 = n readers. *)
+  type t = int R.Cell.t Store.t
+
+  let create ~tables = Store.create_hash ~tables (fun _ -> R.Cell.make 0)
+
+  let try_lock cell = function
+    | Read ->
+        let s = R.Cell.get cell in
+        s >= 0 && R.Cell.cas cell s (s + 1)
+    | Write ->
+        let s = R.Cell.get cell in
+        s = 0 && R.Cell.cas cell 0 (-1)
+
+  let try_acquire t k mode = try_lock (Store.get t k) mode
+
+  let max_backoff = 256
+
+  let acquire t k mode =
+    let cell = Store.get t k in
+    if not (try_lock cell mode) then begin
+      let backoff = ref 1 in
+      while not (try_lock cell mode) do
+        for _ = 1 to !backoff do
+          R.relax ()
+        done;
+        if !backoff < max_backoff then backoff := !backoff * 2
+      done
+    end
+
+  let release t k mode =
+    let cell = Store.get t k in
+    match mode with
+    | Read -> ignore (R.Cell.faa cell (-1))
+    | Write -> R.Cell.set cell 0
+
+  let holders t k = R.Cell.get (Store.get t k)
+end

@@ -1,0 +1,34 @@
+(** Reader-writer lock manager for the 2PL engine.
+
+    Mirrors the paper's locking baseline (§4): lock state is pre-allocated
+    for every record at load (no lock-entry allocation on the hot path)
+    and keyed through the same hash scheme as the data, standing in for a
+    hash lock table with per-bucket latching — each record's lock word is
+    an independent line, so unrelated acquisitions never contend.
+
+    Deadlock freedom is the {e caller's} obligation: acquire in ascending
+    {!Bohm_txn.Key.compare} order (lexicographic), which the paper's
+    implementation guarantees from declared read/write sets. The table
+    itself performs no deadlock detection. *)
+
+module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type t
+
+  type mode = Read | Write
+
+  val create : tables:Bohm_storage.Table.t array -> t
+
+  val acquire : t -> Bohm_txn.Key.t -> mode -> unit
+  (** Blocks (spins with back-off) until granted. Multiple readers may
+      hold a lock; a writer excludes everyone. *)
+
+  val try_acquire : t -> Bohm_txn.Key.t -> mode -> bool
+
+  val release : t -> Bohm_txn.Key.t -> mode -> unit
+  (** Releasing a lock not held in [mode] is a programming error and
+      corrupts the lock state, as in any real lock manager. *)
+
+  val holders : t -> Bohm_txn.Key.t -> int
+  (** Current holder count: -1 = writer, 0 = free, n = n readers. For
+      tests. *)
+end

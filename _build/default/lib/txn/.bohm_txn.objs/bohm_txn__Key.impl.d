@@ -1,0 +1,1 @@
+lib/txn/key.ml: Format Int Int64

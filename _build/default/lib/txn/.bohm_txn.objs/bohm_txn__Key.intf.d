@@ -1,0 +1,1 @@
+lib/txn/key.mli: Format

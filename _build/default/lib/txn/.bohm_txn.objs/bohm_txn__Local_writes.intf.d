@@ -1,0 +1,1 @@
+lib/txn/local_writes.mli: Key Value

@@ -1,0 +1,1 @@
+lib/txn/speculate.ml: Array Key List Local_writes Txn

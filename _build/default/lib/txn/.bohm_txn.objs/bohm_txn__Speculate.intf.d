@@ -1,0 +1,1 @@
+lib/txn/speculate.mli: Key Stats Txn Value

@@ -1,0 +1,1 @@
+lib/txn/stats.mli: Format

@@ -1,0 +1,1 @@
+lib/txn/value.mli: Format

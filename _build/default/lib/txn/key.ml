@@ -1,0 +1,26 @@
+type t = { table : int; row : int }
+
+let make ~table ~row =
+  if table < 0 || row < 0 then invalid_arg "Key.make: negative component";
+  { table; row }
+
+let table t = t.table
+let row t = t.row
+
+let compare a b =
+  let c = Int.compare a.table b.table in
+  if c <> 0 then c else Int.compare a.row b.row
+
+let equal a b = a.table = b.table && a.row = b.row
+
+(* splitmix64-style finalizer over the packed pair; cheap and well mixed
+   even for dense row ids. *)
+let hash t =
+  let z = Int64.of_int ((t.table * 0x9E3779B1) + t.row) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int z land max_int
+
+let pp fmt t = Format.fprintf fmt "%d:%d" t.table t.row
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,23 @@
+(** Record identifiers: a (table, row) pair.
+
+    The total order on keys is lexicographic (table, then row); the 2PL
+    engine relies on this order to acquire locks deadlock-free, exactly as
+    the paper's locking baseline does (§4: "acquire locks in lexicographic
+    order"). *)
+
+type t = private { table : int; row : int }
+
+val make : table:int -> row:int -> t
+(** Requires non-negative components. *)
+
+val table : t -> int
+val row : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Well-mixed (splitmix-style finalizer); used for index buckets and for
+    partitioning keys across BOHM's concurrency-control threads. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

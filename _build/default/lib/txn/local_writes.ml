@@ -1,0 +1,47 @@
+type t = {
+  mutable keys : Key.t array;
+  mutable values : Value.t array;
+  mutable size : int;
+}
+
+let initial_capacity = 8
+let dummy_key = Key.make ~table:0 ~row:0
+
+let create () =
+  {
+    keys = Array.make initial_capacity dummy_key;
+    values = Array.make initial_capacity Value.zero;
+    size = 0;
+  }
+
+let index t k =
+  let rec go i = if i >= t.size then -1 else if Key.equal t.keys.(i) k then i else go (i + 1) in
+  go 0
+
+let grow t =
+  let capacity = 2 * Array.length t.keys in
+  let keys = Array.make capacity dummy_key in
+  let values = Array.make capacity Value.zero in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.keys <- keys;
+  t.values <- values
+
+let set t k v =
+  match index t k with
+  | -1 ->
+      if t.size = Array.length t.keys then grow t;
+      t.keys.(t.size) <- k;
+      t.values.(t.size) <- v;
+      t.size <- t.size + 1
+  | i -> t.values.(i) <- v
+
+let find t k = match index t k with -1 -> None | i -> Some t.values.(i)
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.keys.(i) t.values.(i)
+  done
+
+let size t = t.size
+let clear t = t.size <- 0

@@ -1,0 +1,22 @@
+(** A transaction-private write buffer.
+
+    Engines use it for read-own-write semantics (a transaction that updated
+    a key and then reads it must see its own update) and — in the
+    optimistic engines — to defer installation until validation succeeds.
+    Footprints are tiny (1–10 keys), so lookups are linear scans over a
+    flat array, which beats any hashing at this size. *)
+
+type t
+
+val create : unit -> t
+val set : t -> Key.t -> Value.t -> unit
+(** Insert or overwrite. *)
+
+val find : t -> Key.t -> Value.t option
+val iter : t -> (Key.t -> Value.t -> unit) -> unit
+(** Iterates in insertion order (later overwrites replace in place). *)
+
+val size : t -> int
+val clear : t -> unit
+(** Reset for reuse; keeps the backing storage (the Silo optimization of
+    reusing one buffer across transactions, paper §4.2.1). *)

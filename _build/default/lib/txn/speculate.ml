@@ -1,0 +1,86 @@
+type t = {
+  txn_id : int;
+  logic : Txn.ctx -> Txn.outcome;
+  mutable reads : Key.t list;
+  mutable writes : Key.t list;
+  (* Written by the (single) thread executing the wrapped transaction,
+     read by the driver after the engine run completes (joins give the
+     needed ordering). *)
+  mutable mispredicted : bool;
+}
+
+exception Out_of_footprint
+
+let create ~id logic =
+  { txn_id = id; logic; reads = []; writes = []; mispredicted = false }
+
+let id t = t.txn_id
+
+let predict t ~read =
+  let reads = ref [] and writes = ref [] in
+  let buffer = Local_writes.create () in
+  let ctx =
+    {
+      Txn.read =
+        (fun k ->
+          match Local_writes.find buffer k with
+          | Some v -> v
+          | None ->
+              reads := k :: !reads;
+              read k);
+      write =
+        (fun k v ->
+          writes := k :: !writes;
+          Local_writes.set buffer k v);
+      spin = (fun _ -> ());
+    }
+  in
+  ignore (t.logic ctx);
+  t.reads <- !reads;
+  t.writes <- !writes
+
+let predicted_reads t = t.reads
+let predicted_writes t = t.writes
+
+let to_txn t =
+  let guarded ctx =
+    t.mispredicted <- false;
+    let inner =
+      {
+        Txn.read =
+          (fun k ->
+            (* Own writes are always fine (the engine's buffer serves
+               them); other keys must have been predicted. *)
+            if
+              List.exists (Key.equal k) t.writes
+              || List.exists (Key.equal k) t.reads
+            then ctx.Txn.read k
+            else raise Out_of_footprint);
+        write =
+          (fun k v ->
+            if List.exists (Key.equal k) t.writes then ctx.Txn.write k v
+            else raise Out_of_footprint);
+        spin = ctx.Txn.spin;
+      }
+    in
+    try t.logic inner
+    with Out_of_footprint ->
+      t.mispredicted <- true;
+      Txn.Abort
+  in
+  Txn.make ~id:t.txn_id ~read_set:t.reads ~write_set:t.writes guarded
+
+let mispredicted t = t.mispredicted
+
+let settle ?(max_rounds = 10) ~run ~read ts =
+  let rec go round pending =
+    if pending = [] then round
+    else if round >= max_rounds then
+      failwith "Speculate.settle: footprints did not stabilize"
+    else begin
+      List.iter (fun t -> predict t ~read) pending;
+      ignore (run (Array.of_list (List.map to_txn pending)));
+      go (round + 1) (List.filter mispredicted pending)
+    end
+  in
+  go 0 ts

@@ -1,0 +1,55 @@
+(** Speculative read/write-set prediction (paper §1, §3: Thomson et al.
+    [34], Ren et al. [30]).
+
+    BOHM requires every transaction's write-set before execution. When a
+    footprint depends on data (e.g. follow a pointer read from one record
+    to decide which record to update), it cannot be declared statically.
+    The paper's answer: {e trial-run} the transaction against current
+    state to predict its sets, submit it with the predicted sets, and have
+    the real execution detect a wrong prediction and retry with fresh
+    sets. Ren et al. observe such retries are rare because footprint
+    volatility is low.
+
+    A {!t} wraps undeclared logic. {!predict} trial-runs it against a
+    snapshot-read function to (re)compute the footprint; {!to_txn} yields
+    a normal declared-set {!Txn.t} whose logic self-checks the prediction
+    and turns any out-of-set access into a logical abort, recording the
+    misprediction. {!settle} drives the whole loop against any engine. *)
+
+type t
+
+val create : id:int -> (Txn.ctx -> Txn.outcome) -> t
+(** Wrap logic with an undeclared footprint. The logic must be a pure
+    function of its reads (as all engine logics must). *)
+
+val id : t -> int
+
+val predict : t -> read:(Key.t -> Value.t) -> unit
+(** Trial-run against [read] (current committed state); replaces the
+    predicted footprint. Reads of keys this transaction has written during
+    the trial see the trial's own writes. *)
+
+val predicted_reads : t -> Key.t list
+val predicted_writes : t -> Key.t list
+
+val to_txn : t -> Txn.t
+(** The declared-set transaction for the current prediction. Running it
+    under an engine either executes the logic faithfully (prediction held)
+    or aborts and marks {!mispredicted} (prediction violated). Call
+    {!predict} again before building a retry. *)
+
+val mispredicted : t -> bool
+(** Whether the most recent execution escaped its predicted footprint. *)
+
+val settle :
+  ?max_rounds:int ->
+  run:(Txn.t array -> Stats.t) ->
+  read:(Key.t -> Value.t) ->
+  t list ->
+  int
+(** [settle ~run ~read ts] predicts every transaction, runs the batch,
+    and repeats with just the mispredicted ones until none remain;
+    returns the number of rounds used. [read] must observe the engine's
+    committed state between rounds. Raises [Failure] after [max_rounds]
+    (default 10) — footprints that never stabilize indicate logic whose
+    accesses are not a function of its reads. *)

@@ -1,0 +1,24 @@
+type t = {
+  txns : int;
+  committed : int;
+  logic_aborts : int;
+  cc_aborts : int;
+  elapsed : float;
+  extra : (string * float) list;
+}
+
+let make ~txns ~committed ~logic_aborts ~cc_aborts ~elapsed ?(extra = []) () =
+  { txns; committed; logic_aborts; cc_aborts; elapsed; extra }
+
+let throughput t = if t.elapsed <= 0. then 0. else float_of_int t.txns /. t.elapsed
+
+let abort_rate t =
+  let attempts = t.txns + t.cc_aborts in
+  if attempts = 0 then 0. else float_of_int t.cc_aborts /. float_of_int attempts
+
+let extra t name = List.assoc_opt name t.extra
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%d txns (%d committed, %d logic aborts, %d cc aborts) in %.4fs = %.0f txns/s"
+    t.txns t.committed t.logic_aborts t.cc_aborts t.elapsed (throughput t)

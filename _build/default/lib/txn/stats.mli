@@ -1,0 +1,39 @@
+(** Result of one engine run over a transaction stream. All engines report
+    this shape so the harness can print paper-style comparisons. *)
+
+type t = {
+  txns : int;  (** Transactions processed to completion. *)
+  committed : int;
+  logic_aborts : int;
+      (** Aborts requested by transaction logic (business rules). These
+          still "complete" the transaction. *)
+  cc_aborts : int;
+      (** Concurrency-control-induced aborts — validation failures and
+          first-committer-wins losses in the optimistic engines, each of
+          which triggers a retry of the whole transaction. Always 0 for
+          BOHM and 2PL (the paper's headline property). *)
+  elapsed : float;  (** Seconds of (virtual or wall) time for the run. *)
+  extra : (string * float) list;
+      (** Engine-specific counters (GC reclamations, chain steps,
+          barrier rounds, …). *)
+}
+
+val make :
+  txns:int ->
+  committed:int ->
+  logic_aborts:int ->
+  cc_aborts:int ->
+  elapsed:float ->
+  ?extra:(string * float) list ->
+  unit ->
+  t
+
+val throughput : t -> float
+(** Completed transactions per second; 0 if [elapsed] is 0. *)
+
+val abort_rate : t -> float
+(** [cc_aborts / (txns + cc_aborts)] — fraction of execution attempts
+    wasted on concurrency-control aborts. *)
+
+val extra : t -> string -> float option
+val pp : Format.formatter -> t -> unit

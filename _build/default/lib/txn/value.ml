@@ -1,0 +1,23 @@
+type t = int
+
+(* A single reserved bit pattern far outside the arithmetic range. *)
+let absent = min_int
+
+let is_absent v = v = min_int
+
+let of_int v =
+  if v = min_int then invalid_arg "Value.of_int: reserved marker";
+  v
+
+let to_int v =
+  if is_absent v then invalid_arg "Value.to_int: absent row";
+  v
+
+let zero = 0
+
+let add v n =
+  if is_absent v then invalid_arg "Value.add: absent row";
+  v + n
+let equal = Int.equal
+let compare = Int.compare
+let pp = Format.pp_print_int

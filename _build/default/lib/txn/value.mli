@@ -1,0 +1,25 @@
+(** Record values.
+
+    Values carry real data (a 63-bit integer payload — the YCSB counter, a
+    SmallBank balance in cents, …) while the {e declared} record size of the
+    owning table is what the simulator charges for copies. This is
+    substitution 2 in DESIGN.md: the paper's 1000-byte YCSB payloads are
+    opaque to every experiment; only their copy cost matters. *)
+
+type t
+
+val absent : t
+(** The "row does not exist" marker, used for insert/delete semantics
+    (paper §3.3.3 treats inserts and deletes as version writes): a deleted
+    row's newest version holds [absent]; an uninserted row's bulk-loaded
+    version does. {!to_int} and {!add} reject it. *)
+
+val is_absent : t -> bool
+
+val of_int : int -> t
+val to_int : t -> int
+val zero : t
+val add : t -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Binary min-heap with integer priorities.
+
+    Ties are broken by insertion order (FIFO), which the simulator relies on
+    for deterministic scheduling: two threads with equal virtual clocks
+    resume in the order they became runnable. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority element, or [None] if empty. *)
+
+val peek : 'a t -> (int * 'a) option
+
+val clear : 'a t -> unit

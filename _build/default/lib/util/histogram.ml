@@ -1,0 +1,117 @@
+(* Layout: values in [0, linear_max) are counted exactly, one bucket per
+   value. Above that, each power-of-two range [2^k, 2^(k+1)) is divided into
+   [sub_buckets] linear sub-buckets, so relative error <= 1/sub_buckets. *)
+
+let linear_max = 1024
+let sub_buckets = 64
+let log_ranges = 48 (* covers values up to 2^(10+48) — beyond any sample *)
+
+type t = {
+  linear : int array;
+  log : int array; (* log_ranges * sub_buckets *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    linear = Array.make linear_max 0;
+    log = Array.make (log_ranges * sub_buckets) 0;
+    count = 0;
+    sum = 0.;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+(* Index of the highest set bit of v (v >= linear_max here). *)
+let high_bit v =
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let log_index v =
+  let k = high_bit v in
+  let range = k - 10 in (* linear_max = 2^10 *)
+  let base = 1 lsl k in
+  let width = base / sub_buckets in
+  let sub = (v - base) / (if width = 0 then 1 else width) in
+  let sub = if sub >= sub_buckets then sub_buckets - 1 else sub in
+  (range * sub_buckets) + sub
+
+(* Representative (upper-bound) value of a log bucket. *)
+let log_value idx =
+  let range = idx / sub_buckets and sub = idx mod sub_buckets in
+  let base = 1 lsl (range + 10) in
+  let width = base / sub_buckets in
+  base + ((sub + 1) * (if width = 0 then 1 else width)) - 1
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v < linear_max then t.linear.(v) <- t.linear.(v) + 1
+  else begin
+    let idx = log_index v in
+    t.log.(idx) <- t.log.(idx) + 1
+  end
+
+let merge ~into src =
+  for i = 0 to linear_max - 1 do
+    into.linear.(i) <- into.linear.(i) + src.linear.(i)
+  done;
+  for i = 0 to Array.length src.log - 1 do
+    into.log.(i) <- into.log.(i) + src.log.(i)
+  done;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min_v < into.min_v then into.min_v <- src.min_v;
+    if src.max_v > into.max_v then into.max_v <- src.max_v
+  end
+
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let max_value t =
+  if t.count = 0 then invalid_arg "Histogram.max_value: empty";
+  t.max_v
+
+let min_value t =
+  if t.count = 0 then invalid_arg "Histogram.min_value: empty";
+  t.min_v
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p out of range";
+  let target =
+    let raw = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+    if raw < 1 then 1 else raw
+  in
+  let seen = ref 0 in
+  let result = ref None in
+  (try
+     for v = 0 to linear_max - 1 do
+       seen := !seen + t.linear.(v);
+       if !seen >= target then begin
+         result := Some v;
+         raise Exit
+       end
+     done;
+     for idx = 0 to Array.length t.log - 1 do
+       seen := !seen + t.log.(idx);
+       if !seen >= target then begin
+         result := Some (min (log_value idx) t.max_v);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !result with Some v -> v | None -> t.max_v
+
+let pp fmt t =
+  if t.count = 0 then Format.fprintf fmt "(empty)"
+  else
+    Format.fprintf fmt "n=%d mean=%.1f p50=%d p99=%d max=%d" t.count (mean t)
+      (percentile t 50.) (percentile t 99.) t.max_v

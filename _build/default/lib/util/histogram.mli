@@ -1,0 +1,27 @@
+(** Fixed-memory histogram over non-negative integer samples (latencies in
+    cycles, chain lengths, …) with logarithmic bucketing: exact counts below
+    a linear threshold, then power-of-two buckets subdivided linearly.
+    Relative quantile error is bounded by the sub-bucket resolution. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample. Negative samples are clamped to 0. *)
+
+val merge : into:t -> t -> unit
+(** Fold a second histogram (e.g. from another thread) into [into]. *)
+
+val count : t -> int
+val mean : t -> float
+val max_value : t -> int
+val min_value : t -> int
+(** [min_value]/[max_value] raise [Invalid_argument] on an empty histogram. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [\[0, 100\]]; approximate above the linear
+    range. Raises [Invalid_argument] if empty or [p] out of range. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count/mean/p50/p99/max. *)

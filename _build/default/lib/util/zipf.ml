@@ -1,0 +1,53 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0. in
+  for i = 1 to n do
+    sum := !sum +. (1. /. (float_of_int i ** theta))
+  done;
+  !sum
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. || theta >= 1. then invalid_arg "Zipf.create: theta must be in [0, 1)";
+  if theta = 0. then { n; theta; alpha = 0.; zetan = float_of_int n; eta = 0. }
+  else begin
+    let zetan = zeta n theta in
+    let zeta2 = zeta 2 theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. ((2. /. float_of_int n) ** (1. -. theta)))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta }
+  end
+
+let n t = t.n
+let theta t = t.theta
+
+let sample t rng =
+  if t.theta = 0. then Rng.int rng t.n
+  else begin
+    let u = Rng.float rng 1.0 in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. (0.5 ** t.theta) then 1
+    else begin
+      let v =
+        int_of_float (float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.) ** t.alpha))
+      in
+      (* Floating-point rounding can land exactly on n. *)
+      if v >= t.n then t.n - 1 else if v < 0 then 0 else v
+    end
+  end
+
+let probability t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.probability: item out of range";
+  if t.theta = 0. then 1. /. float_of_int t.n
+  else (1. /. (float_of_int (i + 1) ** t.theta)) /. t.zetan

@@ -1,0 +1,24 @@
+(** Zipfian key-distribution sampling, after Gray et al., "Quickly
+    generating billion-record synthetic databases" (SIGMOD 1994) — the
+    generator cited by the BOHM paper for its YCSB contention knob.
+
+    [theta = 0] degenerates to the uniform distribution; [theta -> 1]
+    concentrates probability mass on low-numbered items. The paper's
+    high-contention setting is [theta = 0.9]. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over items [0 .. n-1]. The
+    harmonic normalizer is computed eagerly in O(n). Requires [n > 0] and
+    [0. <= theta < 1.]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Rng.t -> int
+(** Draw an item in [\[0, n)]. Item 0 is the most popular. *)
+
+val probability : t -> int -> float
+(** [probability t i] is the exact probability of item [i]; useful for
+    statistical tests. *)

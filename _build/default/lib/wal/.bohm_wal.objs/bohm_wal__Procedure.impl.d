@@ -1,0 +1,1 @@
+lib/wal/procedure.ml: Array Bohm_txn Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/wal/procedure.mli: Bohm_txn

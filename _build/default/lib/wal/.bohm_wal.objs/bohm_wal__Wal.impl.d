@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Array Bohm_core Bohm_runtime List Procedure Sys

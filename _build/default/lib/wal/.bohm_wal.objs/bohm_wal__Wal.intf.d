@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Bohm_core Bohm_runtime Bohm_storage Bohm_txn Procedure

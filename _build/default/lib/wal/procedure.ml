@@ -1,0 +1,44 @@
+type t = (string, id:int -> args:int array -> Bohm_txn.Txn.t) Hashtbl.t
+
+type invocation = { id : int; proc : string; args : int array }
+
+let create () = Hashtbl.create 16
+
+let valid_name name =
+  String.length name > 0
+  && String.for_all
+       (fun c -> not (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '|'))
+       name
+
+let register t ~name f =
+  if not (valid_name name) then
+    invalid_arg "Procedure.register: invalid procedure name";
+  if Hashtbl.mem t name then
+    invalid_arg ("Procedure.register: duplicate procedure " ^ name);
+  Hashtbl.replace t name f
+
+let names t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let instantiate t inv =
+  match Hashtbl.find_opt t inv.proc with
+  | Some f -> f ~id:inv.id ~args:inv.args
+  | None -> raise Not_found
+
+(* Line format: "<id>|<proc>|<a1>,<a2>,..." with a trailing '.' integrity
+   marker so a torn final record is recognizably incomplete. *)
+let encode inv =
+  let args = String.concat "," (Array.to_list (Array.map string_of_int inv.args)) in
+  Printf.sprintf "%d|%s|%s|." inv.id inv.proc args
+
+let decode line =
+  match String.split_on_char '|' line with
+  | [ id_s; proc; args_s; "." ] when valid_name proc -> (
+      try
+        let args =
+          if args_s = "" then [||]
+          else
+            Array.of_list (List.map int_of_string (String.split_on_char ',' args_s))
+        in
+        Some { id = int_of_string id_s; proc; args }
+      with Failure _ -> None)
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Stored-procedure registry for command logging.
+
+    Transaction logic is code and cannot be written to a log; what a
+    deterministic database logs instead is the {e invocation} — procedure
+    name plus arguments (Malviya et al., "Rethinking main memory OLTP
+    recovery"; the Calvin lineage the paper builds on). A registry maps
+    procedure names to constructors so an invocation can be re-instantiated
+    identically during recovery. Constructors must be deterministic: the
+    transaction they build may depend only on [id] and [args]. *)
+
+type t
+
+type invocation = { id : int; proc : string; args : int array }
+
+val create : unit -> t
+
+val register : t -> name:string -> (id:int -> args:int array -> Bohm_txn.Txn.t) -> unit
+(** Names must be non-empty and contain no whitespace, '|' or newlines;
+    registering a name twice raises [Invalid_argument]. *)
+
+val names : t -> string list
+
+val instantiate : t -> invocation -> Bohm_txn.Txn.t
+(** Raises [Not_found] for an unregistered procedure. *)
+
+val encode : invocation -> string
+(** One-line textual form (no newline). *)
+
+val decode : string -> invocation option
+(** Inverse of {!encode}; [None] on malformed input (e.g. a torn final
+    log record). *)

@@ -1,0 +1,89 @@
+let commit_marker = "COMMIT|."
+
+type writer = { channel : out_channel; mutable batches : int; mutable closed : bool }
+
+let create ~path =
+  { channel = open_out path; batches = 0; closed = false }
+
+let append_batch w invocations =
+  if w.closed then invalid_arg "Wal.append_batch: writer closed";
+  Array.iter
+    (fun inv ->
+      output_string w.channel (Procedure.encode inv);
+      output_char w.channel '\n')
+    invocations;
+  output_string w.channel commit_marker;
+  output_char w.channel '\n';
+  (* Group commit: one flush covers the whole batch. *)
+  flush w.channel;
+  w.batches <- w.batches + 1
+
+let batches_written w = w.batches
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.channel
+  end
+
+let read_batches ~path =
+  let ic = open_in path in
+  let committed = ref [] in
+  let pending = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if line = commit_marker then begin
+         committed := Array.of_list (List.rev !pending) :: !committed;
+         pending := []
+       end
+       else
+         match Procedure.decode line with
+         | Some inv -> pending := inv :: !pending
+         | None ->
+             (* Torn or foreign record: everything from here on is part of
+                an uncommitted batch; stop replaying. *)
+             raise Exit
+     done
+   with End_of_file | Exit -> ());
+  close_in ic;
+  List.rev !committed
+
+module Durable = struct
+  module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+    module Engine = Bohm_core.Engine.Make (R)
+
+    type t = {
+      writer : writer;
+      registry : Procedure.t;
+      engine : Engine.t;
+      recovered : int;
+    }
+
+    let open_db ~path ~registry ~config ~tables init =
+      let engine = Engine.create config ~tables init in
+      let recovered_batches =
+        if Sys.file_exists path then read_batches ~path else []
+      in
+      List.iter
+        (fun batch ->
+          ignore
+            (Engine.run engine (Array.map (Procedure.instantiate registry) batch)))
+        recovered_batches;
+      (* Re-create the log containing exactly the state we recovered, so a
+         torn tail is not replayed twice after the next crash. *)
+      let writer = create ~path:(path ^ ".tmp") in
+      List.iter (fun batch -> append_batch writer batch) recovered_batches;
+      Sys.rename (path ^ ".tmp") path;
+      (* Keep appending to the renamed file. *)
+      { writer; registry; engine; recovered = List.length recovered_batches }
+
+    let submit t invocations =
+      append_batch t.writer invocations;
+      Engine.run t.engine (Array.map (Procedure.instantiate t.registry) invocations)
+
+    let read_latest t k = Engine.read_latest t.engine k
+    let recovered_batches t = t.recovered
+    let close t = close t.writer
+  end
+end

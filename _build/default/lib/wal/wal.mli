@@ -1,0 +1,54 @@
+(** Command log: the write-ahead log of a deterministic database.
+
+    Because BOHM's serialization order {e is} the input order (the
+    transaction's position in the log is its timestamp, §3.2.1), logging
+    the invocation stream before execution and replaying it through a
+    fresh engine reconstructs the exact pre-crash state — no ARIES-style
+    physical undo/redo, no fuzzy checkpoints. This is the command-logging
+    approach of Malviya et al. that deterministic systems enable.
+
+    The format is line-oriented text with per-record integrity markers and
+    explicit batch commit markers. A torn tail (crash mid-write) is
+    detected and discarded: recovery replays exactly the batches whose
+    commit marker made it to disk. *)
+
+type writer
+
+val create : path:string -> writer
+(** Truncates/creates the file. *)
+
+val append_batch : writer -> Procedure.invocation array -> unit
+(** Write all invocations plus the batch-commit marker, then flush. After
+    return the batch is durable (group commit: one flush per batch). *)
+
+val batches_written : writer -> int
+val close : writer -> unit
+
+val read_batches : path:string -> Procedure.invocation array list
+(** All {e committed} batches, in order. Records after the last commit
+    marker (a torn batch) are ignored, as is a torn final line. Raises
+    [Sys_error] if the file cannot be read. *)
+
+(** Convenience wrapper tying a BOHM engine to a command log. *)
+module Durable : sig
+  module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+    type t
+
+    val open_db :
+      path:string ->
+      registry:Procedure.t ->
+      config:Bohm_core.Config.t ->
+      tables:Bohm_storage.Table.t array ->
+      (Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+      t
+    (** Create or recover: if [path] exists, every committed batch is
+        replayed through a fresh engine before the handle is returned. *)
+
+    val submit : t -> Procedure.invocation array -> Bohm_txn.Stats.t
+    (** Log the batch (durably), then execute it. *)
+
+    val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+    val recovered_batches : t -> int
+    val close : t -> unit
+  end
+end

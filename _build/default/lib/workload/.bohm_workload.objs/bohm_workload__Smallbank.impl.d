@@ -1,0 +1,1 @@
+lib/workload/smallbank.ml: Array Bohm_storage Bohm_txn Bohm_util

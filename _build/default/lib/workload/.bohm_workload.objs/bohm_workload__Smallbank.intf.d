@@ -1,0 +1,1 @@
+lib/workload/smallbank.mli: Bohm_storage Bohm_txn

@@ -1,0 +1,1 @@
+lib/workload/ycsb.ml: Array Bohm_storage Bohm_txn Bohm_util Int

@@ -1,0 +1,1 @@
+lib/workload/ycsb.mli: Bohm_storage Bohm_txn

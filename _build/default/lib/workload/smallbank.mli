@@ -1,0 +1,43 @@
+(** The SmallBank benchmark (Cahill [9]; paper §4.3).
+
+    Three tables — Customer (name → id), Savings and Checking (id →
+    balance, 8-byte records) — and five transaction profiles chosen
+    uniformly: Balance (read-only), DepositChecking, TransactSavings (may
+    abort on insufficient funds), Amalgamate, WriteCheck (overdraft
+    penalty). Contention is controlled solely by the customer count: 50
+    customers is the paper's high-contention setting, 100 000 its
+    low-contention one. Each transaction spins for 50 µs of local work
+    (paper: "each transaction spins for 50 microseconds"). *)
+
+type kind = Balance | DepositChecking | TransactSavings | Amalgamate | WriteCheck
+
+val kind_name : kind -> string
+
+val customer_tid : int
+val savings_tid : int
+val checking_tid : int
+
+val tables : customers:int -> Bohm_storage.Table.t array
+
+val initial_balance : int
+(** Starting savings and checking balance per customer, in cents. *)
+
+val initial_value : Bohm_txn.Key.t -> Bohm_txn.Value.t
+
+val spin_cycles : int
+(** 50 µs at the simulated 2 GHz clock. *)
+
+val generate :
+  customers:int -> count:int -> seed:int -> ?spin:int -> unit -> Bohm_txn.Txn.t array
+(** Uniform mix over the five profiles; customers drawn uniformly.
+    [?spin] overrides the per-transaction busy work (default
+    {!spin_cycles}). *)
+
+val generate_kind :
+  customers:int -> count:int -> seed:int -> ?spin:int -> kind -> Bohm_txn.Txn.t array
+(** A stream of a single profile, for targeted tests. *)
+
+val total_money : (Bohm_txn.Key.t -> Bohm_txn.Value.t) -> customers:int -> int
+(** Sum of every savings and checking balance. Deposit-free profiles
+    conserve it; deposits/withdrawals change it by their committed
+    amounts, so tests use profile-restricted streams. *)

@@ -1,0 +1,111 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Zipf = Bohm_util.Zipf
+
+type profile = { rmws : int; reads : int }
+
+let rmw_profile n =
+  if n <= 0 then invalid_arg "Ycsb.rmw_profile: n must be positive";
+  { rmws = n; reads = 0 }
+
+let mixed_profile ~rmws ~reads =
+  if rmws < 0 || reads < 0 || rmws + reads = 0 then
+    invalid_arg "Ycsb.mixed_profile: need a non-empty profile";
+  { rmws; reads }
+
+let table ~rows ~record_bytes =
+  Table.make ~tid:0 ~name:"usertable" ~rows ~record_bytes
+
+let tables ~rows ~record_bytes = [| table ~rows ~record_bytes |]
+let initial_value _ = Value.zero
+
+(* Popularity rank -> row id scattering. Without it the hottest record
+   would be row 0, i.e. always the lexicographically first lock a
+   transaction acquires, which distorts 2PL hold times; real YCSB key
+   popularity is uncorrelated with key order. A multiplicative bijection
+   mod [rows] preserves the Zipfian distribution while scattering ranks. *)
+let scatter_row ~rows =
+  let rec coprime p = if Int.rem rows p = 0 then coprime (p + 2) else p in
+  let p = coprime 1_000_003 in
+  fun rank -> Int.rem ((rank * p) + 17) rows
+
+(* [n] distinct keys, Zipfian-distributed. Rejection keeps the footprint
+   duplicate-free as the paper requires; footprints (<= 10) are tiny
+   relative to the table so this terminates fast even at theta = 0.9. *)
+let distinct_keys zipf rng n =
+  let scatter = scatter_row ~rows:(Zipf.n zipf) in
+  let keys = Array.make n (-1) in
+  let filled = ref 0 in
+  while !filled < n do
+    let candidate = scatter (Zipf.sample zipf rng) in
+    let duplicate = ref false in
+    for i = 0 to !filled - 1 do
+      if keys.(i) = candidate then duplicate := true
+    done;
+    if not !duplicate then begin
+      keys.(!filled) <- candidate;
+      incr filled
+    end
+  done;
+  Array.map (fun row -> Key.make ~table:0 ~row) keys
+
+let update_txn ~id ~rmw_keys ~read_keys =
+  let rmw_list = Array.to_list rmw_keys in
+  let read_list = Array.to_list read_keys in
+  Txn.make ~id ~read_set:(rmw_list @ read_list) ~write_set:rmw_list (fun ctx ->
+      Array.iter (fun k -> ctx.Txn.write k (Value.add (ctx.Txn.read k) 1)) rmw_keys;
+      Array.iter (fun k -> ignore (ctx.Txn.read k)) read_keys;
+      Txn.Commit)
+
+let generate ~rows ~theta ~count ~seed profile =
+  let zipf = Zipf.create ~n:rows ~theta in
+  let rng = Rng.create ~seed in
+  Array.init count (fun id ->
+      let keys = distinct_keys zipf rng (profile.rmws + profile.reads) in
+      let rmw_keys = Array.sub keys 0 profile.rmws in
+      let read_keys = Array.sub keys profile.rmws profile.reads in
+      update_txn ~id ~rmw_keys ~read_keys)
+
+let read_only_txn ~id ~keys =
+  Txn.make ~id ~read_set:(Array.to_list keys) ~write_set:[] (fun ctx ->
+      Array.iter (fun k -> ignore (ctx.Txn.read k)) keys;
+      Txn.Commit)
+
+let generate_read_only ~rows ~scan ~count ~seed =
+  let rng = Rng.create ~seed in
+  Array.init count (fun id ->
+      let keys =
+        Array.init scan (fun _ -> Key.make ~table:0 ~row:(Rng.int rng rows))
+      in
+      read_only_txn ~id ~keys)
+
+let generate_mix ~rows ~read_only_fraction ~scan ~update_profile ~theta ~count
+    ~seed =
+  if read_only_fraction < 0. || read_only_fraction > 1. then
+    invalid_arg "Ycsb.generate_mix: fraction out of range";
+  let zipf = Zipf.create ~n:rows ~theta in
+  let rng = Rng.create ~seed in
+  Array.init count (fun id ->
+      if Rng.float rng 1.0 < read_only_fraction then
+        let keys =
+          Array.init scan (fun _ -> Key.make ~table:0 ~row:(Rng.int rng rows))
+        in
+        read_only_txn ~id ~keys
+      else begin
+        let keys =
+          distinct_keys zipf rng (update_profile.rmws + update_profile.reads)
+        in
+        let rmw_keys = Array.sub keys 0 update_profile.rmws in
+        let read_keys = Array.sub keys update_profile.rmws update_profile.reads in
+        update_txn ~id ~rmw_keys ~read_keys
+      end)
+
+let total_value read ~rows =
+  let total = ref 0 in
+  for row = 0 to rows - 1 do
+    total := !total + Value.to_int (read (Key.make ~table:0 ~row))
+  done;
+  !total

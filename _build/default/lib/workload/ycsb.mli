@@ -1,0 +1,58 @@
+(** YCSB-style workloads as configured in the paper (§4.2): a single table
+    of fixed-size records addressed by primary key, transactions built from
+    read-modify-writes and reads over keys drawn from a Zipfian
+    distribution with contention knob [theta] (0 = uniform, 0.9 = the
+    paper's high-contention setting).
+
+    The paper's three transaction profiles:
+    - 10RMW — ten distinct read-modify-writes ({!rmw_profile} 10);
+    - 2RMW-8R — two RMWs and eight reads ({!mixed_profile});
+    - long read-only — a scan of many uniformly-drawn records
+      ({!read_only_profile}), used for the Figure 8 / Figure 9 mix. *)
+
+type profile = { rmws : int; reads : int }
+
+val rmw_profile : int -> profile
+(** [rmw_profile n] = n RMWs, no plain reads. *)
+
+val mixed_profile : rmws:int -> reads:int -> profile
+
+val table : rows:int -> record_bytes:int -> Bohm_storage.Table.t
+(** The YCSB table (tid 0). Paper settings: 1M rows of 1000 bytes for the
+    main experiments, 8-byte records for the Figure 4 microbenchmark. *)
+
+val tables : rows:int -> record_bytes:int -> Bohm_storage.Table.t array
+val initial_value : Bohm_txn.Key.t -> Bohm_txn.Value.t
+
+val generate :
+  rows:int ->
+  theta:float ->
+  count:int ->
+  seed:int ->
+  profile ->
+  Bohm_txn.Txn.t array
+(** Transactions with [rmws + reads] {e distinct} keys each (the paper:
+    "each element of a transaction's read- and write-set is unique"). Each
+    RMW increments the record; reads are pure. Deterministic in [seed]. *)
+
+val generate_read_only :
+  rows:int -> scan:int -> count:int -> seed:int -> Bohm_txn.Txn.t array
+(** Read-only transactions reading [scan] records chosen uniformly
+    (§4.2.3: 10 000 records). Keys may repeat across draws; duplicates are
+    collapsed by the transaction constructor. *)
+
+val generate_mix :
+  rows:int ->
+  read_only_fraction:float ->
+  scan:int ->
+  update_profile:profile ->
+  theta:float ->
+  count:int ->
+  seed:int ->
+  Bohm_txn.Txn.t array
+(** The Figure 8 mix: each transaction is read-only with probability
+    [read_only_fraction], otherwise an update transaction with
+    [update_profile]. *)
+
+val total_value : (Bohm_txn.Key.t -> Bohm_txn.Value.t) -> rows:int -> int
+(** Sum of a read function over the whole table — invariant checking. *)

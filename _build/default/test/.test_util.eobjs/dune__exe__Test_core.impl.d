@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bohm_core Bohm_harness Bohm_runtime Bohm_storage Bohm_txn Bohm_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bohm_harness Bohm_storage Bohm_txn Bohm_workload Float List Printf

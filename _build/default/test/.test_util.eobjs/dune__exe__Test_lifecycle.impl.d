@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Array Bohm_core Bohm_harness Bohm_hekaton Bohm_runtime Bohm_storage Bohm_twopl Bohm_txn Bohm_util

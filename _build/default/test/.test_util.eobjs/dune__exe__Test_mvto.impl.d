@@ -1,0 +1,1 @@
+test/test_mvto.ml: Alcotest Array Bohm_harness Bohm_mvto Bohm_runtime Bohm_storage Bohm_txn Bohm_util List Printf QCheck QCheck_alcotest

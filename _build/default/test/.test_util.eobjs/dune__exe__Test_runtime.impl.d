@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bohm_runtime Bohm_util List Printf QCheck QCheck_alcotest

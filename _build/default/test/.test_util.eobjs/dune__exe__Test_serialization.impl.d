@@ -1,0 +1,1 @@
+test/test_serialization.ml: Alcotest Bohm_core Bohm_harness Bohm_hekaton Bohm_runtime Bohm_silo Bohm_storage Bohm_twopl Bohm_txn Bohm_util List Printf QCheck QCheck_alcotest

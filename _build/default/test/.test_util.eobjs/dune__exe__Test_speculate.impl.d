@@ -1,0 +1,1 @@
+test/test_speculate.ml: Alcotest Bohm_core Bohm_harness Bohm_runtime Bohm_storage Bohm_txn Bohm_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bohm_runtime Bohm_storage Bohm_txn Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Bohm_txn Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Bohm_core Bohm_runtime Bohm_storage Bohm_txn Bohm_util Bohm_wal Filename List QCheck QCheck_alcotest Sys Unix

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bohm_harness Bohm_storage Bohm_txn Bohm_workload List Printf QCheck QCheck_alcotest

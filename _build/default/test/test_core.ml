@@ -1,0 +1,583 @@
+(* Tests for the BOHM engine (Bohm_core): serializability, dependency
+   resolution, logic aborts, copy-forward, garbage collection, and the
+   read-annotation optimization — on both the deterministic simulator and
+   the real domains runtime. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Sim = Bohm_runtime.Sim
+module Real = Bohm_runtime.Real
+module Config = Bohm_core.Config
+module Reference = Bohm_harness.Reference
+
+module Sim_engine = Bohm_core.Engine.Make (Sim)
+module Real_engine = Bohm_core.Engine.Make (Real)
+module Version = Bohm_core.Version.Make (Real)
+
+let table = Table.make ~tid:0 ~name:"t" ~rows:64 ~record_bytes:8
+let tables = [| table |]
+let key row = Key.make ~table:0 ~row
+let init_zero _ = Value.zero
+let vi = Value.of_int
+
+(* Increment [k] by [n] as a read-modify-write. *)
+let incr_txn id k n =
+  Txn.make ~id ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+      ctx.Txn.write k (Value.add (ctx.Txn.read k) n);
+      Txn.Commit)
+
+(* Move [n] from [a] to [b]. *)
+let transfer_txn id a b n =
+  Txn.make ~id ~read_set:[ a; b ] ~write_set:[ a; b ] (fun ctx ->
+      ctx.Txn.write a (Value.add (ctx.Txn.read a) (-n));
+      ctx.Txn.write b (Value.add (ctx.Txn.read b) n);
+      Txn.Commit)
+
+let default_config ?(cc = 2) ?(ex = 2) ?(batch = 16) ?(gc = true) ?(annotate = true)
+    ?(preprocess = false) () =
+  Config.make ~cc_threads:cc ~exec_threads:ex ~batch_size:batch ~gc
+    ~read_annotation:annotate ~preprocess ()
+
+let run_sim ?config txns =
+  let config = match config with Some c -> c | None -> default_config () in
+  Sim.run (fun () ->
+      let db = Sim_engine.create config ~tables init_zero in
+      let stats = Sim_engine.run db (Array.of_list txns) in
+      (db, stats))
+
+(* --- Config --- *)
+
+let test_config_defaults () =
+  let c = Config.make () in
+  Alcotest.(check int) "cc" 2 c.Config.cc_threads;
+  Alcotest.(check int) "exec" 2 c.Config.exec_threads;
+  Alcotest.(check int) "batch" 1000 c.Config.batch_size;
+  Alcotest.(check bool) "gc" true c.Config.gc;
+  Alcotest.(check bool) "annotation" true c.Config.read_annotation
+
+let test_config_validation () =
+  Alcotest.check_raises "cc" (Invalid_argument "Config.make: cc_threads must be positive")
+    (fun () -> ignore (Config.make ~cc_threads:0 ()));
+  Alcotest.check_raises "exec"
+    (Invalid_argument "Config.make: exec_threads must be positive") (fun () ->
+      ignore (Config.make ~exec_threads:(-1) ()));
+  Alcotest.check_raises "batch"
+    (Invalid_argument "Config.make: batch_size must be positive") (fun () ->
+      ignore (Config.make ~batch_size:0 ()))
+
+(* --- Version chains (on the real runtime: plain data structure tests) --- *)
+
+(* Build v0 <- v1(ts=10) <- v2(ts=20) with end stamps set as the engine's
+   CC threads would. *)
+let build_chain () =
+  let v0 = Version.initial (vi 0) in
+  let v1 = Version.placeholder ~ts:10 ~producer:1 ~prev:v0 in
+  Bohm_runtime.Real.Cell.set v0.Version.end_ts 10;
+  let v2 = Version.placeholder ~ts:20 ~producer:2 ~prev:v1 in
+  Bohm_runtime.Real.Cell.set v1.Version.end_ts 20;
+  (v0, v1, v2)
+
+let same_version a b = a == b
+
+let test_version_visibility () =
+  let v0, v1, v2 = build_chain () in
+  let check ts expected =
+    match Version.visible_at v2 ~ts with
+    | Some v ->
+        Alcotest.(check bool) (Printf.sprintf "ts=%d" ts) true (same_version v expected)
+    | None -> Alcotest.failf "no version visible at %d" ts
+  in
+  check 0 v0;
+  check 9 v0;
+  check 10 v1;
+  check 19 v1;
+  check 20 v2;
+  check 1000 v2
+
+let test_version_placeholder_fields () =
+  let v0, _, v2 = build_chain () in
+  Alcotest.(check bool) "placeholder empty" true
+    (Bohm_runtime.Real.Cell.get v2.Version.data = None);
+  Alcotest.(check bool) "initial has data" true
+    (Bohm_runtime.Real.Cell.get v0.Version.data <> None);
+  Alcotest.(check int) "end starts at infinity" Version.infinity_ts
+    (Bohm_runtime.Real.Cell.get v2.Version.end_ts);
+  Alcotest.(check bool) "producer recorded" true (v2.Version.producer = Some 2);
+  Alcotest.(check bool) "initial has no producer" true (v0.Version.producer = None)
+
+let test_version_chain_length () =
+  let _, _, v2 = build_chain () in
+  Alcotest.(check int) "three versions" 3 (Version.chain_length v2)
+
+let test_version_truncate () =
+  let _, v1, v2 = build_chain () in
+  (* gc_ts = 15: v1 (begin 10) is the newest version visible at 15; v0 is
+     unreachable for any running transaction and must be cut. *)
+  let dropped = Version.truncate_older_than v2 ~gc_ts:15 in
+  Alcotest.(check int) "dropped one" 1 dropped;
+  Alcotest.(check int) "chain shortened" 2 (Version.chain_length v2);
+  Alcotest.(check bool) "keeper cut its prev" true
+    (Bohm_runtime.Real.Cell.get v1.Version.prev = None);
+  (* Idempotent. *)
+  Alcotest.(check int) "truncate again drops nothing" 0
+    (Version.truncate_older_than v2 ~gc_ts:15)
+
+let test_version_truncate_keeps_visible () =
+  let _, _, v2 = build_chain () in
+  (* gc_ts above every version: only the head survives. *)
+  ignore (Version.truncate_older_than v2 ~gc_ts:100);
+  Alcotest.(check int) "head only" 1 (Version.chain_length v2);
+  (* The head is still visible to current and future readers. *)
+  Alcotest.(check bool) "head visible" true (Version.visible_at v2 ~ts:100 <> None)
+
+let test_version_truncate_nothing_old_enough () =
+  let _, _, v2 = build_chain () in
+  (* gc_ts older than every non-initial version: only versions below the
+     initial one (none) can go. *)
+  Alcotest.(check int) "nothing dropped" 0 (Version.truncate_older_than v2 ~gc_ts:5);
+  Alcotest.(check int) "chain intact" 3 (Version.chain_length v2)
+
+(* --- basics --- *)
+
+let test_single_increment () =
+  let db, stats = run_sim [ incr_txn 0 (key 0) 5 ] in
+  Alcotest.(check int) "value" 5 (Value.to_int (Sim_engine.read_latest db (key 0)));
+  Alcotest.(check int) "committed" 1 stats.Stats.committed;
+  Alcotest.(check int) "no cc aborts" 0 stats.Stats.cc_aborts
+
+let test_hot_key_dependency_chain () =
+  (* Every transaction RMWs the same key: a maximal dependency chain. *)
+  let txns = List.init 200 (fun i -> incr_txn i (key 3) 1) in
+  let db, stats = run_sim txns in
+  Alcotest.(check int) "final count" 200
+    (Value.to_int (Sim_engine.read_latest db (key 3)));
+  Alcotest.(check int) "all committed" 200 stats.Stats.committed
+
+let test_disjoint_keys_all_applied () =
+  let txns = List.init 64 (fun i -> incr_txn i (key i) (i + 1)) in
+  let db, _ = run_sim txns in
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" i)
+      (i + 1)
+      (Value.to_int (Sim_engine.read_latest db (key i)))
+  done
+
+let test_transfers_conserve_total () =
+  let rng = Rng.create ~seed:77 in
+  let txns =
+    List.init 300 (fun i ->
+        let a = Rng.int rng 64 and b = Rng.int rng 64 in
+        if a = b then incr_txn i (key a) 0
+        else transfer_txn i (key a) (key b) (Rng.int rng 10))
+  in
+  let db, _ = run_sim txns in
+  let total = ref 0 in
+  for i = 0 to 63 do
+    total := !total + Value.to_int (Sim_engine.read_latest db (key i))
+  done;
+  Alcotest.(check int) "conserved" 0 !total
+
+(* --- serial equivalence: BOHM must equal the serial execution in input
+   order, key by key --- *)
+
+let random_rmw_txn rng id =
+  let n_keys = 1 + Rng.int rng 4 in
+  let keys = List.init n_keys (fun _ -> key (Rng.int rng 64)) in
+  let reads = keys and writes = keys in
+  Txn.make ~id ~read_set:reads ~write_set:writes (fun ctx ->
+      List.iter
+        (fun k -> ctx.Txn.write k (Value.add (ctx.Txn.read k) (1 + (id mod 7))))
+        keys;
+      Txn.Commit)
+
+let check_equals_reference ?config txns =
+  let txns = Array.of_list txns in
+  let reference = Reference.create ~tables init_zero in
+  ignore (Reference.run reference txns);
+  let db, stats =
+    match config with
+    | Some c -> run_sim ~config:c (Array.to_list txns)
+    | None -> run_sim (Array.to_list txns)
+  in
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d matches serial order" i)
+      (Value.to_int (Reference.read reference (key i)))
+      (Value.to_int (Sim_engine.read_latest db (key i)))
+  done;
+  stats
+
+let test_serial_equivalence_random () =
+  let rng = Rng.create ~seed:123 in
+  let txns = List.init 400 (random_rmw_txn rng) in
+  ignore (check_equals_reference txns)
+
+let test_serial_equivalence_no_annotation () =
+  let rng = Rng.create ~seed:321 in
+  let txns = List.init 400 (random_rmw_txn rng) in
+  ignore (check_equals_reference ~config:(default_config ~annotate:false ()) txns)
+
+let test_serial_equivalence_no_gc () =
+  let rng = Rng.create ~seed:55 in
+  let txns = List.init 300 (random_rmw_txn rng) in
+  ignore (check_equals_reference ~config:(default_config ~gc:false ()) txns)
+
+let test_serial_equivalence_single_threads () =
+  let rng = Rng.create ~seed:99 in
+  let txns = List.init 200 (random_rmw_txn rng) in
+  ignore (check_equals_reference ~config:(default_config ~cc:1 ~ex:1 ()) txns)
+
+let test_serial_equivalence_many_threads () =
+  let rng = Rng.create ~seed:101 in
+  let txns = List.init 300 (random_rmw_txn rng) in
+  ignore (check_equals_reference ~config:(default_config ~cc:4 ~ex:8 ~batch:32 ()) txns)
+
+let test_serial_equivalence_preprocess () =
+  let rng = Rng.create ~seed:202 in
+  let txns = List.init 300 (random_rmw_txn rng) in
+  let stats =
+    check_equals_reference
+      ~config:(default_config ~cc:4 ~ex:4 ~batch:32 ~preprocess:true ())
+      txns
+  in
+  Alcotest.(check int) "all committed" 300 stats.Stats.committed
+
+(* --- write-skew: the canonical anomaly BOHM must forbid (§2.2) --- *)
+
+let test_no_write_skew () =
+  (* x = y = 1 initially; T1: if x+y >= 2 then y := y-1; T2: if x+y >= 2
+     then x := x-1. Any serial order leaves x + y = 1; snapshot isolation
+     would allow x + y = 0. Run many racing pairs. *)
+  let x = key 0 and y = key 1 in
+  let dec_if_ok id target =
+    Txn.make ~id ~read_set:[ x; y ] ~write_set:[ target ] (fun ctx ->
+        let total = Value.to_int (ctx.Txn.read x) + Value.to_int (ctx.Txn.read y) in
+        if total >= 2 then begin
+          ctx.Txn.write target (Value.add (ctx.Txn.read target) (-1));
+          Txn.Commit
+        end
+        else Txn.Abort)
+  in
+  let violations = ref 0 in
+  for trial = 0 to 19 do
+    let final =
+      Sim.run ~jitter:(Rng.create ~seed:trial) (fun () ->
+          let db =
+            Sim_engine.create (default_config ~batch:2 ()) ~tables (fun _ ->
+                vi 1)
+          in
+          ignore (Sim_engine.run db [| dec_if_ok 0 y; dec_if_ok 1 x |]);
+          Value.to_int (Sim_engine.read_latest db x)
+          + Value.to_int (Sim_engine.read_latest db y))
+    in
+    if final <> 1 then incr violations
+  done;
+  Alcotest.(check int) "no write skew in any schedule" 0 !violations
+
+(* --- logic aborts and copy-forward --- *)
+
+let test_logic_abort_discards_writes () =
+  let k = key 7 in
+  let aborting =
+    Txn.make ~id:1 ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+        ctx.Txn.write k (vi 999);
+        Txn.Abort)
+  in
+  let db, stats = run_sim [ incr_txn 0 k 5; aborting; incr_txn 2 k 3 ] in
+  Alcotest.(check int) "abort invisible" 8
+    (Value.to_int (Sim_engine.read_latest db k));
+  Alcotest.(check int) "logic aborts counted" 1 stats.Stats.logic_aborts;
+  Alcotest.(check int) "commits counted" 2 stats.Stats.committed
+
+let test_unwritten_declared_key_copies_forward () =
+  (* Declared write-set key never written by logic: readers after it must
+     see the predecessor value (placeholders cannot stay empty). *)
+  let k = key 9 in
+  let lazy_txn =
+    Txn.make ~id:1 ~read_set:[] ~write_set:[ k ] (fun _ -> Txn.Commit)
+  in
+  let db, _ = run_sim [ incr_txn 0 k 4; lazy_txn; incr_txn 2 k 1 ] in
+  Alcotest.(check int) "copy-forward preserved value" 5
+    (Value.to_int (Sim_engine.read_latest db k))
+
+let test_abort_chain_copy_forward () =
+  (* A chain of aborting RMWs on one key must propagate the original value
+     through every placeholder. *)
+  let k = key 2 in
+  let aborting i =
+    Txn.make ~id:i ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+        ignore (ctx.Txn.read k);
+        ctx.Txn.write k (vi (-1));
+        Txn.Abort)
+  in
+  let txns = incr_txn 0 k 42 :: List.init 50 (fun i -> aborting (i + 1)) in
+  let db, stats = run_sim txns in
+  Alcotest.(check int) "value survives aborts" 42
+    (Value.to_int (Sim_engine.read_latest db k));
+  Alcotest.(check int) "aborts" 50 stats.Stats.logic_aborts
+
+(* --- access discipline --- *)
+
+let test_undeclared_read_rejected () =
+  let bad =
+    Txn.make ~id:0 ~read_set:[ key 1 ] ~write_set:[] (fun ctx ->
+        ignore (ctx.Txn.read (key 2));
+        Txn.Commit)
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_sim [ bad ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_undeclared_write_rejected () =
+  let bad =
+    Txn.make ~id:0 ~read_set:[] ~write_set:[ key 1 ] (fun ctx ->
+        ctx.Txn.write (key 2) (vi 1);
+        Txn.Commit)
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_sim [ bad ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_read_own_write () =
+  let k = key 11 in
+  let t =
+    Txn.make ~id:0 ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+        ctx.Txn.write k (vi 10);
+        let seen = ctx.Txn.read k in
+        ctx.Txn.write k (Value.add seen 1);
+        Txn.Commit)
+  in
+  let db, _ = run_sim [ t ] in
+  Alcotest.(check int) "own write visible" 11
+    (Value.to_int (Sim_engine.read_latest db k))
+
+(* --- snapshot reads: a read-only transaction must observe a consistent
+   state even while transfers race around it --- *)
+
+let test_read_only_sees_consistent_snapshot () =
+  let rng = Rng.create ~seed:4242 in
+  let n_readers = 20 in
+  let observed = Array.make n_readers (-1) in
+  let all_keys = List.init 64 (fun i -> key i) in
+  let reader slot id =
+    Txn.make ~id ~read_set:all_keys ~write_set:[] (fun ctx ->
+        let total =
+          List.fold_left
+            (fun acc k -> acc + Value.to_int (ctx.Txn.read k))
+            0 all_keys
+        in
+        observed.(slot) <- total;
+        Txn.Commit)
+  in
+  let txns = ref [] in
+  let slot = ref 0 in
+  for i = 0 to 199 do
+    if i mod 10 = 5 && !slot < n_readers then begin
+      txns := reader !slot i :: !txns;
+      incr slot
+    end
+    else
+      let a = Rng.int rng 64 and b = Rng.int rng 64 in
+      if a <> b then txns := transfer_txn i (key a) (key b) (1 + Rng.int rng 5) :: !txns
+      else txns := incr_txn i (key a) 0 :: !txns
+  done;
+  ignore (run_sim (List.rev !txns));
+  for s = 0 to !slot - 1 do
+    Alcotest.(check int) (Printf.sprintf "reader %d saw balanced total" s) 0
+      observed.(s)
+  done
+
+(* --- garbage collection --- *)
+
+let test_gc_truncates_chains () =
+  let txns = List.init 2000 (fun i -> incr_txn i (key 1) 1) in
+  let db, stats =
+    run_sim ~config:(default_config ~batch:64 ~gc:true ()) txns
+  in
+  Alcotest.(check int) "value correct" 2000
+    (Value.to_int (Sim_engine.read_latest db (key 1)));
+  let collected =
+    match Stats.extra stats "gc_collected" with Some f -> int_of_float f | None -> 0.0 |> int_of_float
+  in
+  Alcotest.(check bool) "collected versions" true (collected > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "chain bounded, got %d" (Sim_engine.chain_length db (key 1)))
+    true
+    (Sim_engine.chain_length db (key 1) < 2000)
+
+let test_no_gc_keeps_all_versions () =
+  let txns = List.init 100 (fun i -> incr_txn i (key 1) 1) in
+  let db, stats = run_sim ~config:(default_config ~gc:false ()) txns in
+  Alcotest.(check int) "chain has all versions" 101
+    (Sim_engine.chain_length db (key 1));
+  Alcotest.(check bool) "nothing collected" true
+    (Stats.extra stats "gc_collected" = Some 0.)
+
+(* --- multiple runs share the database --- *)
+
+let test_sequential_runs_accumulate () =
+  Sim.run (fun () ->
+      let db = Sim_engine.create (default_config ()) ~tables init_zero in
+      ignore (Sim_engine.run db [| incr_txn 0 (key 0) 1 |]);
+      ignore (Sim_engine.run db [| incr_txn 1 (key 0) 2 |]);
+      Alcotest.(check int) "accumulated" 3
+        (Value.to_int (Sim_engine.read_latest db (key 0))))
+
+let test_empty_run () =
+  let _, stats = run_sim [] in
+  Alcotest.(check int) "no txns" 0 stats.Stats.txns
+
+(* --- real runtime --- *)
+
+let test_real_runtime_increments () =
+  let db = Real_engine.create (default_config ~cc:2 ~ex:2 ()) ~tables init_zero in
+  let txns = Array.init 500 (fun i -> incr_txn i (key (i mod 16)) 1) in
+  let stats = Real_engine.run db txns in
+  Alcotest.(check int) "committed" 500 stats.Stats.committed;
+  for i = 0 to 15 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" i)
+      (500 / 16 + (if i < 500 mod 16 then 1 else 0))
+      (Value.to_int (Real_engine.read_latest db (key i)))
+  done
+
+let test_real_runtime_serial_equivalence () =
+  let rng = Rng.create ~seed:888 in
+  let txns = Array.init 300 (fun i -> random_rmw_txn rng i) in
+  let reference = Reference.create ~tables init_zero in
+  ignore (Reference.run reference txns);
+  let db = Real_engine.create (default_config ~cc:2 ~ex:3 ~batch:32 ()) ~tables init_zero in
+  ignore (Real_engine.run db txns);
+  for i = 0 to 63 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" i)
+      (Value.to_int (Reference.read reference (key i)))
+      (Value.to_int (Real_engine.read_latest db (key i)))
+  done
+
+(* --- properties: random workloads, random schedules --- *)
+
+let prop_serial_equivalence_under_random_schedules =
+  QCheck.Test.make ~count:20 ~name:"BOHM equals serial order under random schedules"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 120 (fun i -> random_rmw_txn rng i) in
+      let reference = Reference.create ~tables init_zero in
+      ignore (Reference.run reference txns);
+      Sim.run ~jitter:(Rng.create ~seed:(seed + 1)) (fun () ->
+          let db =
+            Sim_engine.create
+              (default_config ~cc:3 ~ex:3 ~batch:16 ())
+              ~tables init_zero
+          in
+          ignore (Sim_engine.run db txns);
+          let ok = ref true in
+          for i = 0 to 63 do
+            if
+              Value.to_int (Sim_engine.read_latest db (key i))
+              <> Value.to_int (Reference.read reference (key i))
+            then ok := false
+          done;
+          !ok))
+
+let prop_transfers_conserve =
+  QCheck.Test.make ~count:20 ~name:"transfers conserve total under random schedules"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns =
+        Array.init 150 (fun i ->
+            let a = Rng.int rng 64 and b = Rng.int rng 64 in
+            if a = b then incr_txn i (key a) 0
+            else transfer_txn i (key a) (key b) (Rng.int rng 9))
+      in
+      Sim.run ~jitter:(Rng.create ~seed:(seed * 3)) (fun () ->
+          let db = Sim_engine.create (default_config ()) ~tables init_zero in
+          ignore (Sim_engine.run db txns);
+          let total = ref 0 in
+          for i = 0 to 63 do
+            total := !total + Value.to_int (Sim_engine.read_latest db (key i))
+          done;
+          !total = 0))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "config",
+      [
+        Alcotest.test_case "defaults" `Quick test_config_defaults;
+        Alcotest.test_case "validation" `Quick test_config_validation;
+      ] );
+    ( "version",
+      [
+        Alcotest.test_case "visibility" `Quick test_version_visibility;
+        Alcotest.test_case "placeholder fields" `Quick test_version_placeholder_fields;
+        Alcotest.test_case "chain length" `Quick test_version_chain_length;
+        Alcotest.test_case "truncate" `Quick test_version_truncate;
+        Alcotest.test_case "truncate keeps visible" `Quick test_version_truncate_keeps_visible;
+        Alcotest.test_case "truncate below floor" `Quick test_version_truncate_nothing_old_enough;
+      ] );
+    ( "bohm-basics",
+      [
+        Alcotest.test_case "single increment" `Quick test_single_increment;
+        Alcotest.test_case "hot key dependency chain" `Quick test_hot_key_dependency_chain;
+        Alcotest.test_case "disjoint keys" `Quick test_disjoint_keys_all_applied;
+        Alcotest.test_case "transfers conserve" `Quick test_transfers_conserve_total;
+        Alcotest.test_case "empty run" `Quick test_empty_run;
+        Alcotest.test_case "sequential runs" `Quick test_sequential_runs_accumulate;
+      ] );
+    ( "bohm-serializability",
+      [
+        Alcotest.test_case "serial equivalence (random)" `Quick test_serial_equivalence_random;
+        Alcotest.test_case "serial equivalence (no annotation)" `Quick
+          test_serial_equivalence_no_annotation;
+        Alcotest.test_case "serial equivalence (no gc)" `Quick test_serial_equivalence_no_gc;
+        Alcotest.test_case "serial equivalence (1cc/1exec)" `Quick
+          test_serial_equivalence_single_threads;
+        Alcotest.test_case "serial equivalence (4cc/8exec)" `Quick
+          test_serial_equivalence_many_threads;
+        Alcotest.test_case "serial equivalence (preprocess)" `Quick
+          test_serial_equivalence_preprocess;
+        Alcotest.test_case "no write skew" `Quick test_no_write_skew;
+        Alcotest.test_case "read-only snapshot consistency" `Quick
+          test_read_only_sees_consistent_snapshot;
+      ]
+      @ qcheck
+          [ prop_serial_equivalence_under_random_schedules; prop_transfers_conserve ] );
+    ( "bohm-aborts",
+      [
+        Alcotest.test_case "logic abort discards writes" `Quick test_logic_abort_discards_writes;
+        Alcotest.test_case "unwritten key copies forward" `Quick
+          test_unwritten_declared_key_copies_forward;
+        Alcotest.test_case "abort chain copy-forward" `Quick test_abort_chain_copy_forward;
+      ] );
+    ( "bohm-access",
+      [
+        Alcotest.test_case "undeclared read rejected" `Quick test_undeclared_read_rejected;
+        Alcotest.test_case "undeclared write rejected" `Quick test_undeclared_write_rejected;
+        Alcotest.test_case "read own write" `Quick test_read_own_write;
+      ] );
+    ( "bohm-gc",
+      [
+        Alcotest.test_case "gc truncates chains" `Quick test_gc_truncates_chains;
+        Alcotest.test_case "no gc keeps versions" `Quick test_no_gc_keeps_all_versions;
+      ] );
+    ( "bohm-real-runtime",
+      [
+        Alcotest.test_case "increments" `Quick test_real_runtime_increments;
+        Alcotest.test_case "serial equivalence" `Quick test_real_runtime_serial_equivalence;
+      ] );
+  ]
+
+let () = Alcotest.run "bohm_core" suite

@@ -1,0 +1,173 @@
+(* Row lifecycle (insert/delete as version writes, paper §3.3.3) across
+   engines: absence is a value-level marker, so every engine inherits the
+   same semantics; BOHM must serialize inserts/deletes in input order. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Sim = Bohm_runtime.Sim
+module Reference = Bohm_harness.Reference
+
+module Bohm = Bohm_core.Engine.Make (Sim)
+module Mv = Bohm_hekaton.Engine.Make (Sim)
+module Twopl = Bohm_twopl.Engine.Make (Sim)
+
+let table = Table.make ~tid:0 ~name:"t" ~rows:32 ~record_bytes:8
+let tables = [| table |]
+let key row = Key.make ~table:0 ~row
+
+(* Rows 0..15 start live, 16..31 start absent. *)
+let init k = if Key.row k < 16 then Value.of_int (Key.row k) else Value.absent
+
+let insert_txn id row v =
+  let k = key row in
+  Txn.make ~id ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+      if Txn.exists ctx k then Txn.Abort
+      else begin
+        Txn.insert ctx k (Value.of_int v);
+        Txn.Commit
+      end)
+
+let delete_txn id row =
+  let k = key row in
+  Txn.make ~id ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+      if Txn.exists ctx k then begin
+        Txn.delete ctx k;
+        Txn.Commit
+      end
+      else Txn.Abort)
+
+(* Observe existence of a row; records what it saw. *)
+let probe_txn id row slot observed =
+  let k = key row in
+  Txn.make ~id ~read_set:[ k ] ~write_set:[] (fun ctx ->
+      observed.(slot) <- (if Txn.exists ctx k then 1 else 0);
+      Txn.Commit)
+
+let test_value_absent_guards () =
+  Alcotest.(check bool) "is_absent" true (Value.is_absent Value.absent);
+  Alcotest.(check bool) "zero live" false (Value.is_absent Value.zero);
+  Alcotest.check_raises "to_int rejects" (Invalid_argument "Value.to_int: absent row")
+    (fun () -> ignore (Value.to_int Value.absent));
+  Alcotest.check_raises "add rejects" (Invalid_argument "Value.add: absent row")
+    (fun () -> ignore (Value.add Value.absent 1))
+
+let test_helpers_on_reference () =
+  let r = Reference.create ~tables init in
+  let observed = Array.make 4 (-1) in
+  let txns =
+    [|
+      probe_txn 0 20 0 observed (* absent initially *);
+      insert_txn 1 20 777;
+      probe_txn 2 20 1 observed (* now live *);
+      delete_txn 3 5;
+      probe_txn 4 5 2 observed (* deleted *);
+      insert_txn 5 5 42 (* reinsert *);
+      probe_txn 6 5 3 observed;
+    |]
+  in
+  let outcomes = Reference.run r txns in
+  Alcotest.(check (array int)) "existence sequence" [| 0; 1; 0; 1 |] observed;
+  Alcotest.(check bool) "all committed" true
+    (Array.for_all (fun o -> o = Txn.Commit) outcomes);
+  Alcotest.(check int) "reinserted value" 42
+    (Value.to_int (Reference.read r (key 5)))
+
+let test_bohm_lifecycle_serial_order () =
+  let observed = Array.make 4 (-1) in
+  let txns =
+    [|
+      probe_txn 0 20 0 observed;
+      insert_txn 1 20 777;
+      probe_txn 2 20 1 observed;
+      delete_txn 3 5;
+      probe_txn 4 5 2 observed;
+      insert_txn 5 5 42;
+      probe_txn 6 5 3 observed;
+    |]
+  in
+  Sim.run (fun () ->
+      let db =
+        Bohm.create
+          (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:4 ())
+          ~tables init
+      in
+      let stats = Bohm.run db txns in
+      Alcotest.(check int) "all committed" 7 stats.Bohm_txn.Stats.committed);
+  Alcotest.(check (array int)) "existence sequence" [| 0; 1; 0; 1 |] observed
+
+let test_insert_conflict_aborts_second () =
+  (* Two racing inserts of one row: exactly one commits, on every
+     engine. *)
+  let txns = [| insert_txn 0 25 1; insert_txn 1 25 2 |] in
+  let check name commits = Alcotest.(check int) (name ^ " one insert wins") 1 commits in
+  Sim.run (fun () ->
+      let db =
+        Bohm.create
+          (Bohm_core.Config.make ~cc_threads:1 ~exec_threads:2 ~batch_size:2 ())
+          ~tables init
+      in
+      check "bohm" (Bohm.run db txns).Bohm_txn.Stats.committed);
+  Sim.run (fun () ->
+      let db =
+        Mv.create ~mode:Bohm_hekaton.Engine.Hekaton ~workers:2 ~tables init
+      in
+      check "hekaton" (Mv.run db txns).Bohm_txn.Stats.committed);
+  Sim.run (fun () ->
+      let db = Twopl.create ~workers:2 ~tables init in
+      check "2pl" (Twopl.run db txns).Bohm_txn.Stats.committed)
+
+let test_random_lifecycle_matches_reference () =
+  let rng = Rng.create ~seed:31 in
+  let txns =
+    Array.init 300 (fun i ->
+        let row = Rng.int rng 32 in
+        if Rng.bool rng then insert_txn i row (1 + Rng.int rng 1000)
+        else delete_txn i row)
+  in
+  let reference = Reference.create ~tables init in
+  ignore (Reference.run reference txns);
+  Sim.run (fun () ->
+      let db =
+        Bohm.create
+          (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:3 ~batch_size:16 ())
+          ~tables init
+      in
+      ignore (Bohm.run db txns);
+      for row = 0 to 31 do
+        let expected = Reference.read reference (key row) in
+        let got = Bohm.read_latest db (key row) in
+        if not (Value.equal expected got) then
+          Alcotest.failf "row %d: engine disagrees with serial order" row
+      done)
+
+let test_insert_rejects_absent_marker () =
+  let r = Reference.create ~tables init in
+  let bad =
+    Txn.make ~id:0 ~read_set:[] ~write_set:[ key 0 ] (fun ctx ->
+        Txn.insert ctx (key 0) Value.absent;
+        Txn.Commit)
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Reference.run r [| bad |]);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "lifecycle",
+      [
+        Alcotest.test_case "absent guards" `Quick test_value_absent_guards;
+        Alcotest.test_case "helpers on reference" `Quick test_helpers_on_reference;
+        Alcotest.test_case "bohm serial order" `Quick test_bohm_lifecycle_serial_order;
+        Alcotest.test_case "racing inserts" `Quick test_insert_conflict_aborts_second;
+        Alcotest.test_case "random lifecycle vs reference" `Quick
+          test_random_lifecycle_matches_reference;
+        Alcotest.test_case "insert rejects marker" `Quick test_insert_rejects_absent_marker;
+      ] );
+  ]
+
+let () = Alcotest.run "bohm_lifecycle" suite

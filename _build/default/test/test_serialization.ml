@@ -1,0 +1,174 @@
+(* End-to-end serializability certification: reconstruct the
+   serialization graph of real engine executions and check it for cycles
+   (Adya et al., paper §2.2). The serializable engines must produce
+   acyclic graphs under every randomized schedule; Snapshot Isolation must
+   produce a genuine cycle on some schedule. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Stats = Bohm_txn.Stats
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Sim = Bohm_runtime.Sim
+module Check = Bohm_harness.Serialization_check
+module Reference = Bohm_harness.Reference
+
+module Bohm = Bohm_core.Engine.Make (Sim)
+module Mv = Bohm_hekaton.Engine.Make (Sim)
+module Silo = Bohm_silo.Engine.Make (Sim)
+module Twopl = Bohm_twopl.Engine.Make (Sim)
+
+let rows = 24
+let tables = [| Table.make ~tid:0 ~name:"t" ~rows ~record_bytes:8 |]
+
+type engine_under_test = {
+  name : string;
+  execute : jitter:Rng.t -> Bohm_txn.Txn.t array -> Key.t -> Value.t;
+      (* runs the txns, returns the final-state reader *)
+}
+
+let bohm_ngin =
+  {
+    name = "bohm";
+    execute =
+      (fun ~jitter txns ->
+        Sim.run ~jitter (fun () ->
+            let db =
+              Bohm.create
+                (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:3
+                   ~batch_size:8 ())
+                ~tables Check.initial_value
+            in
+            ignore (Bohm.run db txns);
+            Bohm.read_latest db));
+  }
+
+let mv_engine mode name =
+  {
+    name;
+    execute =
+      (fun ~jitter txns ->
+        Sim.run ~jitter (fun () ->
+            let db = Mv.create ~mode ~workers:4 ~tables Check.initial_value in
+            ignore (Mv.run db txns);
+            Mv.read_latest db));
+  }
+
+let silo_engine =
+  {
+    name = "occ";
+    execute =
+      (fun ~jitter txns ->
+        Sim.run ~jitter (fun () ->
+            let db = Silo.create ~workers:4 ~tables Check.initial_value in
+            ignore (Silo.run db txns);
+            Silo.read_latest db));
+  }
+
+let twopl_engine =
+  {
+    name = "2pl";
+    execute =
+      (fun ~jitter txns ->
+        Sim.run ~jitter (fun () ->
+            let db = Twopl.create ~workers:4 ~tables Check.initial_value in
+            ignore (Twopl.run db txns);
+            Twopl.read_latest db));
+  }
+
+let serializable_engines =
+  [
+    bohm_ngin;
+    mv_engine Bohm_hekaton.Engine.Hekaton "hekaton";
+    silo_engine;
+    twopl_engine;
+  ]
+
+let run_check engine seed =
+  let w =
+    Check.make_workload ~rows ~txns:60 ~rmws_per_txn:2 ~reads_per_txn:2
+      ~seed
+  in
+  let final_read =
+    engine.execute ~jitter:(Rng.create ~seed:(seed * 7)) (Check.txns w)
+  in
+  Check.check w ~final_read
+
+let test_engine_always_serializable engine () =
+  for seed = 1 to 25 do
+    match run_check engine seed with
+    | Check.Serializable -> ()
+    | v ->
+        Alcotest.failf "%s seed %d: %s" engine.name seed
+          (Check.verdict_to_string v)
+  done
+
+let test_si_produces_cycles () =
+  (* SI's write-skew shows up as a cycle of rw anti-dependencies. Sweep
+     schedules; at least one must yield a non-serializable execution. *)
+  let si = mv_engine Bohm_hekaton.Engine.Snapshot "si" in
+  let cycles = ref 0 and corrupt = ref 0 in
+  for seed = 1 to 40 do
+    match run_check si seed with
+    | Check.Serializable -> ()
+    | Check.Cycle _ -> incr cycles
+    | Check.Corrupt _ -> incr corrupt
+  done;
+  Alcotest.(check int) "no corrupt executions (SI is not broken, just unserializable)" 0
+    !corrupt;
+  Alcotest.(check bool)
+    (Printf.sprintf "cycles found (%d/40)" !cycles)
+    true (!cycles > 0)
+
+let test_serial_reference_passes () =
+  (* The oracle itself must certify as serializable. *)
+  let w = Check.make_workload ~rows ~txns:80 ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:5 in
+  let reference = Reference.create ~tables Check.initial_value in
+  ignore (Reference.run reference (Check.txns w));
+  match Check.check w ~final_read:(Reference.read reference) with
+  | Check.Serializable -> ()
+  | v -> Alcotest.failf "reference: %s" (Check.verdict_to_string v)
+
+let test_checker_detects_corruption () =
+  (* Lie about the final state: the per-key chain no longer ends at the
+     reported final writer, which the checker must flag. *)
+  let w = Check.make_workload ~rows ~txns:20 ~rmws_per_txn:1 ~reads_per_txn:1 ~seed:9 in
+  let reference = Reference.create ~tables Check.initial_value in
+  ignore (Reference.run reference (Check.txns w));
+  let lying_read _ = Value.of_int 9999 in
+  (match Check.check w ~final_read:lying_read with
+  | Check.Corrupt _ -> ()
+  | v -> Alcotest.failf "expected corruption, got %s" (Check.verdict_to_string v))
+
+let test_workload_validation () =
+  Alcotest.(check bool) "footprint too large rejected" true
+    (try
+       ignore (Check.make_workload ~rows:3 ~txns:1 ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_bohm_serializable_under_random_schedules =
+  QCheck.Test.make ~count:20 ~name:"BOHM certifies serializable on random schedules"
+    QCheck.(int_range 100 100_000)
+    (fun seed -> run_check bohm_ngin seed = Check.Serializable)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "certification",
+      List.map
+        (fun e ->
+          Alcotest.test_case (e.name ^ " always serializable") `Quick
+            (test_engine_always_serializable e))
+        serializable_engines
+      @ [
+          Alcotest.test_case "SI produces cycles" `Quick test_si_produces_cycles;
+          Alcotest.test_case "serial reference passes" `Quick test_serial_reference_passes;
+          Alcotest.test_case "checker detects corruption" `Quick test_checker_detects_corruption;
+          Alcotest.test_case "workload validation" `Quick test_workload_validation;
+        ]
+      @ qcheck [ prop_bohm_serializable_under_random_schedules ] );
+  ]
+
+let () = Alcotest.run "bohm_serialization" suite

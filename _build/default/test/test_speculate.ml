@@ -1,0 +1,202 @@
+(* Tests for Bohm_txn.Speculate: trial-run footprint prediction for
+   transactions whose read/write sets depend on data (paper §3), driven
+   end-to-end through the BOHM engine. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Speculate = Bohm_txn.Speculate
+module Table = Bohm_storage.Table
+module Sim = Bohm_runtime.Sim
+module Engine = Bohm_core.Engine.Make (Sim)
+module Reference = Bohm_harness.Reference
+
+let table = Table.make ~tid:0 ~name:"t" ~rows:32 ~record_bytes:8
+let tables = [| table |]
+let key row = Key.make ~table:0 ~row
+
+(* Rows 0..7 are "pointer" cells, rows 8..31 are counters. Follow the
+   pointer in [p], increment the record it points at: the write-set is
+   data-dependent. *)
+let chase ~id ~p =
+  Speculate.create ~id (fun ctx ->
+      let target = key (8 + (Value.to_int (ctx.Txn.read (key p)) mod 24)) in
+      ctx.Txn.write target (Value.add (ctx.Txn.read target) 1);
+      Txn.Commit)
+
+let test_predict_discovers_footprint () =
+  let s = chase ~id:0 ~p:0 in
+  Speculate.predict s ~read:(fun _ -> Value.of_int 5);
+  Alcotest.(check bool) "reads pointer and target" true
+    (List.exists (Key.equal (key 0)) (Speculate.predicted_reads s)
+    && List.exists (Key.equal (key 13)) (Speculate.predicted_reads s));
+  Alcotest.(check bool) "writes target" true
+    (Speculate.predicted_writes s = [ key 13 ])
+
+let test_predict_sees_own_writes () =
+  (* Trial runs must honor read-own-write, or predictions would be
+     computed from stale values. *)
+  let s =
+    Speculate.create ~id:0 (fun ctx ->
+        ctx.Txn.write (key 1) (Value.of_int 9);
+        let v = Value.to_int (ctx.Txn.read (key 1)) in
+        ctx.Txn.write (key (10 + v)) Value.zero;
+        Txn.Commit)
+  in
+  Speculate.predict s ~read:(fun _ -> Value.zero);
+  Alcotest.(check bool) "second write uses own first write" true
+    (List.exists (Key.equal (key 19)) (Speculate.predicted_writes s))
+
+let test_correct_prediction_executes () =
+  let s = chase ~id:0 ~p:0 in
+  Speculate.predict s ~read:(fun _ -> Value.zero);
+  let db =
+    Engine.create
+      (Bohm_core.Config.make ~cc_threads:1 ~exec_threads:1 ~batch_size:4 ())
+      ~tables
+      (fun _ -> Value.zero)
+  in
+  let run txns = Sim.run (fun () -> Engine.run db txns) in
+  let stats = run [| Speculate.to_txn s |] in
+  Alcotest.(check int) "committed" 1 stats.Stats.committed;
+  Alcotest.(check bool) "not mispredicted" false (Speculate.mispredicted s);
+  Alcotest.(check int) "target incremented" 1
+    (Value.to_int (Engine.read_latest db (key 8)))
+
+let test_misprediction_detected_and_settles () =
+  (* txn 0 changes pointer p from 0 to 3; txn 1 chases p. Predicting both
+     against the initial state predicts txn 1's target as row 8, but after
+     txn 0 commits the real target is row 11: the first round must
+     mispredict, the second must fix it. *)
+  let p = 0 in
+  let redirect =
+    Speculate.create ~id:0 (fun ctx ->
+        ignore (ctx.Txn.read (key p));
+        ctx.Txn.write (key p) (Value.of_int 3);
+        Txn.Commit)
+  in
+  let chaser = chase ~id:1 ~p in
+  let db =
+    Engine.create
+      (Bohm_core.Config.make ~cc_threads:1 ~exec_threads:1 ~batch_size:4 ())
+      ~tables
+      (fun _ -> Value.zero)
+  in
+  let run txns = Sim.run (fun () -> Engine.run db txns) in
+  let read k = Engine.read_latest db k in
+  let rounds = Speculate.settle ~run ~read [ redirect; chaser ] in
+  Alcotest.(check int) "two rounds" 2 rounds;
+  Alcotest.(check int) "pointer updated" 3 (Value.to_int (read (key p)));
+  Alcotest.(check int) "old target untouched" 0 (Value.to_int (read (key 8)));
+  Alcotest.(check int) "new target incremented" 1 (Value.to_int (read (key 11)))
+
+let test_stable_footprints_settle_in_one_round () =
+  (* Static footprints (the common case the paper cites): no retries. *)
+  let ts =
+    List.init 20 (fun i ->
+        Speculate.create ~id:i (fun ctx ->
+            let k = key (8 + (i mod 24)) in
+            ctx.Txn.write k (Value.add (ctx.Txn.read k) 1);
+            Txn.Commit))
+  in
+  let db =
+    Engine.create
+      (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:8 ())
+      ~tables
+      (fun _ -> Value.zero)
+  in
+  let run txns = Sim.run (fun () -> Engine.run db txns) in
+  let rounds = Speculate.settle ~run ~read:(Engine.read_latest db) ts in
+  Alcotest.(check int) "one round" 1 rounds;
+  let total = ref 0 in
+  for i = 8 to 31 do
+    total := !total + Value.to_int (Engine.read_latest db (key i))
+  done;
+  Alcotest.(check int) "all applied" 20 !total
+
+let test_settle_gives_up () =
+  (* Pathological logic whose accesses are not a function of its reads:
+     must hit max_rounds, not loop forever. *)
+  let counter = ref 0 in
+  let unstable =
+    Speculate.create ~id:0 (fun ctx ->
+        incr counter;
+        let k = key (8 + (!counter mod 24)) in
+        ctx.Txn.write k Value.zero;
+        Txn.Commit)
+  in
+  let db =
+    Engine.create
+      (Bohm_core.Config.make ~cc_threads:1 ~exec_threads:1 ~batch_size:2 ())
+      ~tables
+      (fun _ -> Value.zero)
+  in
+  let run txns = Sim.run (fun () -> Engine.run db txns) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Speculate.settle ~max_rounds:3 ~run ~read:(Engine.read_latest db) [ unstable ]);
+       false
+     with Failure _ -> true)
+
+let test_settle_empty () =
+  let run _ = Alcotest.fail "must not run" in
+  Alcotest.(check int) "zero rounds" 0
+    (Speculate.settle ~run ~read:(fun _ -> Value.zero) [])
+
+(* Property: random pointer-chasing workloads settle and end with every
+   increment applied exactly once. *)
+let prop_speculative_workloads_settle =
+  QCheck.Test.make ~count:15 ~name:"speculative pointer chases settle correctly"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Bohm_util.Rng.create ~seed in
+      let n = 30 in
+      let ts =
+        List.init n (fun i ->
+            if Bohm_util.Rng.int rng 4 = 0 then
+              (* pointer rewrite *)
+              let p = Bohm_util.Rng.int rng 8 in
+              let nv = Bohm_util.Rng.int rng 24 in
+              Speculate.create ~id:i (fun ctx ->
+                  ignore (ctx.Txn.read (key p));
+                  ctx.Txn.write (key p) (Value.of_int nv);
+                  Txn.Commit)
+            else chase ~id:i ~p:(Bohm_util.Rng.int rng 8))
+      in
+      let db =
+        Engine.create
+          (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:3 ~batch_size:8 ())
+          ~tables
+          (fun _ -> Value.zero)
+      in
+      let committed = ref 0 in
+      let run txns =
+        let stats = Sim.run (fun () -> Engine.run db txns) in
+        committed := !committed + stats.Stats.committed;
+        stats
+      in
+      ignore (Speculate.settle ~max_rounds:10 ~run ~read:(Engine.read_latest db) ts);
+      (* Every transaction eventually commits exactly once (mispredicted
+         attempts abort, so they don't count as commits). *)
+      !committed = n)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "speculate",
+      [
+        Alcotest.test_case "predict discovers footprint" `Quick test_predict_discovers_footprint;
+        Alcotest.test_case "predict sees own writes" `Quick test_predict_sees_own_writes;
+        Alcotest.test_case "correct prediction executes" `Quick test_correct_prediction_executes;
+        Alcotest.test_case "misprediction settles" `Quick test_misprediction_detected_and_settles;
+        Alcotest.test_case "stable settles in one round" `Quick
+          test_stable_footprints_settle_in_one_round;
+        Alcotest.test_case "unstable gives up" `Quick test_settle_gives_up;
+        Alcotest.test_case "empty" `Quick test_settle_empty;
+      ]
+      @ qcheck [ prop_speculative_workloads_settle ] );
+  ]
+
+let () = Alcotest.run "bohm_speculate" suite

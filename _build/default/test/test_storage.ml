@@ -1,0 +1,165 @@
+(* Tests for Bohm_storage: table metadata and both store backends. *)
+
+module Key = Bohm_txn.Key
+module Table = Bohm_storage.Table
+module Sim = Bohm_runtime.Sim
+module Real = Bohm_runtime.Real
+module Store_real = Bohm_storage.Store.Make (Real)
+
+let test_table_make () =
+  let t = Table.make ~tid:2 ~name:"users" ~rows:100 ~record_bytes:64 in
+  Alcotest.(check int) "tid" 2 t.Table.tid;
+  Alcotest.(check string) "name" "users" t.Table.name;
+  Alcotest.(check int) "rows" 100 t.Table.rows;
+  Alcotest.(check int) "bytes" 64 t.Table.record_bytes
+
+let test_table_invalid () =
+  Alcotest.check_raises "rows" (Invalid_argument "Table.make: rows must be positive")
+    (fun () -> ignore (Table.make ~tid:0 ~name:"x" ~rows:0 ~record_bytes:8));
+  Alcotest.check_raises "bytes"
+    (Invalid_argument "Table.make: record_bytes must be positive") (fun () ->
+      ignore (Table.make ~tid:0 ~name:"x" ~rows:1 ~record_bytes:0));
+  Alcotest.check_raises "tid" (Invalid_argument "Table.make: negative tid")
+    (fun () -> ignore (Table.make ~tid:(-1) ~name:"x" ~rows:1 ~record_bytes:8))
+
+let test_table_key_bounds () =
+  let t = Table.make ~tid:0 ~name:"x" ~rows:10 ~record_bytes:8 in
+  Alcotest.(check bool) "valid" true (Key.equal (Table.key t ~row:9) (Key.make ~table:0 ~row:9));
+  Alcotest.check_raises "out of range" (Invalid_argument "Table.key: row out of range")
+    (fun () -> ignore (Table.key t ~row:10))
+
+let tables =
+  [|
+    Table.make ~tid:0 ~name:"a" ~rows:100 ~record_bytes:8;
+    Table.make ~tid:1 ~name:"b" ~rows:37 ~record_bytes:1000;
+  |]
+
+let key_value k = (Key.table k * 1000) + Key.row k
+
+let test_store_array_lookup () =
+  let s = Store_real.create_array ~tables key_value in
+  Alcotest.(check int) "first" 0 (Store_real.get s (Key.make ~table:0 ~row:0));
+  Alcotest.(check int) "mid" 1020 (Store_real.get s (Key.make ~table:1 ~row:20));
+  Alcotest.(check int) "last" 1036 (Store_real.get s (Key.make ~table:1 ~row:36))
+
+let test_store_hash_lookup () =
+  let s = Store_real.create_hash ~tables key_value in
+  for table = 0 to 1 do
+    for row = 0 to tables.(table).Table.rows - 1 do
+      let k = Key.make ~table ~row in
+      if Store_real.get s k <> key_value k then
+        Alcotest.failf "wrong value at %s" (Key.to_string k)
+    done
+  done
+
+let test_store_not_found () =
+  let s = Store_real.create_array ~tables key_value in
+  let h = Store_real.create_hash ~tables key_value in
+  List.iter
+    (fun k ->
+      Alcotest.check_raises "array" Not_found (fun () -> ignore (Store_real.get s k));
+      Alcotest.check_raises "hash" Not_found (fun () -> ignore (Store_real.get h k)))
+    [ Key.make ~table:0 ~row:100; Key.make ~table:2 ~row:0; Key.make ~table:1 ~row:37 ]
+
+let test_store_record_bytes () =
+  let s = Store_real.create_array ~tables key_value in
+  Alcotest.(check int) "table 0" 8 (Store_real.record_bytes s (Key.make ~table:0 ~row:1));
+  Alcotest.(check int) "table 1" 1000 (Store_real.record_bytes s (Key.make ~table:1 ~row:1))
+
+let test_store_tables_accessors () =
+  let s = Store_real.create_hash ~tables key_value in
+  Alcotest.(check int) "count" 2 (Array.length (Store_real.tables s));
+  Alcotest.(check string) "by id" "b" (Store_real.table s 1).Table.name;
+  Alcotest.check_raises "unknown table" Not_found (fun () ->
+      ignore (Store_real.table s 5))
+
+let test_store_iter_covers_everything () =
+  List.iter
+    (fun s ->
+      let seen = Hashtbl.create 256 in
+      Store_real.iter s (fun k v ->
+          Alcotest.(check int) "value" (key_value k) v;
+          Hashtbl.replace seen k ());
+      Alcotest.(check int) "all slots visited" 137 (Hashtbl.length seen))
+    [ Store_real.create_array ~tables key_value;
+      Store_real.create_hash ~tables key_value ]
+
+let test_store_iter_ordered () =
+  let s = Store_real.create_hash ~tables key_value in
+  let last = ref None in
+  Store_real.iter s (fun k _ ->
+      (match !last with
+      | Some prev ->
+          if Key.compare prev k >= 0 then
+            Alcotest.failf "iter out of order at %s" (Key.to_string k)
+      | None -> ());
+      last := Some k)
+
+let test_store_bucket_factor () =
+  (* Fewer buckets means longer probe chains but identical results. *)
+  let s = Store_real.create_hash ~bucket_factor:16 ~tables key_value in
+  for row = 0 to 99 do
+    let k = Key.make ~table:0 ~row in
+    Alcotest.(check int) "value" (key_value k) (Store_real.get s k)
+  done
+
+let test_store_schema_validation () =
+  let bad = [| Table.make ~tid:1 ~name:"x" ~rows:1 ~record_bytes:8 |] in
+  Alcotest.check_raises "tid mismatch"
+    (Invalid_argument "Store: tables must be indexed by tid") (fun () ->
+      ignore (Store_real.create_array ~tables:bad key_value))
+
+let test_store_sim_charges_time () =
+  (* Hash lookups must advance the simulated clock (they model index
+     probes). *)
+  let module Store_sim = Bohm_storage.Store.Make (Sim) in
+  let elapsed =
+    Sim.run (fun () ->
+        let s = Store_sim.create_hash ~tables key_value in
+        for _ = 1 to 100 do
+          for row = 0 to 36 do
+            ignore (Store_sim.get s (Key.make ~table:1 ~row))
+          done
+        done;
+        Sim.now ())
+  in
+  Alcotest.(check bool) "time advanced" true (elapsed > 0.)
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:100 ~name:"hash and array backends agree"
+    QCheck.(pair (int_range 1 200) (int_range 0 400))
+    (fun (rows, probe) ->
+      let tables = [| Table.make ~tid:0 ~name:"t" ~rows ~record_bytes:8 |] in
+      let a = Store_real.create_array ~tables key_value in
+      let h = Store_real.create_hash ~tables key_value in
+      let k = Key.make ~table:0 ~row:(probe mod (2 * rows)) in
+      let lookup s = try Some (Store_real.get s k) with Not_found -> None in
+      lookup a = lookup h)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "table",
+      [
+        Alcotest.test_case "make" `Quick test_table_make;
+        Alcotest.test_case "invalid" `Quick test_table_invalid;
+        Alcotest.test_case "key bounds" `Quick test_table_key_bounds;
+      ] );
+    ( "store",
+      [
+        Alcotest.test_case "array lookup" `Quick test_store_array_lookup;
+        Alcotest.test_case "hash lookup" `Quick test_store_hash_lookup;
+        Alcotest.test_case "not found" `Quick test_store_not_found;
+        Alcotest.test_case "record bytes" `Quick test_store_record_bytes;
+        Alcotest.test_case "tables accessors" `Quick test_store_tables_accessors;
+        Alcotest.test_case "iter covers everything" `Quick test_store_iter_covers_everything;
+        Alcotest.test_case "iter ordered" `Quick test_store_iter_ordered;
+        Alcotest.test_case "bucket factor" `Quick test_store_bucket_factor;
+        Alcotest.test_case "schema validation" `Quick test_store_schema_validation;
+        Alcotest.test_case "sim charges time" `Quick test_store_sim_charges_time;
+      ]
+      @ qcheck [ prop_backends_agree ] );
+  ]
+
+let () = Alcotest.run "bohm_storage" suite

@@ -1,0 +1,352 @@
+(* Tests for Bohm_util: PRNG, Zipfian sampler, heap, histogram. *)
+
+module Rng = Bohm_util.Rng
+module Zipf = Bohm_util.Zipf
+module Heap = Bohm_util.Heap
+module Histogram = Bohm_util.Histogram
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_int_bound_one () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 gives 0" 0 (Rng.int rng 1)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 1.0 in
+    if v < 0. || v >= 1. then Alcotest.failf "out of range: %f" v
+  done
+
+let test_rng_uniformity () =
+  (* Coarse uniformity: 10 buckets, 100k draws, each within 20% of
+     expectation. *)
+  let rng = Rng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 10 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    buckets
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:9 in
+  let child = Rng.split parent in
+  let collisions = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.next_int64 parent = Rng.next_int64 child then incr collisions
+  done;
+  Alcotest.(check bool) "streams diverge" true (!collisions < 5)
+
+let test_rng_copy_replays () =
+  let a = Rng.create ~seed:5 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "copy replays" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create ~seed:13 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_zipf_uniform_when_theta_zero () =
+  let z = Zipf.create ~n:100 ~theta:0. in
+  let rng = Rng.create ~seed:21 in
+  let counts = Array.make 100 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if abs (c - (n / 100)) > n / 100 then
+        Alcotest.failf "uniform bucket %d skewed: %d" i c)
+    counts
+
+let test_zipf_range () =
+  let z = Zipf.create ~n:1000 ~theta:0.9 in
+  let rng = Rng.create ~seed:23 in
+  for _ = 1 to 50_000 do
+    let i = Zipf.sample z rng in
+    if i < 0 || i >= 1000 then Alcotest.failf "out of range: %d" i
+  done
+
+let test_zipf_skew () =
+  (* At theta = 0.9 the most popular item should dwarf the median item. *)
+  let z = Zipf.create ~n:1000 ~theta:0.9 in
+  let rng = Rng.create ~seed:29 in
+  let counts = Array.make 1000 0 in
+  for _ = 1 to 200_000 do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "item 0 hot" true (counts.(0) > 20 * max 1 counts.(500));
+  Alcotest.(check bool) "item 0 hottest" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts)
+
+let test_zipf_matches_probability () =
+  let z = Zipf.create ~n:50 ~theta:0.5 in
+  let rng = Rng.create ~seed:31 in
+  let n = 500_000 in
+  let counts = Array.make 50 0 in
+  for _ = 1 to n do
+    let i = Zipf.sample z rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Head items should be within 10% of analytic probability. *)
+  for i = 0 to 4 do
+    let expected = Zipf.probability z i *. float_of_int n in
+    let got = float_of_int counts.(i) in
+    if abs_float (got -. expected) > 0.1 *. expected then
+      Alcotest.failf "item %d: got %.0f expected %.0f" i got expected
+  done
+
+let test_zipf_probability_sums_to_one () =
+  let z = Zipf.create ~n:200 ~theta:0.9 in
+  let sum = ref 0. in
+  for i = 0 to 199 do
+    sum := !sum +. Zipf.probability z i
+  done;
+  Alcotest.(check bool) "sums to 1" true (abs_float (!sum -. 1.) < 1e-9)
+
+let test_zipf_invalid_args () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~theta:0.5));
+  Alcotest.check_raises "theta = 1"
+    (Invalid_argument "Zipf.create: theta must be in [0, 1)") (fun () ->
+      ignore (Zipf.create ~n:10 ~theta:1.0))
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let rng = Rng.create ~seed:37 in
+  for _ = 1 to 1000 do
+    let p = Rng.int rng 500 in
+    Heap.push h ~priority:p p
+  done;
+  let last = ref min_int in
+  let n = ref 0 in
+  let rec drain () =
+    match Heap.pop h with
+    | None -> ()
+    | Some (p, v) ->
+        Alcotest.(check int) "priority matches value" p v;
+        if p < !last then Alcotest.failf "out of order: %d after %d" p !last;
+        last := p;
+        incr n;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "drained all" 1000 !n
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~priority:5 "a";
+  Heap.push h ~priority:5 "b";
+  Heap.push h ~priority:5 "c";
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> assert false in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek h = None)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.push h ~priority:1 "x";
+  Alcotest.(check bool) "peek" true (Heap.peek h = Some (1, "x"));
+  Alcotest.(check int) "still there" 1 (Heap.length h)
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~priority:10 10;
+  Heap.push h ~priority:1 1;
+  Alcotest.(check bool) "min first" true (Heap.pop h = Some (1, 1));
+  Heap.push h ~priority:5 5;
+  Heap.push h ~priority:0 0;
+  Alcotest.(check bool) "new min" true (Heap.pop h = Some (0, 0));
+  Alcotest.(check bool) "then 5" true (Heap.pop h = Some (5, 5));
+  Alcotest.(check bool) "then 10" true (Heap.pop h = Some (10, 10))
+
+let test_histogram_exact_small () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Alcotest.(check int) "count" 10 (Histogram.count h);
+  Alcotest.(check int) "p50" 5 (Histogram.percentile h 50.);
+  Alcotest.(check int) "p100" 10 (Histogram.percentile h 100.);
+  Alcotest.(check int) "min" 1 (Histogram.min_value h);
+  Alcotest.(check int) "max" 10 (Histogram.max_value h);
+  Alcotest.(check (float 0.001)) "mean" 5.5 (Histogram.mean h)
+
+let test_histogram_large_values_approx () =
+  let h = Histogram.create () in
+  for i = 1 to 1000 do
+    Histogram.add h (i * 1000)
+  done;
+  let p50 = Histogram.percentile h 50. in
+  let exact = 500_000 in
+  if abs (p50 - exact) > exact / 20 then
+    Alcotest.failf "p50 %d too far from %d" p50 exact;
+  Alcotest.(check int) "max tracked exactly" 1_000_000 (Histogram.max_value h)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add a i
+  done;
+  for i = 101 to 200 do
+    Histogram.add b i
+  done;
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "count" 200 (Histogram.count a);
+  Alcotest.(check int) "min" 1 (Histogram.min_value a);
+  Alcotest.(check int) "max" 200 (Histogram.max_value a);
+  Alcotest.(check int) "p50" 100 (Histogram.percentile a 50.)
+
+let test_histogram_empty_errors () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "percentile" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (Histogram.percentile h 50.));
+  Alcotest.check_raises "max" (Invalid_argument "Histogram.max_value: empty")
+    (fun () -> ignore (Histogram.max_value h))
+
+let test_histogram_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.add h (-5);
+  Alcotest.(check int) "clamped to 0" 0 (Histogram.max_value h)
+
+(* Property tests. *)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:200 ~name:"heap drains in sorted order"
+    QCheck.(list small_nat)
+    (fun l ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.push h ~priority:p p) l;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      drain [] = List.sort compare l)
+
+let prop_histogram_percentile_monotone =
+  QCheck.Test.make ~count:100 ~name:"histogram percentiles are monotone"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 100_000))
+    (fun l ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) l;
+      let p25 = Histogram.percentile h 25. in
+      let p50 = Histogram.percentile h 50. in
+      let p99 = Histogram.percentile h 99. in
+      p25 <= p50 && p50 <= p99 && p99 <= Histogram.max_value h * 2)
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~count:100 ~name:"zipf samples stay in range"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 99))
+    (fun (n, theta_pct) ->
+      let z = Zipf.create ~n ~theta:(float_of_int theta_pct /. 100.) in
+      let rng = Rng.create ~seed:(n + theta_pct) in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        let i = Zipf.sample z rng in
+        if i < 0 || i >= n then ok := false
+      done;
+      !ok)
+
+let prop_rng_int_in_range =
+  QCheck.Test.make ~count:200 ~name:"rng int stays in range"
+    QCheck.(pair int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int bound one" `Quick test_rng_int_bound_one;
+        Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+        Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "copy replays" `Quick test_rng_copy_replays;
+        Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+      ]
+      @ qcheck [ prop_rng_int_in_range ] );
+    ( "zipf",
+      [
+        Alcotest.test_case "uniform at theta 0" `Quick test_zipf_uniform_when_theta_zero;
+        Alcotest.test_case "range" `Quick test_zipf_range;
+        Alcotest.test_case "skew" `Quick test_zipf_skew;
+        Alcotest.test_case "matches analytic probability" `Slow test_zipf_matches_probability;
+        Alcotest.test_case "probability sums to 1" `Quick test_zipf_probability_sums_to_one;
+        Alcotest.test_case "invalid args" `Quick test_zipf_invalid_args;
+      ]
+      @ qcheck [ prop_zipf_in_range ] );
+    ( "heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+        Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+      ]
+      @ qcheck [ prop_heap_sorts ] );
+    ( "histogram",
+      [
+        Alcotest.test_case "exact small" `Quick test_histogram_exact_small;
+        Alcotest.test_case "large approx" `Quick test_histogram_large_values_approx;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "empty errors" `Quick test_histogram_empty_errors;
+        Alcotest.test_case "negative clamped" `Quick test_histogram_negative_clamped;
+      ]
+      @ qcheck [ prop_histogram_percentile_monotone ] );
+  ]
+
+let () = Alcotest.run "bohm_util" suite

@@ -1,0 +1,273 @@
+(* Tests for Bohm_wal: procedure registry, command-log encoding, torn-tail
+   recovery, and exact replay through the BOHM engine (deterministic
+   command logging — recovery reconstructs the pre-crash state because
+   BOHM's serialization order is the log order). *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Procedure = Bohm_wal.Procedure
+module Wal = Bohm_wal.Wal
+module Durable = Bohm_wal.Wal.Durable.Make (Bohm_runtime.Real)
+
+let table = Table.make ~tid:0 ~name:"accounts" ~rows:16 ~record_bytes:8
+let tables = [| table |]
+let key row = Key.make ~table:0 ~row
+
+let registry () =
+  let r = Procedure.create () in
+  Procedure.register r ~name:"incr" (fun ~id ~args ->
+      let k = key args.(0) in
+      Txn.make ~id ~read_set:[ k ] ~write_set:[ k ] (fun ctx ->
+          ctx.Txn.write k (Value.add (ctx.Txn.read k) args.(1));
+          Txn.Commit));
+  Procedure.register r ~name:"transfer" (fun ~id ~args ->
+      let a = key args.(0) and b = key args.(1) in
+      Txn.make ~id ~read_set:[ a; b ] ~write_set:[ a; b ] (fun ctx ->
+          ctx.Txn.write a (Value.add (ctx.Txn.read a) (-args.(2)));
+          ctx.Txn.write b (Value.add (ctx.Txn.read b) args.(2));
+          Txn.Commit));
+  r
+
+let inv id proc args = { Procedure.id; proc; args }
+
+let temp_log () = Filename.temp_file "bohm_wal" ".log"
+
+(* --- Procedure --- *)
+
+let test_encode_decode_roundtrip () =
+  let cases =
+    [ inv 0 "incr" [| 3; 5 |]; inv 42 "transfer" [| 1; 2; 100 |]; inv 7 "p" [||] ]
+  in
+  List.iter
+    (fun i ->
+      match Procedure.decode (Procedure.encode i) with
+      | Some d ->
+          Alcotest.(check int) "id" i.Procedure.id d.Procedure.id;
+          Alcotest.(check string) "proc" i.Procedure.proc d.Procedure.proc;
+          Alcotest.(check bool) "args" true (i.Procedure.args = d.Procedure.args)
+      | None -> Alcotest.fail "decode failed")
+    cases
+
+let test_decode_rejects_malformed () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) line true (Procedure.decode line = None))
+    [
+      "";
+      "garbage";
+      "1|incr";
+      "1|incr|3,5" (* missing integrity marker *);
+      "1|incr|3,x|." (* bad int *);
+      "x|incr|3|." (* bad id *);
+      "1|bad name|3|." (* space in name *);
+    ]
+
+let test_registry_validation () =
+  let r = Procedure.create () in
+  Procedure.register r ~name:"p" (fun ~id ~args:_ ->
+      Txn.make ~id ~read_set:[] ~write_set:[] (fun _ -> Txn.Commit));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Procedure.register: duplicate procedure p") (fun () ->
+      Procedure.register r ~name:"p" (fun ~id ~args:_ ->
+          Txn.make ~id ~read_set:[] ~write_set:[] (fun _ -> Txn.Commit)));
+  Alcotest.check_raises "bad name"
+    (Invalid_argument "Procedure.register: invalid procedure name") (fun () ->
+      Procedure.register r ~name:"has space" (fun ~id ~args:_ ->
+          Txn.make ~id ~read_set:[] ~write_set:[] (fun _ -> Txn.Commit)));
+  Alcotest.(check (list string)) "names" [ "p" ] (Procedure.names r);
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Procedure.instantiate r (inv 0 "nope" [||]));
+       false
+     with Not_found -> true)
+
+(* --- Log file --- *)
+
+let test_log_roundtrip () =
+  let path = temp_log () in
+  let w = Wal.create ~path in
+  Wal.append_batch w [| inv 1 "incr" [| 0; 5 |]; inv 2 "incr" [| 1; 6 |] |];
+  Wal.append_batch w [| inv 3 "transfer" [| 0; 1; 2 |] |];
+  Alcotest.(check int) "batches written" 2 (Wal.batches_written w);
+  Wal.close w;
+  let batches = Wal.read_batches ~path in
+  Alcotest.(check int) "batches read" 2 (List.length batches);
+  Alcotest.(check int) "first batch size" 2 (Array.length (List.nth batches 0));
+  Alcotest.(check int) "second batch size" 1 (Array.length (List.nth batches 1));
+  Alcotest.(check string) "order preserved" "transfer"
+    (List.nth batches 1).(0).Procedure.proc;
+  Sys.remove path
+
+let test_log_empty_file () =
+  let path = temp_log () in
+  let w = Wal.create ~path in
+  Wal.close w;
+  Alcotest.(check int) "no batches" 0 (List.length (Wal.read_batches ~path));
+  Sys.remove path
+
+let test_log_ignores_torn_batch () =
+  let path = temp_log () in
+  let w = Wal.create ~path in
+  Wal.append_batch w [| inv 1 "incr" [| 0; 5 |] |];
+  Wal.close w;
+  (* Simulate a crash mid-batch: records appended without a commit
+     marker. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (Procedure.encode (inv 2 "incr" [| 1; 1 |]));
+  output_char oc '\n';
+  close_out oc;
+  let batches = Wal.read_batches ~path in
+  Alcotest.(check int) "only committed batch" 1 (List.length batches);
+  Sys.remove path
+
+let test_log_ignores_torn_record () =
+  let path = temp_log () in
+  let w = Wal.create ~path in
+  Wal.append_batch w [| inv 1 "incr" [| 0; 5 |] |];
+  Wal.close w;
+  (* Crash mid-write of a record: partial line, no integrity marker. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "17|in";
+  close_out oc;
+  Alcotest.(check int) "only committed batch" 1
+    (List.length (Wal.read_batches ~path));
+  Sys.remove path
+
+(* --- Durable engine: log, crash, recover, compare --- *)
+
+let config = Bohm_core.Config.make ~cc_threads:1 ~exec_threads:2 ~batch_size:8 ()
+
+let open_db path registry =
+  Durable.open_db ~path ~registry ~config ~tables (fun _ -> Value.of_int 100)
+
+let test_recovery_restores_state () =
+  let path = temp_log () in
+  let r = registry () in
+  let db = open_db path r in
+  ignore
+    (Durable.submit db
+       [| inv 0 "incr" [| 3; 7 |]; inv 1 "transfer" [| 0; 1; 30 |] |]);
+  ignore (Durable.submit db [| inv 2 "transfer" [| 1; 2; 50 |] |]);
+  let before = List.init 16 (fun i -> Value.to_int (Durable.read_latest db (key i))) in
+  (* "Crash": drop the handle without closing; every submit already
+     flushed. Recover into a brand-new engine. *)
+  let recovered = open_db path r in
+  Alcotest.(check int) "recovered batches" 2 (Durable.recovered_batches recovered);
+  let after =
+    List.init 16 (fun i -> Value.to_int (Durable.read_latest recovered (key i)))
+  in
+  Alcotest.(check (list int)) "state identical" before after;
+  Alcotest.(check int) "spot check" 70 (Value.to_int (Durable.read_latest recovered (key 0)));
+  Alcotest.(check int) "spot check 2" 80 (Value.to_int (Durable.read_latest recovered (key 1)));
+  Durable.close recovered;
+  Sys.remove path
+
+let test_recovery_then_continue () =
+  let path = temp_log () in
+  let r = registry () in
+  let db = open_db path r in
+  ignore (Durable.submit db [| inv 0 "incr" [| 5; 1 |] |]);
+  let db2 = open_db path r in
+  ignore (Durable.submit db2 [| inv 1 "incr" [| 5; 2 |] |]);
+  let db3 = open_db path r in
+  Alcotest.(check int) "both rounds survive" 103
+    (Value.to_int (Durable.read_latest db3 (key 5)));
+  Alcotest.(check int) "two batches recovered" 2 (Durable.recovered_batches db3);
+  Durable.close db3;
+  Sys.remove path
+
+let test_recovery_discards_torn_tail () =
+  let path = temp_log () in
+  let r = registry () in
+  let db = open_db path r in
+  ignore (Durable.submit db [| inv 0 "incr" [| 4; 9 |] |]);
+  (* Torn batch after the last commit. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (Procedure.encode (inv 9 "incr" [| 4; 1000 |]));
+  close_out oc;
+  let recovered = open_db path r in
+  Alcotest.(check int) "torn update not applied" 109
+    (Value.to_int (Durable.read_latest recovered (key 4)));
+  (* And the rewritten log must not resurrect it on the next recovery. *)
+  let again = open_db path r in
+  Alcotest.(check int) "still not applied" 109
+    (Value.to_int (Durable.read_latest again (key 4)));
+  Durable.close again;
+  Sys.remove path
+
+let test_fresh_database_no_log () =
+  let path = Filename.get_temp_dir_name () ^ "/bohm_wal_fresh_" ^ string_of_int (Unix.getpid ()) ^ ".log" in
+  if Sys.file_exists path then Sys.remove path;
+  let db = open_db path (registry ()) in
+  Alcotest.(check int) "nothing recovered" 0 (Durable.recovered_batches db);
+  Alcotest.(check int) "initial value" 100 (Value.to_int (Durable.read_latest db (key 0)));
+  Durable.close db;
+  Sys.remove path
+
+(* Property: random invocation streams recover to exactly the same state. *)
+let prop_replay_exact =
+  QCheck.Test.make ~count:15 ~name:"recovery replays to identical state"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Bohm_util.Rng.create ~seed in
+      let path = temp_log () in
+      let r = registry () in
+      let db = open_db path r in
+      let next_id = ref 0 in
+      for _ = 1 to 4 do
+        let batch =
+          Array.init
+            (1 + Bohm_util.Rng.int rng 6)
+            (fun _ ->
+              incr next_id;
+              if Bohm_util.Rng.bool rng then
+                inv !next_id "incr" [| Bohm_util.Rng.int rng 16; Bohm_util.Rng.int rng 9 |]
+              else
+                inv !next_id "transfer"
+                  [|
+                    Bohm_util.Rng.int rng 16;
+                    Bohm_util.Rng.int rng 16;
+                    Bohm_util.Rng.int rng 20;
+                  |])
+        in
+        ignore (Durable.submit db batch)
+      done;
+      let before = List.init 16 (fun i -> Value.to_int (Durable.read_latest db (key i))) in
+      let recovered = open_db path r in
+      let after =
+        List.init 16 (fun i -> Value.to_int (Durable.read_latest recovered (key i)))
+      in
+      Durable.close recovered;
+      Sys.remove path;
+      before = after)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "procedure",
+      [
+        Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+        Alcotest.test_case "decode rejects malformed" `Quick test_decode_rejects_malformed;
+        Alcotest.test_case "registry validation" `Quick test_registry_validation;
+      ] );
+    ( "log",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_log_roundtrip;
+        Alcotest.test_case "empty file" `Quick test_log_empty_file;
+        Alcotest.test_case "ignores torn batch" `Quick test_log_ignores_torn_batch;
+        Alcotest.test_case "ignores torn record" `Quick test_log_ignores_torn_record;
+      ] );
+    ( "recovery",
+      [
+        Alcotest.test_case "restores state" `Quick test_recovery_restores_state;
+        Alcotest.test_case "recover then continue" `Quick test_recovery_then_continue;
+        Alcotest.test_case "discards torn tail" `Quick test_recovery_discards_torn_tail;
+        Alcotest.test_case "fresh database" `Quick test_fresh_database_no_log;
+      ]
+      @ qcheck [ prop_replay_exact ] );
+  ]
+
+let () = Alcotest.run "bohm_wal" suite

@@ -1,0 +1,349 @@
+(* Tests for Bohm_workload: the YCSB and SmallBank generators, checked
+   structurally and by executing the generated transactions through the
+   serial reference executor. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Ycsb = Bohm_workload.Ycsb
+module Smallbank = Bohm_workload.Smallbank
+module Reference = Bohm_harness.Reference
+
+(* --- YCSB structure --- *)
+
+let test_ycsb_10rmw_shape () =
+  let txns = Ycsb.generate ~rows:1000 ~theta:0.0 ~count:50 ~seed:1 (Ycsb.rmw_profile 10) in
+  Alcotest.(check int) "count" 50 (Array.length txns);
+  Array.iter
+    (fun t ->
+      Alcotest.(check int) "10 writes" 10 (Array.length t.Txn.write_set);
+      Alcotest.(check int) "10 reads" 10 (Array.length t.Txn.read_set);
+      Alcotest.(check bool) "rmw keys in both sets" true
+        (Array.for_all (fun k -> Txn.reads t k) t.Txn.write_set))
+    txns
+
+let test_ycsb_2rmw8r_shape () =
+  let txns =
+    Ycsb.generate ~rows:1000 ~theta:0.9 ~count:50 ~seed:2
+      (Ycsb.mixed_profile ~rmws:2 ~reads:8)
+  in
+  Array.iter
+    (fun t ->
+      Alcotest.(check int) "2 writes" 2 (Array.length t.Txn.write_set);
+      Alcotest.(check int) "10 reads" 10 (Array.length t.Txn.read_set))
+    txns
+
+let test_ycsb_keys_distinct_and_in_range () =
+  let rows = 64 in
+  let txns = Ycsb.generate ~rows ~theta:0.9 ~count:200 ~seed:3 (Ycsb.rmw_profile 10) in
+  Array.iter
+    (fun t ->
+      (* normalize already dedupes; 10 writes surviving means 10 distinct
+         sampled keys *)
+      Alcotest.(check int) "distinct" 10 (Array.length t.Txn.write_set);
+      Array.iter
+        (fun k ->
+          if Key.row k < 0 || Key.row k >= rows then Alcotest.fail "row out of range";
+          Alcotest.(check int) "table 0" 0 (Key.table k))
+        t.Txn.write_set)
+    txns
+
+let test_ycsb_deterministic () =
+  let footprints txns =
+    Array.to_list txns
+    |> List.concat_map (fun t -> Array.to_list t.Txn.write_set)
+    |> List.map Key.row
+  in
+  let a = Ycsb.generate ~rows:1000 ~theta:0.5 ~count:40 ~seed:9 (Ycsb.rmw_profile 10) in
+  let b = Ycsb.generate ~rows:1000 ~theta:0.5 ~count:40 ~seed:9 (Ycsb.rmw_profile 10) in
+  let c = Ycsb.generate ~rows:1000 ~theta:0.5 ~count:40 ~seed:10 (Ycsb.rmw_profile 10) in
+  Alcotest.(check (list int)) "same seed" (footprints a) (footprints b);
+  Alcotest.(check bool) "different seed" true (footprints a <> footprints c)
+
+let test_ycsb_skew_concentrates () =
+  (* At theta 0.9 one row must be far more popular than the median, and
+     the scattering must keep it away from row 0 being automatic. *)
+  let rows = 1000 in
+  let txns = Ycsb.generate ~rows ~theta:0.9 ~count:2000 ~seed:4 (Ycsb.rmw_profile 2) in
+  let freq = Array.make rows 0 in
+  Array.iter
+    (fun t -> Array.iter (fun k -> freq.(Key.row k) <- freq.(Key.row k) + 1) t.Txn.write_set)
+    txns;
+  let hottest = Array.fold_left max 0 freq in
+  let total = Array.fold_left ( + ) 0 freq in
+  Alcotest.(check bool) "hot row exists" true
+    (hottest * rows > 10 * total) (* >10x the uniform share *)
+
+let test_ycsb_rmws_increment () =
+  let rows = 32 in
+  let count = 100 in
+  let txns = Ycsb.generate ~rows ~theta:0.0 ~count ~seed:5 (Ycsb.rmw_profile 4) in
+  let reference = Reference.create ~tables:(Ycsb.tables ~rows ~record_bytes:8) Ycsb.initial_value in
+  ignore (Reference.run reference txns);
+  Alcotest.(check int) "each RMW adds one" (count * 4)
+    (Ycsb.total_value (Reference.read reference) ~rows)
+
+let test_ycsb_read_only_shape () =
+  let txns = Ycsb.generate_read_only ~rows:500 ~scan:100 ~count:10 ~seed:6 in
+  Array.iter
+    (fun t ->
+      Alcotest.(check bool) "read only" true (Txn.is_read_only t);
+      Alcotest.(check bool) "scan about right (dedup allowed)" true
+        (Array.length t.Txn.read_set <= 100 && Array.length t.Txn.read_set > 50))
+    txns
+
+let test_ycsb_mix_fraction () =
+  let txns =
+    Ycsb.generate_mix ~rows:1000 ~read_only_fraction:0.3 ~scan:20
+      ~update_profile:(Ycsb.rmw_profile 10) ~theta:0.0 ~count:2000 ~seed:7
+  in
+  let ro = Array.fold_left (fun acc t -> if Txn.is_read_only t then acc + 1 else acc) 0 txns in
+  Alcotest.(check bool)
+    (Printf.sprintf "fraction close to 0.3 (got %d/2000)" ro)
+    true
+    (ro > 480 && ro < 720)
+
+let test_ycsb_mix_extremes () =
+  let all_ro =
+    Ycsb.generate_mix ~rows:100 ~read_only_fraction:1.0 ~scan:10
+      ~update_profile:(Ycsb.rmw_profile 2) ~theta:0.0 ~count:50 ~seed:8
+  in
+  Alcotest.(check bool) "all read-only" true (Array.for_all Txn.is_read_only all_ro);
+  let none_ro =
+    Ycsb.generate_mix ~rows:100 ~read_only_fraction:0.0 ~scan:10
+      ~update_profile:(Ycsb.rmw_profile 2) ~theta:0.0 ~count:50 ~seed:8
+  in
+  Alcotest.(check bool) "none read-only" true
+    (Array.for_all (fun t -> not (Txn.is_read_only t)) none_ro)
+
+let test_ycsb_invalid_args () =
+  Alcotest.check_raises "profile" (Invalid_argument "Ycsb.rmw_profile: n must be positive")
+    (fun () -> ignore (Ycsb.rmw_profile 0));
+  Alcotest.check_raises "fraction" (Invalid_argument "Ycsb.generate_mix: fraction out of range")
+    (fun () ->
+      ignore
+        (Ycsb.generate_mix ~rows:10 ~read_only_fraction:1.5 ~scan:1
+           ~update_profile:(Ycsb.rmw_profile 1) ~theta:0.0 ~count:1 ~seed:0))
+
+(* --- SmallBank --- *)
+
+let sb_tables customers = Smallbank.tables ~customers
+
+let test_smallbank_tables () =
+  let t = sb_tables 10 in
+  Alcotest.(check int) "three tables" 3 (Array.length t);
+  Alcotest.(check int) "savings 8 bytes" 8 t.(Smallbank.savings_tid).Bohm_storage.Table.record_bytes;
+  Alcotest.(check int) "checking 8 bytes" 8 t.(Smallbank.checking_tid).Bohm_storage.Table.record_bytes
+
+let test_smallbank_initial_values () =
+  let customer_key = Key.make ~table:Smallbank.customer_tid ~row:5 in
+  let savings_key = Key.make ~table:Smallbank.savings_tid ~row:5 in
+  Alcotest.(check int) "customer row maps to id" 5
+    (Value.to_int (Smallbank.initial_value customer_key));
+  Alcotest.(check int) "initial balance" Smallbank.initial_balance
+    (Value.to_int (Smallbank.initial_value savings_key))
+
+let test_smallbank_generate_count_and_determinism () =
+  let sig_of txns =
+    Array.to_list txns |> List.concat_map (fun t -> Array.to_list (Txn.footprint t))
+  in
+  let a = Smallbank.generate ~customers:20 ~count:100 ~seed:3 () in
+  let b = Smallbank.generate ~customers:20 ~count:100 ~seed:3 () in
+  Alcotest.(check int) "count" 100 (Array.length a);
+  Alcotest.(check bool) "deterministic" true (sig_of a = sig_of b)
+
+let test_smallbank_balance_read_only () =
+  let txns = Smallbank.generate_kind ~customers:10 ~count:20 ~seed:1 Smallbank.Balance in
+  Alcotest.(check bool) "read only" true (Array.for_all Txn.is_read_only txns)
+
+let test_smallbank_customer_table_never_written () =
+  let txns = Smallbank.generate ~customers:10 ~count:200 ~seed:2 () in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun k ->
+          if Key.table k = Smallbank.customer_tid then
+            Alcotest.fail "customer table in a write set")
+        t.Txn.write_set)
+    txns
+
+let run_reference ~customers txns =
+  let reference = Reference.create ~tables:(sb_tables customers) Smallbank.initial_value in
+  let outcomes = Reference.run reference txns in
+  (reference, outcomes)
+
+let test_smallbank_amalgamate_conserves () =
+  let customers = 10 in
+  let txns = Smallbank.generate_kind ~customers ~count:100 ~seed:4 Smallbank.Amalgamate in
+  let reference, _ = run_reference ~customers txns in
+  Alcotest.(check int) "money conserved"
+    (customers * 2 * Smallbank.initial_balance)
+    (Smallbank.total_money (Reference.read reference) ~customers)
+
+let test_smallbank_amalgamate_empties_source () =
+  let customers = 2 in
+  let a = Smallbank.generate_kind ~customers:1 ~count:1 ~seed:1 Smallbank.Amalgamate in
+  ignore a;
+  (* Directed: amalgamate 0 -> 1 must zero both of 0's accounts. *)
+  let reference, _ =
+    run_reference ~customers
+      [|
+        (let s0 = Key.make ~table:Smallbank.savings_tid ~row:0 in
+         let c0 = Key.make ~table:Smallbank.checking_tid ~row:0 in
+         let c1 = Key.make ~table:Smallbank.checking_tid ~row:1 in
+         Txn.make ~id:0
+           ~read_set:[ s0; c0; c1 ]
+           ~write_set:[ s0; c0; c1 ]
+           (fun ctx ->
+             let moved =
+               Value.to_int (ctx.Txn.read s0) + Value.to_int (ctx.Txn.read c0)
+             in
+             ctx.Txn.write s0 Value.zero;
+             ctx.Txn.write c0 Value.zero;
+             ctx.Txn.write c1 (Value.add (ctx.Txn.read c1) moved);
+             Txn.Commit));
+      |]
+  in
+  Alcotest.(check int) "savings 0 emptied" 0
+    (Value.to_int (Reference.read reference (Key.make ~table:Smallbank.savings_tid ~row:0)));
+  Alcotest.(check int) "checking 1 got everything"
+    (Smallbank.initial_balance * 3)
+    (Value.to_int (Reference.read reference (Key.make ~table:Smallbank.checking_tid ~row:1)))
+
+let test_smallbank_savings_never_negative () =
+  (* TransactSavings aborts rather than overdraw; after any stream every
+     savings balance is non-negative. *)
+  let customers = 5 in
+  let txns = Smallbank.generate_kind ~customers ~count:2000 ~seed:5 Smallbank.TransactSavings in
+  let reference, outcomes = run_reference ~customers txns in
+  for c = 0 to customers - 1 do
+    let v =
+      Value.to_int (Reference.read reference (Key.make ~table:Smallbank.savings_tid ~row:c))
+    in
+    if v < 0 then Alcotest.failf "savings %d negative: %d" c v
+  done;
+  (* The generator draws amounts in [-100, 100) against a 10,000 start, so
+     most should commit. *)
+  let commits =
+    Array.fold_left
+      (fun acc o -> match o with Txn.Commit -> acc + 1 | Txn.Abort -> acc)
+      0 outcomes
+  in
+  Alcotest.(check bool) "mostly commits" true (commits > 1000)
+
+let test_smallbank_writecheck_applies_penalty () =
+  let customers = 1 in
+  let s0 = Key.make ~table:Smallbank.savings_tid ~row:0 in
+  let c0 = Key.make ~table:Smallbank.checking_tid ~row:0 in
+  ignore s0;
+  (* Drain checking below the check amount: overdraft costs amount+100. *)
+  let drain =
+    Txn.make ~id:0 ~read_set:[ c0 ] ~write_set:[ c0 ] (fun ctx ->
+        ignore (ctx.Txn.read c0);
+        ctx.Txn.write c0 Value.zero;
+        Txn.Commit)
+  in
+  let drain_savings =
+    Txn.make ~id:1 ~read_set:[ s0 ] ~write_set:[ s0 ] (fun ctx ->
+        ignore (ctx.Txn.read s0);
+        ctx.Txn.write s0 Value.zero;
+        Txn.Commit)
+  in
+  let check_50 =
+    (* Reimplements WriteCheck's logic shape via the public generator is
+       not possible (random amounts), so use the same rule directly. *)
+    Txn.make ~id:2 ~read_set:[ s0; c0 ] ~write_set:[ c0 ] (fun ctx ->
+        let total =
+          Value.to_int (ctx.Txn.read s0) + Value.to_int (ctx.Txn.read c0)
+        in
+        let debit = if 50 > total then 150 else 50 in
+        ctx.Txn.write c0 (Value.add (ctx.Txn.read c0) (-debit));
+        Txn.Commit)
+  in
+  let reference, _ = run_reference ~customers [| drain; drain_savings; check_50 |] in
+  Alcotest.(check int) "penalty applied" (-150)
+    (Value.to_int (Reference.read reference c0))
+
+let test_smallbank_mix_contains_all_kinds () =
+  let txns = Smallbank.generate ~customers:50 ~count:2000 ~seed:6 () in
+  (* Classify by footprint shape: Balance = read-only; Amalgamate = 3
+     writes; others = 1 write. All three classes must appear. *)
+  let ro = ref 0 and w3 = ref 0 and w1 = ref 0 in
+  Array.iter
+    (fun t ->
+      if Txn.is_read_only t then incr ro
+      else if Array.length t.Txn.write_set = 3 then incr w3
+      else incr w1)
+    txns;
+  Alcotest.(check bool) "balance present" true (!ro > 200);
+  Alcotest.(check bool) "amalgamate present" true (!w3 > 200);
+  Alcotest.(check bool) "single-writers present" true (!w1 > 600)
+
+let test_smallbank_invalid () =
+  Alcotest.check_raises "customers"
+    (Invalid_argument "Smallbank.generate: customers must be positive") (fun () ->
+      ignore (Smallbank.generate ~customers:0 ~count:1 ~seed:1 ()))
+
+(* --- properties --- *)
+
+let prop_ycsb_any_profile_consistent =
+  QCheck.Test.make ~count:50 ~name:"ycsb generates declared footprints"
+    QCheck.(triple (int_range 1 6) (int_range 0 6) (int_range 0 10_000))
+    (fun (rmws, reads, seed) ->
+      let txns =
+        Ycsb.generate ~rows:500 ~theta:0.5 ~count:10 ~seed
+          (Ycsb.mixed_profile ~rmws ~reads)
+      in
+      Array.for_all
+        (fun t ->
+          Array.length t.Txn.write_set = rmws
+          && Array.length t.Txn.read_set = rmws + reads)
+        txns)
+
+let prop_smallbank_reference_total_is_deterministic =
+  QCheck.Test.make ~count:25 ~name:"smallbank reference run deterministic"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let customers = 8 in
+      let txns = Smallbank.generate ~customers ~count:100 ~seed () in
+      let r1, _ = run_reference ~customers txns in
+      let r2, _ = run_reference ~customers txns in
+      Smallbank.total_money (Reference.read r1) ~customers
+      = Smallbank.total_money (Reference.read r2) ~customers)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "ycsb",
+      [
+        Alcotest.test_case "10rmw shape" `Quick test_ycsb_10rmw_shape;
+        Alcotest.test_case "2rmw-8r shape" `Quick test_ycsb_2rmw8r_shape;
+        Alcotest.test_case "keys distinct and in range" `Quick test_ycsb_keys_distinct_and_in_range;
+        Alcotest.test_case "deterministic" `Quick test_ycsb_deterministic;
+        Alcotest.test_case "skew concentrates" `Quick test_ycsb_skew_concentrates;
+        Alcotest.test_case "rmws increment" `Quick test_ycsb_rmws_increment;
+        Alcotest.test_case "read-only shape" `Quick test_ycsb_read_only_shape;
+        Alcotest.test_case "mix fraction" `Quick test_ycsb_mix_fraction;
+        Alcotest.test_case "mix extremes" `Quick test_ycsb_mix_extremes;
+        Alcotest.test_case "invalid args" `Quick test_ycsb_invalid_args;
+      ]
+      @ qcheck [ prop_ycsb_any_profile_consistent ] );
+    ( "smallbank",
+      [
+        Alcotest.test_case "tables" `Quick test_smallbank_tables;
+        Alcotest.test_case "initial values" `Quick test_smallbank_initial_values;
+        Alcotest.test_case "generate deterministic" `Quick test_smallbank_generate_count_and_determinism;
+        Alcotest.test_case "balance read-only" `Quick test_smallbank_balance_read_only;
+        Alcotest.test_case "customer table read-only" `Quick test_smallbank_customer_table_never_written;
+        Alcotest.test_case "amalgamate conserves" `Quick test_smallbank_amalgamate_conserves;
+        Alcotest.test_case "amalgamate empties source" `Quick test_smallbank_amalgamate_empties_source;
+        Alcotest.test_case "savings never negative" `Quick test_smallbank_savings_never_negative;
+        Alcotest.test_case "writecheck penalty" `Quick test_smallbank_writecheck_applies_penalty;
+        Alcotest.test_case "mix contains all kinds" `Quick test_smallbank_mix_contains_all_kinds;
+        Alcotest.test_case "invalid" `Quick test_smallbank_invalid;
+      ]
+      @ qcheck [ prop_smallbank_reference_total_is_deterministic ] );
+  ]
+
+let () = Alcotest.run "bohm_workload" suite

@@ -4,24 +4,71 @@
    evaluation on the simulated multicore machine, runs the ablation
    benches, and finishes with the Bechamel component micro-benchmarks.
    Pass experiment names (fig4 fig5 fig6 fig7 fig8 tab9 fig10
-   ablation-batch ablation-annotation ablation-gc ablation-cc-split micro)
+   ablation-batch ablation-annotation ablation-gc ablation-cc-split
+   ablation-preprocess ablation-probe-memo micro smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
-   multiplies transaction counts. *)
+   multiplies transaction counts; --json=PATH also writes every table of
+   the run (with per-column throughput ceilings) as one JSON document. *)
 
 module Experiments = Bohm_harness.Experiments
+module Runner = Bohm_harness.Runner
+module Stats = Bohm_txn.Stats
+module Ycsb = Bohm_workload.Ycsb
 
 let usage () =
-  prerr_endline "usage: main.exe [--quick] [--scale=F] [experiment ...]";
+  prerr_endline
+    "usage: main.exe [--quick] [--scale=F] [--json=PATH] [experiment ...]";
   prerr_endline "experiments:";
   List.iter
     (fun (name, _) -> prerr_endline ("  " ^ name))
     Experiments.experiments;
   prerr_endline "  micro";
+  prerr_endline "  smoke   (fig4-config correctness gate; non-zero exit on loss)";
   exit 2
+
+(* Tier-1 CI gate: the fig4 configuration at a small scale must commit
+   every input transaction. Catches perf work that silently drops, dupes
+   or deadlocks transactions; finishes in seconds. *)
+let smoke ~scale =
+  let count = max 500 (int_of_float (500. *. scale)) in
+  let rows = 100_000 in
+  let spec =
+    {
+      Runner.tables = Ycsb.tables ~rows ~record_bytes:8;
+      init = Ycsb.initial_value;
+    }
+  in
+  let txns =
+    Ycsb.generate ~rows ~theta:0.0 ~count ~seed:41 (Ycsb.rmw_profile 10)
+  in
+  let failures = ref 0 in
+  let check label stats =
+    let ok =
+      stats.Stats.committed = count
+      && stats.Stats.logic_aborts = 0
+      && stats.Stats.cc_aborts = 0
+    in
+    Printf.printf "smoke %-42s %s (%d/%d committed)\n" label
+      (if ok then "PASS" else "FAIL")
+      stats.Stats.committed count;
+    if not ok then incr failures
+  in
+  check "bohm cc=4 exec=8"
+    (Runner.run_bohm_sim ~cc:4 ~exec:8 spec txns);
+  check "bohm cc=4 exec=8 preprocess"
+    (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess:true spec txns);
+  check "bohm cc=4 exec=8 preprocess re-probe"
+    (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess:true ~probe_memo:false spec
+       txns);
+  if !failures > 0 then begin
+    Printf.eprintf "smoke: %d configuration(s) lost transactions\n" !failures;
+    exit 1
+  end
 
 let () =
   let quick = ref false in
   let scale = ref 1.0 in
+  let json = ref None in
   let selected = ref [] in
   Array.iteri
     (fun i arg ->
@@ -29,13 +76,24 @@ let () =
         if arg = "--quick" then quick := true
         else if String.length arg > 8 && String.sub arg 0 8 = "--scale=" then
           scale := float_of_string (String.sub arg 8 (String.length arg - 8))
+        else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then
+          json := Some (String.sub arg 7 (String.length arg - 7))
         else if arg = "--help" || arg = "-h" then usage ()
         else selected := arg :: !selected)
     Sys.argv;
   let selected = List.rev !selected in
+  (* Fail on an unwritable JSON path before the runs, not after. *)
+  (match !json with
+  | Some path -> (
+      try close_out (open_out path)
+      with Sys_error msg ->
+        prerr_endline ("cannot write --json path: " ^ msg);
+        exit 2)
+  | None -> ());
   let t0 = Unix.gettimeofday () in
   let run_one name =
     if name = "micro" then Micro.run ()
+    else if name = "smoke" then smoke ~scale:!scale
     else
       match List.assoc_opt name Experiments.experiments with
       | Some f -> List.iter Experiments.print (f ~scale:!scale ~quick:!quick ())
@@ -48,4 +106,9 @@ let () =
       Experiments.run_all ~scale:!scale ~quick:!quick ();
       Micro.run ()
   | names -> List.iter run_one names);
+  (match !json with
+  | Some path ->
+      Bohm_harness.Report.json_write ~path;
+      Printf.printf "\nWrote JSON results to %s\n" path
+  | None -> ());
   Printf.printf "\nTotal bench wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

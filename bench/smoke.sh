@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 perf-PR gate: run the fig4-configuration smoke bench (~seconds)
+# and fail if any BOHM configuration commits fewer transactions than it
+# was given. Wire into CI before merging anything that touches lib/core,
+# lib/storage or lib/runtime. Also available as `dune build @bench-smoke`.
+set -e
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+exec dune exec bench/main.exe -- smoke "$@"

@@ -93,8 +93,20 @@ let run_cmd =
   let no_annotation =
     Arg.(value & flag & info [ "no-annotation" ] ~doc:"Disable BOHM's read-annotation optimization.")
   in
+  let preprocess =
+    Arg.(
+      value & flag
+      & info [ "preprocess" ]
+          ~doc:"Enable BOHM's pipelined pre-processing stage (paper 3.2.2).")
+  in
+  let no_probe_memo =
+    Arg.(
+      value & flag
+      & info [ "no-probe-memo" ]
+          ~doc:"Disable probe-once slot memoization (re-probe the index).")
+  in
   let action engine workload threads theta rows count seed cc_fraction batch
-      no_gc no_annotation =
+      no_gc no_annotation preprocess no_probe_memo =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -130,6 +142,8 @@ let run_cmd =
         batch_size = batch;
         gc = not no_gc;
         read_annotation = not no_annotation;
+        preprocess;
+        probe_memo = not no_probe_memo;
       }
     in
     let name, stats =
@@ -161,7 +175,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
-      $ cc_fraction $ batch $ no_gc $ no_annotation)
+      $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
+      $ no_probe_memo)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 

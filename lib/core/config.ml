@@ -5,15 +5,25 @@ type t = {
   gc : bool;
   read_annotation : bool;
   preprocess : bool;
+  probe_memo : bool;
 }
 
 let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
-    ?(read_annotation = true) ?(preprocess = false) () =
+    ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true) () =
   if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
   if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
   if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
-  { cc_threads; exec_threads; batch_size; gc; read_annotation; preprocess }
+  {
+    cc_threads;
+    exec_threads;
+    batch_size;
+    gc;
+    read_annotation;
+    preprocess;
+    probe_memo;
+  }
 
 let pp fmt t =
-  Format.fprintf fmt "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b"
+  Format.fprintf fmt "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b"
     t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess
+    t.probe_memo

@@ -17,7 +17,14 @@ type t = private {
       (** The §3.2.2 Amdahl workaround: a parallel pre-processing pass
           computes, per transaction, exactly which footprint entries each
           CC thread owns, so CC threads no longer scan every
-          transaction. *)
+          transaction. Pipelined per batch: preprocessing of batch [b+1]
+          overlaps concurrency control of batch [b]. *)
+  probe_memo : bool;
+      (** Probe-once hot path: resolve each footprint key against the
+          storage index at most once per transaction and cache the slot
+          handle in the transaction wrapper; the CC and execution layers
+          consume the cached handle instead of re-probing. Off replays the
+          re-probing path for the [ablation-probe-memo] bench. *)
 }
 
 val make :
@@ -27,10 +34,11 @@ val make :
   ?gc:bool ->
   ?read_annotation:bool ->
   ?preprocess:bool ->
+  ?probe_memo:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
-    read annotation on, preprocessing off. Raises [Invalid_argument] on
-    non-positive thread counts or batch size. *)
+    read annotation on, preprocessing off, probe memoization on. Raises
+    [Invalid_argument] on non-positive thread counts or batch size. *)
 
 val pp : Format.formatter -> t -> unit

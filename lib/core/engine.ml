@@ -36,10 +36,27 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     (* Parallel to txn.write_set: the placeholder versions inserted by CC
        threads. *)
     write_refs : wrapped V.t option R.Cell.t array;
+    (* Probe-once slot cache, parallel to the encoded footprint (read-set
+       entry [i] at [i], write-set entry [j] at [n_rs + j]). Stamped by
+       whichever layer resolves the key first — preprocessing, CC, or
+       execution — and consumed by everyone after it, so each footprint
+       key costs at most one index probe per transaction. Entries are
+       plain (not cells): each is written by exactly one thread before a
+       published watermark ([pre_done]/[cc_done]) or while the wrapper is
+       exclusively claimed, the same publication discipline as
+       [owned_keys]. *)
+    slots : wrapped V.t R.Cell.t option array;
+    (* Open-addressing key -> encoded-footprint-index map, built at wrap
+       time; write-set entries shadow read-set entries for the same key.
+       Replaces the per-read binary searches of the execution layer.
+       [fp_enc.(s) = -1] marks an empty probe slot. *)
+    fp_keys : Key.t array;
+    fp_enc : int array;
+    fp_mask : int;
     (* With preprocessing (3.2.2): for each CC thread, the footprint
        entries it owns, encoded as read-set index, or read-set length +
        write-set index. Written by one preprocessor thread and published
-       to the CC threads by the spawn that starts them. *)
+       to the CC threads through the [pre_done] watermark. *)
     mutable owned_keys : int array array;
   }
 
@@ -58,16 +75,62 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     { config; store; next_ts = 1 }
 
   let config t = t.config
+  let index_probes t = Store.probe_count t.store
 
   let partition_of cc_threads k = Key.hash k mod cc_threads
 
+  (* Capacity for [n] footprint entries at load factor <= 1/2, so linear
+     probing always terminates on an empty slot. *)
+  let fp_capacity n =
+    let rec go c = if c >= 2 * max 1 n then c else go (2 * c) in
+    go 1
+
+  let dummy_key = Key.make ~table:0 ~row:0
+
+  let fp_insert fp_keys fp_enc mask k enc =
+    let rec go s =
+      if fp_enc.(s) = -1 then begin
+        fp_keys.(s) <- k;
+        fp_enc.(s) <- enc
+      end
+      else if Key.equal fp_keys.(s) k then fp_enc.(s) <- enc
+      else go ((s + 1) land mask)
+    in
+    go (Key.hash k land mask)
+
+  (* Encoded footprint index of [k] in [w] (write-set entries shadow
+     read-set entries), or -1 for an undeclared key. *)
+  let fp_find w k =
+    let mask = w.fp_mask in
+    let rec go s =
+      let enc = w.fp_enc.(s) in
+      if enc = -1 then -1
+      else if Key.equal w.fp_keys.(s) k then enc
+      else go ((s + 1) land mask)
+    in
+    go (Key.hash k land mask)
+
   let wrap t i txn =
+    let n_rs = Array.length txn.Txn.read_set in
+    let n_ws = Array.length txn.Txn.write_set in
+    let cap = fp_capacity (n_rs + n_ws) in
+    let fp_keys = Array.make cap dummy_key in
+    let fp_enc = Array.make cap (-1) in
+    let mask = cap - 1 in
+    Array.iteri (fun i k -> fp_insert fp_keys fp_enc mask k i) txn.Txn.read_set;
+    Array.iteri
+      (fun j k -> fp_insert fp_keys fp_enc mask k (n_rs + j))
+      txn.Txn.write_set;
     {
       txn;
       ts = t.next_ts + i;
       state = R.Cell.make st_unprocessed;
       read_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.read_set;
       write_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.write_set;
+      slots = Array.make (n_rs + n_ws) None;
+      fp_keys;
+      fp_enc;
+      fp_mask = mask;
       owned_keys = [||];
     }
 
@@ -82,6 +145,34 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     go 0 (Array.length sorted)
 
+  (* Slot handle for footprint entry [enc] (key [k]) of [w]. On the
+     memoized path the storage index is probed at most once per distinct
+     key: an RMW key occupies both a read-set and a write-set entry, and
+     the second resolution reuses the twin entry's handle instead of
+     probing again. With [probe_memo] off this is exactly the old
+     re-probing path — one charged [Store.get] per call. *)
+  let slot_for t w enc k =
+    if not t.config.Config.probe_memo then Store.get t.store k
+    else
+      match w.slots.(enc) with
+      | Some slot -> slot
+      | None ->
+          let n_rs = Array.length w.txn.Txn.read_set in
+          let twin =
+            if enc >= n_rs then find_key w.txn.Txn.read_set k
+            else
+              match find_key w.txn.Txn.write_set k with
+              | -1 -> -1
+              | j -> n_rs + j
+          in
+          let slot =
+            match if twin >= 0 then w.slots.(twin) else None with
+            | Some slot -> slot
+            | None -> Store.get t.store k
+          in
+          w.slots.(enc) <- Some slot;
+          slot
+
   (* --- Concurrency-control phase (§3.2) --- *)
 
   type cc_stat = { mutable gc_collected : int; mutable inserted : int }
@@ -92,14 +183,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      the annotation is an uncontended write into space reserved inside the
      transaction (3.2.3). *)
   let cc_annotate_read t w i =
-    let head = R.Cell.get (Store.get t.store w.txn.Txn.read_set.(i)) in
+    let head = R.Cell.get (slot_for t w i w.txn.Txn.read_set.(i)) in
     R.Cell.set w.read_refs.(i) (Some head)
 
   (* Insert the placeholder for write-set entry [i] of [w] and invalidate
      its predecessor (3.2.3, Figure 3). *)
   let cc_insert_write t stat low_watermark w i =
     let k = w.txn.Txn.write_set.(i) in
-    let slot = Store.get t.store k in
+    let slot = slot_for t w (Array.length w.txn.Txn.read_set + i) k in
     let prev = R.Cell.get slot in
     R.work cc_insert_work;
     let v = V.placeholder ~ts:w.ts ~producer:w ~prev in
@@ -122,7 +213,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let n_rs = Array.length rs in
     if t.config.Config.preprocess then begin
       (* The preprocessing layer already determined which entries are
-         ours: no per-transaction scan (the Amdahl term of 3.2.2). *)
+         ours: no per-transaction scan (the Amdahl term of 3.2.2). The
+         [pre_done] watermark guarantees the stamp happened before CC got
+         here; an empty stamp would mean the pipeline handshake broke. *)
+      if Array.length w.owned_keys = 0 then
+        invalid_arg
+          "Bohm: concurrency control reached a transaction preprocessing \
+           has not stamped";
       let mine = w.owned_keys.(my_partition) in
       R.work (cc_dispatch_work + (cc_scan_per_key * Array.length mine));
       Array.iter
@@ -149,40 +246,71 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         ws
     end
 
+  (* Virtual-time instrumentation of the preprocess/CC pipeline overlap.
+     Each field is written by one thread and read by the driver after the
+     joins, so plain mutables suffice. *)
+  type timing = {
+    mutable cc_batch0_start : float;
+    mutable pre_complete : float;
+  }
+
   (* The 3.2.2 pre-processing layer: embarrassingly parallel over
      transactions, it computes for each CC thread the footprint entries in
-     its partition so that the CC layer's per-transaction work no longer
-     grows with the number of CC threads. *)
-  let preprocess_loop t wrapped me workers =
+     its partition — and, on the memoized path, resolves each footprint
+     key's slot handle with the transaction's single index probe. Run as a
+     pipeline stage: the [workers] preprocessors sweep one batch, meet at
+     [pre_barrier], publish the batch through the [pre_done] watermark
+     (the handshake CC threads consume, mirroring [cc_done]), and move on
+     to the next batch while CC works on this one. *)
+  let preprocess_loop t wrapped me workers pre_barrier pre_done timing
+      n_batches =
     let m = t.config.Config.cc_threads in
-    let scratch = Array.make m [] in
-    let idx = ref me in
+    let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
-    while !idx < n do
-      let w = wrapped.(!idx) in
-      let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
-      let n_rs = Array.length rs in
-      R.work
-        (cc_scan_base + (preprocess_per_key * (n_rs + Array.length ws)));
-      Array.fill scratch 0 m [];
-      Array.iteri
-        (fun i k ->
-          let p = partition_of m k in
-          scratch.(p) <- i :: scratch.(p))
-        rs;
-      Array.iteri
-        (fun i k ->
-          let p = partition_of m k in
-          scratch.(p) <- (n_rs + i) :: scratch.(p))
-        ws;
-      w.owned_keys <- Array.map (fun l -> Array.of_list (List.rev l)) scratch;
-      idx := !idx + workers
+    let scratch = Array.make m [] in
+    for b = 0 to n_batches - 1 do
+      let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
+      let idx = ref (lo + me) in
+      while !idx <= hi do
+        let w = wrapped.(!idx) in
+        let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
+        let n_rs = Array.length rs in
+        R.work
+          (cc_scan_base + (preprocess_per_key * (n_rs + Array.length ws)));
+        Array.fill scratch 0 m [];
+        Array.iteri
+          (fun i k ->
+            if t.config.Config.probe_memo then ignore (slot_for t w i k);
+            let p = partition_of m k in
+            scratch.(p) <- i :: scratch.(p))
+          rs;
+        Array.iteri
+          (fun i k ->
+            if t.config.Config.probe_memo then
+              ignore (slot_for t w (n_rs + i) k);
+            let p = partition_of m k in
+            scratch.(p) <- (n_rs + i) :: scratch.(p))
+          ws;
+        w.owned_keys <- Array.map (fun l -> Array.of_list (List.rev l)) scratch;
+        idx := !idx + workers
+      done;
+      Sync.Barrier.await pre_barrier;
+      if me = 0 then begin
+        R.Cell.set pre_done b;
+        if b = n_batches - 1 then timing.pre_complete <- R.now ()
+      end
     done
 
-  let cc_loop t my_partition stat low_watermark barrier cc_done wrapped n_batches =
+  let cc_loop t my_partition stat low_watermark barrier pre_done cc_done timing
+      wrapped n_batches =
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
     for b = 0 to n_batches - 1 do
+      (* Pipeline stage handshake: wait for preprocessing to publish this
+         batch; preprocessing of batch [b+1] proceeds meanwhile. *)
+      if t.config.Config.preprocess then
+        Sync.spin_until (fun () -> R.Cell.get pre_done >= b);
+      if b = 0 && my_partition = 0 then timing.cc_batch0_start <- R.now ();
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       for idx = lo to hi do
         cc_process_txn t my_partition stat low_watermark wrapped.(idx)
@@ -204,32 +332,31 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     R.work read_resolve_work;
     (* A key in the write set reads its own predecessor version (the
        placeholder's prev); otherwise the CC annotation (if on) or a chain
-       walk from the head locates the visible version. *)
-    match find_key w.txn.Txn.write_set k with
-    | j when j >= 0 -> (
-        match R.Cell.get w.write_refs.(j) with
+       walk from the cached head locates the visible version. The wrap-time
+       footprint map classifies the key with one lookup. *)
+    let n_rs = Array.length w.txn.Txn.read_set in
+    match fp_find w k with
+    | -1 ->
+        invalid_arg
+          (Printf.sprintf "Bohm: read of undeclared key %s" (Key.to_string k))
+    | enc when enc >= n_rs -> (
+        match R.Cell.get w.write_refs.(enc - n_rs) with
         | Some mine -> (
             match R.Cell.get mine.V.prev with
             | Some prev -> prev
             | None -> assert false (* placeholders always have a prev *))
         | None -> assert false (* CC finished this batch before exec began *))
-    | _ -> (
-        match find_key w.txn.Txn.read_set k with
-        | i when i >= 0 && t.config.Config.read_annotation -> (
-            match R.Cell.get w.read_refs.(i) with
-            | Some v -> v
-            | None -> assert false)
-        | i when i >= 0 -> (
-            let head = R.Cell.get (Store.get t.store k) in
-            match V.visible_at head ~ts:w.ts with
-            | Some v -> v
-            | None ->
-                invalid_arg
-                  "Bohm: version visible to transaction was garbage collected")
-        | _ ->
+    | i when t.config.Config.read_annotation -> (
+        match R.Cell.get w.read_refs.(i) with
+        | Some v -> v
+        | None -> assert false)
+    | i -> (
+        let head = R.Cell.get (slot_for t w i k) in
+        match V.visible_at head ~ts:w.ts with
+        | Some v -> v
+        | None ->
             invalid_arg
-              (Printf.sprintf "Bohm: read of undeclared key %s"
-                 (Key.to_string k)))
+              "Bohm: version visible to transaction was garbage collected")
 
   let read_version_data t k v =
     match R.Cell.get v.V.data with
@@ -388,8 +515,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         if !pending <> [] then ignore (sweep ~force:false);
         idx := !idx + k
       done;
+      (* Drain the retry list with exponential back-off: a thread whose
+         whole list is blocked on another thread's in-flight transaction
+         stops burning (simulated and real) cycles re-polling it. *)
+      let backoff = Sync.Backoff.create () in
       while !pending <> [] do
-        if not (sweep ~force:false) && not (sweep ~force:true) then R.relax ()
+        if sweep ~force:false || sweep ~force:true then
+          Sync.Backoff.reset backoff
+        else Sync.Backoff.once backoff
       done;
       (* Work stealing across assignments (§3.3.1: "other threads are
          allowed to execute transactions assigned to i"): before leaving
@@ -425,6 +558,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let n_batches = (n + bs - 1) / bs in
     let m = t.config.Config.cc_threads and k = t.config.Config.exec_threads in
     let barrier = Sync.Barrier.create ~parties:m in
+    let pre_done = R.Cell.make (-1) in
     let cc_done = R.Cell.make (-1) in
     let low_watermark = R.Cell.make 0 in
     let exec_progress = Array.init k (fun _ -> R.Cell.make 0) in
@@ -433,22 +567,29 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       Array.init k (fun _ ->
           { committed = 0; logic_aborts = 0; dep_blocks = 0; steals = 0 })
     in
+    let timing = { cc_batch0_start = 0.; pre_complete = 0. } in
     let start = R.now () in
-    if t.config.Config.preprocess then begin
-      (* Run the pre-processing stage first; its joins publish the
-         per-thread key lists to the CC threads. *)
-      let workers = m + k in
-      let pre =
+    (* All three stages run concurrently, pipelined per batch: the
+       preprocessors publish batch [b] through [pre_done], CC threads
+       consume it and publish through [cc_done], execution threads consume
+       that — so preprocessing of batch [b+1] overlaps CC of batch [b]
+       overlaps execution of batch [b-1]. *)
+    let pre_threads =
+      if not t.config.Config.preprocess then []
+      else begin
+        let workers = m + k in
+        let pre_barrier = Sync.Barrier.create ~parties:workers in
         List.init workers (fun me ->
-            R.spawn (fun () -> preprocess_loop t wrapped me workers))
-      in
-      List.iter R.join pre
-    end;
+            R.spawn (fun () ->
+                preprocess_loop t wrapped me workers pre_barrier pre_done
+                  timing n_batches))
+      end
+    in
     let cc_threads =
       List.init m (fun j ->
           R.spawn (fun () ->
-              cc_loop t j cc_stats.(j) low_watermark barrier cc_done wrapped
-                n_batches))
+              cc_loop t j cc_stats.(j) low_watermark barrier pre_done cc_done
+                timing wrapped n_batches))
     in
     let exec_threads =
       List.init k (fun e ->
@@ -456,6 +597,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               exec_loop t e exec_stats.(e) exec_progress low_watermark cc_done
                 wrapped n_batches))
     in
+    List.iter R.join pre_threads;
     List.iter R.join cc_threads;
     List.iter R.join exec_threads;
     let elapsed = R.now () -. start in
@@ -470,6 +612,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
+          (* Microseconds: virtual times are sub-millisecond, and the
+             harness prints extras rounded to integers. *)
+          ("cc_batch0_start_us", timing.cc_batch0_start *. 1e6);
+          ("pre_complete_us", timing.pre_complete *. 1e6);
         ]
       ()
 

@@ -1,7 +1,15 @@
 (** The BOHM engine (paper §3).
 
-    Processing is pipelined over batches by two thread groups sharing no
-    locks:
+    Processing is pipelined over batches by up to three thread groups
+    sharing no locks:
+
+    - {b Preprocessing threads} (when [Config.preprocess] is on, §3.2.2)
+      sweep each batch ahead of the CC layer, computing per transaction
+      which footprint entries each CC thread owns — and, on the memoized
+      path, resolving each footprint key's storage-index slot with the
+      transaction's single probe. Batches are published through a
+      [pre_done] watermark, so preprocessing of batch [b+1] overlaps
+      concurrency control of batch [b].
 
     - {b Concurrency-control threads} scan every transaction of a batch in
       timestamp order. Each owns a hash partition of the key space and, for
@@ -47,7 +55,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
       Extra stat counters: ["gc_collected"] (versions unlinked),
       ["dep_blocks"] (execution attempts that hit an unproduced version),
-      ["steals"] (executions completed by a non-responsible thread). *)
+      ["steals"] (executions completed by a non-responsible thread),
+      ["cc_batch0_start_us"] / ["pre_complete_us"] (virtual times, in
+      microseconds, at which
+      CC began batch 0 and preprocessing finished its last batch — the
+      pipeline-overlap witness; both 0 when preprocessing is off). *)
+
+  val index_probes : t -> int
+  (** Charged storage-index probes since the database was created
+      (diagnostic, from {!Bohm_storage.Store.Make.probe_count}): on the
+      memoized hot path ([Config.probe_memo]) a run adds at most one probe
+      per distinct footprint key per transaction. *)
 
   val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
   (** Newest produced value of a key — for post-run inspection; raises

@@ -61,6 +61,11 @@ val ablation_preprocess : ?scale:float -> ?quick:bool -> unit -> series list
 (** The §3.2.2 pre-processing layer on/off across CC thread counts: the
     Amdahl serial fraction and its removal. *)
 
+val ablation_probe_memo : ?scale:float -> ?quick:bool -> unit -> series list
+(** Probe-once slot memoization on/off under the fig4 workload, both with
+    the pipelined preprocessing stage: the storage-index probes the
+    memoized hot path removes from the CC layer's critical path. *)
+
 val extension_mvto : ?scale:float -> ?quick:bool -> unit -> series list
 (** BOHM against classic multiversion timestamp ordering (Reed): the
     "Track Reads" costs of §2.2, quantified. *)

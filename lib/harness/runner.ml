@@ -27,10 +27,19 @@ type bohm_opts = {
   batch_size : int;
   gc : bool;
   read_annotation : bool;
+  preprocess : bool;
+  probe_memo : bool;
 }
 
 let default_bohm_opts =
-  { cc_fraction = 0.25; batch_size = 1000; gc = true; read_annotation = true }
+  {
+    cc_fraction = 0.25;
+    batch_size = 1000;
+    gc = true;
+    read_annotation = true;
+    preprocess = false;
+    probe_memo = true;
+  }
 
 let split_threads opts threads =
   let cc = max 1 (int_of_float (Float.round (float_of_int threads *. opts.cc_fraction))) in
@@ -39,11 +48,11 @@ let split_threads opts threads =
   (cc, exec)
 
 let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) spec txns =
+    ?(preprocess = false) ?(probe_memo = true) spec txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
-          ~gc ~read_annotation:annotate ~preprocess ()
+          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -54,7 +63,8 @@ let run_sim ?(bohm = default_bohm_opts) engine ~threads spec txns =
   | Bohm ->
       let cc, exec = split_threads bohm threads in
       run_bohm_sim ~cc ~exec ~batch:bohm.batch_size ~gc:bohm.gc
-        ~annotate:bohm.read_annotation spec txns
+        ~annotate:bohm.read_annotation ~preprocess:bohm.preprocess
+        ~probe_memo:bohm.probe_memo spec txns
   | Hekaton ->
       Sim.run (fun () ->
           let db =

@@ -22,10 +22,13 @@ type bohm_opts = {
   batch_size : int;
   gc : bool;
   read_annotation : bool;
+  preprocess : bool;  (** Pipelined §3.2.2 preprocessing stage. *)
+  probe_memo : bool;  (** Probe-once slot memoization. *)
 }
 
 val default_bohm_opts : bohm_opts
-(** cc_fraction 0.25, batch 1000, gc on, annotation on. *)
+(** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
+    off, probe memoization on. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -40,6 +43,7 @@ val run_bohm_sim :
   ?gc:bool ->
   ?annotate:bool ->
   ?preprocess:bool ->
+  ?probe_memo:bool ->
   spec ->
   Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t

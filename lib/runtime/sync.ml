@@ -1,13 +1,26 @@
 module Make (R : Runtime_intf.S) = struct
-  let max_backoff = 256
+  let default_max_backoff = 256
 
-  let spin_until cond =
-    let backoff = ref 1 in
-    while not (cond ()) do
-      for _ = 1 to !backoff do
+  module Backoff = struct
+    type t = { max : int; mutable cur : int }
+
+    let create ?(max = default_max_backoff) () =
+      if max <= 0 then invalid_arg "Backoff.create: max must be positive";
+      { max; cur = 1 }
+
+    let reset t = t.cur <- 1
+
+    let once t =
+      for _ = 1 to t.cur do
         R.relax ()
       done;
-      if !backoff < max_backoff then backoff := !backoff * 2
+      if t.cur < t.max then t.cur <- t.cur * 2
+  end
+
+  let spin_until ?max_backoff cond =
+    let b = Backoff.create ?max:max_backoff () in
+    while not (cond ()) do
+      Backoff.once b
     done
 
   module Barrier = struct
@@ -49,12 +62,9 @@ module Make (R : Runtime_intf.S) = struct
     let try_acquire t = R.Cell.get t = 0 && R.Cell.cas t 0 1
 
     let acquire t =
-      let backoff = ref 1 in
+      let b = Backoff.create () in
       while not (try_acquire t) do
-        for _ = 1 to !backoff do
-          R.relax ()
-        done;
-        if !backoff < max_backoff then backoff := !backoff * 2
+        Backoff.once b
       done
 
     let release t = R.Cell.set t 0

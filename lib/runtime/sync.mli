@@ -3,7 +3,27 @@
     database implements over raw atomics. *)
 
 module Make (R : Runtime_intf.S) : sig
-  val spin_until : (unit -> bool) -> unit
+  (** Capped exponential back-off: each {!Backoff.once} spins twice as
+      long as the previous one (up to the cap), so a stalled thread stops
+      hammering the line — and the simulated clock — it is waiting on.
+      Reusable from any retry loop; {!spin_until} and {!Spinlock} are
+      built on it. *)
+  module Backoff : sig
+    type t
+
+    val create : ?max:int -> unit -> t
+    (** Fresh back-off starting at one relax per round, doubling to at
+        most [max] (default 256). Raises [Invalid_argument] if [max] is
+        not positive. *)
+
+    val once : t -> unit
+    (** Spin the current round's relax count, then double it (capped). *)
+
+    val reset : t -> unit
+    (** Back to one relax per round — call after making progress. *)
+  end
+
+  val spin_until : ?max_backoff:int -> (unit -> bool) -> unit
   (** Busy-wait with capped exponential back-off until the condition holds.
       The condition is re-evaluated after each back-off round; reads inside
       it are charged normally by the simulator. *)

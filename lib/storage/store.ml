@@ -1,7 +1,9 @@
 module Key = Bohm_txn.Key
 
 (* Index-probe costs in cycles; slot contents are charged separately by the
-   engines through Cell accesses. *)
+   engines through Cell accesses. Misses pay for the chain entries they
+   walked before giving up, exactly like hits (the failure path is not
+   free in a real hash index). *)
 let array_probe_cost = 6
 let hash_probe_cost = 24
 let chain_step_cost = 10
@@ -11,7 +13,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     | Array_backend of 'a array
     | Hash_backend of { buckets : (int * 'a) array array; mask : int }
 
-  type 'a t = { tables : Table.t array; per_table : 'a backend array }
+  type 'a t = {
+    tables : Table.t array;
+    per_table : 'a backend array;
+    (* Diagnostic count of charged index probes (hits and misses). Not a
+       Cell: incrementing it must not perturb the cost model. Exact on the
+       cooperative simulator; approximate under real parallelism. *)
+    mutable probes : int;
+  }
 
   let check_schema tables =
     Array.iteri
@@ -30,7 +39,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                  init (Key.make ~table:tbl.Table.tid ~row))))
         tables
     in
-    { tables; per_table }
+    { tables; per_table; probes = 0 }
 
   let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
 
@@ -54,30 +63,43 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           Hash_backend { buckets = Array.map Array.of_list chains; mask })
         tables
     in
-    { tables; per_table }
+    { tables; per_table; probes = 0 }
 
-  let get t k =
+  (* One charged index probe. Callers on a hot path should hold on to the
+     returned slot handle instead of probing again: the index is immutable
+     after load, so a handle stays valid for the lifetime of the store. *)
+  let probe t k =
     let table = Key.table k and row = Key.row k in
-    if table >= Array.length t.per_table then raise Not_found;
-    match t.per_table.(table) with
-    | Array_backend slots ->
-        if row >= Array.length slots then raise Not_found;
-        R.work array_probe_cost;
-        slots.(row)
-    | Hash_backend { buckets; mask } ->
-        let bucket = buckets.(Key.hash k land mask) in
-        let n = Array.length bucket in
-        let rec probe i =
-          if i >= n then raise Not_found
-          else
-            let r, slot = bucket.(i) in
-            if r = row then begin
-              R.work (hash_probe_cost + (i * chain_step_cost));
-              slot
+    if table >= Array.length t.per_table then None
+    else begin
+      t.probes <- t.probes + 1;
+      match t.per_table.(table) with
+      | Array_backend slots ->
+          R.work array_probe_cost;
+          if row >= Array.length slots then None else Some slots.(row)
+      | Hash_backend { buckets; mask } ->
+          let bucket = buckets.(Key.hash k land mask) in
+          let n = Array.length bucket in
+          let rec walk i =
+            if i >= n then begin
+              (* Exhausted the chain: the miss walked all [n] entries. *)
+              R.work (hash_probe_cost + (n * chain_step_cost));
+              None
             end
-            else probe (i + 1)
-        in
-        probe 0
+            else
+              let r, slot = bucket.(i) in
+              if r = row then begin
+                R.work (hash_probe_cost + (i * chain_step_cost));
+                Some slot
+              end
+              else walk (i + 1)
+          in
+          walk 0
+    end
+
+  let get t k = match probe t k with Some slot -> slot | None -> raise Not_found
+  let probe_count t = t.probes
+  let reset_probe_count t = t.probes <- 0
 
   let tables t = t.tables
 

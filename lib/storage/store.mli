@@ -9,8 +9,24 @@
     slots, never the index structure, which is why lookups are latch-free.
 
     Lookups charge the runtime a small fixed cost (array) or a
-    hash-plus-probe cost (hash); slot contents are charged by the engine
-    when it touches them. *)
+    hash-plus-probe cost (hash); misses charge for every chain entry they
+    walked before giving up. Slot contents are charged by the engine when
+    it touches them.
+
+    {b Probe-once discipline}: because the index is immutable, a slot
+    handle returned by {!probe}/{!get} stays valid forever. Hot paths
+    should resolve each key once and cache the handle (the BOHM engine's
+    [probe_memo] path) rather than re-probing; {!probe_count} makes the
+    discipline testable. *)
+
+val array_probe_cost : int
+val hash_probe_cost : int
+val chain_step_cost : int
+(** Cycle charges of the two backends, exposed so tests can pin the cost
+    model: an array lookup costs [array_probe_cost]; a hash lookup that
+    inspects chain entry [i] costs [hash_probe_cost + i * chain_step_cost];
+    a hash miss that exhausts a chain of [n] entries costs
+    [hash_probe_cost + n * chain_step_cost]. *)
 
 module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   type 'a t
@@ -23,8 +39,22 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   (** Chained hash index with [rows / bucket_factor] buckets per table
       (default factor 1). *)
 
+  val probe : 'a t -> Bohm_txn.Key.t -> 'a option
+  (** One charged index probe; [None] for unknown tables or out-of-range
+      rows. The returned handle may be cached: the index never changes
+      after load. *)
+
   val get : 'a t -> Bohm_txn.Key.t -> 'a
-  (** Raises [Not_found] for unknown tables or out-of-range rows. *)
+  (** [probe] that raises [Not_found] for unknown keys (the miss is still
+      charged). *)
+
+  val probe_count : 'a t -> int
+  (** Number of charged index probes since creation (or the last
+      {!reset_probe_count}), hits and misses alike. Diagnostic: exact on
+      the deterministic simulator, approximate under real parallelism
+      (plain counter, so it costs nothing in the model). *)
+
+  val reset_probe_count : 'a t -> unit
 
   val tables : 'a t -> Table.t array
   val table : 'a t -> int -> Table.t

@@ -38,9 +38,9 @@ let transfer_txn id a b n =
       Txn.Commit)
 
 let default_config ?(cc = 2) ?(ex = 2) ?(batch = 16) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) () =
+    ?(preprocess = false) ?(probe_memo = true) () =
   Config.make ~cc_threads:cc ~exec_threads:ex ~batch_size:batch ~gc
-    ~read_annotation:annotate ~preprocess ()
+    ~read_annotation:annotate ~preprocess ~probe_memo ()
 
 let run_sim ?config txns =
   let config = match config with Some c -> c | None -> default_config () in
@@ -57,7 +57,8 @@ let test_config_defaults () =
   Alcotest.(check int) "exec" 2 c.Config.exec_threads;
   Alcotest.(check int) "batch" 1000 c.Config.batch_size;
   Alcotest.(check bool) "gc" true c.Config.gc;
-  Alcotest.(check bool) "annotation" true c.Config.read_annotation
+  Alcotest.(check bool) "annotation" true c.Config.read_annotation;
+  Alcotest.(check bool) "probe memo" true c.Config.probe_memo
 
 let test_config_validation () =
   Alcotest.check_raises "cc" (Invalid_argument "Config.make: cc_threads must be positive")
@@ -422,6 +423,105 @@ let test_no_gc_keeps_all_versions () =
   Alcotest.(check bool) "nothing collected" true
     (Stats.extra stats "gc_collected" = Some 0.)
 
+(* --- probe-once memoization and the preprocessing pipeline --- *)
+
+let test_probe_once_per_footprint_key () =
+  (* Single-key RMW transactions: on the memoized path the index is
+     probed exactly once per transaction (read annotation and write
+     insertion share the slot handle); the re-probing path pays twice. *)
+  let n = 200 in
+  let txns = Array.init n (fun i -> incr_txn i (key (i mod 32)) 1) in
+  let probes memo =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create (default_config ~probe_memo:memo ()) ~tables
+            init_zero
+        in
+        ignore (Sim_engine.run db txns);
+        Sim_engine.index_probes db)
+  in
+  Alcotest.(check int) "memoized: one probe per txn" n (probes true);
+  Alcotest.(check int) "re-probe: two probes per txn" (2 * n) (probes false)
+
+let test_probe_once_with_preprocess () =
+  (* With the pipeline stage on, preprocessing resolves every slot and
+     nothing downstream probes again. *)
+  let n = 128 in
+  let txns = Array.init n (fun i -> incr_txn i (key (i mod 16)) 1) in
+  let count =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create
+            (default_config ~cc:2 ~ex:2 ~batch:16 ~preprocess:true ())
+            ~tables init_zero
+        in
+        ignore (Sim_engine.run db txns);
+        Sim_engine.index_probes db)
+  in
+  Alcotest.(check int) "one probe per footprint key" n count
+
+let test_preprocess_pipelines_ahead_of_cc () =
+  (* Per-batch publication means CC starts on batch 0 while preprocessing
+     is still working through later batches; and under any schedule CC
+     must never observe an unstamped transaction (the engine raises
+     Invalid_argument if that handshake breaks). *)
+  let txns = Array.init 256 (fun i -> incr_txn i (key (i mod 64)) 1) in
+  List.iter
+    (fun seed ->
+      let stats =
+        Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+            let db =
+              Sim_engine.create
+                (default_config ~cc:2 ~ex:2 ~batch:16 ~preprocess:true ())
+                ~tables init_zero
+            in
+            Sim_engine.run db txns)
+      in
+      Alcotest.(check int) "all committed" 256 stats.Stats.committed;
+      let extra name =
+        match Stats.extra stats name with
+        | Some f -> f
+        | None -> Alcotest.failf "missing stat %s" name
+      in
+      let cc0 = extra "cc_batch0_start_us" and pre = extra "pre_complete_us" in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "seed %d: cc batch 0 (%.1fus) starts before preprocessing \
+            completes (%.1fus)"
+           seed cc0 pre)
+        true
+        (cc0 > 0. && pre > 0. && cc0 < pre))
+    [ 0; 1; 2; 3; 4 ]
+
+let prop_equivalence_across_probe_and_preprocess_combos =
+  QCheck.Test.make ~count:10
+    ~name:"all probe_memo x preprocess combos equal serial order"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 120 (fun i -> random_rmw_txn rng i) in
+      let reference = Reference.create ~tables init_zero in
+      ignore (Reference.run reference txns);
+      List.for_all
+        (fun (preprocess, probe_memo) ->
+          Sim.run ~jitter:(Rng.create ~seed:(seed + 17)) (fun () ->
+              let db =
+                Sim_engine.create
+                  (default_config ~cc:3 ~ex:3 ~batch:16 ~preprocess
+                     ~probe_memo ())
+                  ~tables init_zero
+              in
+              ignore (Sim_engine.run db txns);
+              let ok = ref true in
+              for i = 0 to 63 do
+                if
+                  Value.to_int (Sim_engine.read_latest db (key i))
+                  <> Value.to_int (Reference.read reference (key i))
+                then ok := false
+              done;
+              !ok))
+        [ (false, false); (false, true); (true, false); (true, true) ])
+
 (* --- multiple runs share the database --- *)
 
 let test_sequential_runs_accumulate () =
@@ -554,7 +654,20 @@ let suite =
           test_read_only_sees_consistent_snapshot;
       ]
       @ qcheck
-          [ prop_serial_equivalence_under_random_schedules; prop_transfers_conserve ] );
+          [
+            prop_serial_equivalence_under_random_schedules;
+            prop_transfers_conserve;
+            prop_equivalence_across_probe_and_preprocess_combos;
+          ] );
+    ( "bohm-probe-memo",
+      [
+        Alcotest.test_case "one probe per footprint key" `Quick
+          test_probe_once_per_footprint_key;
+        Alcotest.test_case "one probe with preprocessing" `Quick
+          test_probe_once_with_preprocess;
+        Alcotest.test_case "preprocessing pipelines ahead of cc" `Quick
+          test_preprocess_pipelines_ahead_of_cc;
+      ] );
     ( "bohm-aborts",
       [
         Alcotest.test_case "logic abort discards writes" `Quick test_logic_abort_discards_writes;

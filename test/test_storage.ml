@@ -125,6 +125,56 @@ let test_store_sim_charges_time () =
   in
   Alcotest.(check bool) "time advanced" true (elapsed > 0.)
 
+let test_store_probe_option () =
+  let s = Store_real.create_hash ~tables key_value in
+  (match Store_real.probe s (Key.make ~table:0 ~row:5) with
+  | Some v -> Alcotest.(check int) "hit value" 5 v
+  | None -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "miss is None" true
+    (Store_real.probe s (Key.make ~table:0 ~row:100) = None);
+  Alcotest.(check bool) "unknown table is None" true
+    (Store_real.probe s (Key.make ~table:2 ~row:0) = None)
+
+let test_store_probe_count () =
+  let s = Store_real.create_hash ~tables key_value in
+  Alcotest.(check int) "starts at zero" 0 (Store_real.probe_count s);
+  ignore (Store_real.probe s (Key.make ~table:0 ~row:1));
+  ignore (Store_real.probe s (Key.make ~table:0 ~row:100));
+  (* An unknown table is rejected before the index is consulted. *)
+  ignore (Store_real.probe s (Key.make ~table:2 ~row:0));
+  Alcotest.(check int) "hits and misses counted" 2 (Store_real.probe_count s);
+  Store_real.reset_probe_count s;
+  Alcotest.(check int) "reset" 0 (Store_real.probe_count s)
+
+let test_store_probe_costs_pinned () =
+  (* Pin the simulated cycle charges so hits and misses stay symmetric: a
+     single-row table has chains of length one, so a hash hit costs
+     [hash_probe_cost] and a miss pays the same base plus the one chain
+     entry it walked before giving up. Array probes cost [array_probe_cost]
+     either way. *)
+  let module Store_sim = Bohm_storage.Store.Make (Sim) in
+  let tables = [| Table.make ~tid:0 ~name:"t" ~rows:1 ~record_bytes:8 |] in
+  let charged build row =
+    Sim.run (fun () ->
+        let s = build () in
+        let before = Sim.now () in
+        ignore (Store_sim.probe s (Key.make ~table:0 ~row));
+        int_of_float
+          (((Sim.now () -. before) *. Bohm_runtime.Costs.cycles_per_second)
+          +. 0.5))
+  in
+  let hash () = Store_sim.create_hash ~tables key_value in
+  let arr () = Store_sim.create_array ~tables key_value in
+  Alcotest.(check int) "hash hit" Bohm_storage.Store.hash_probe_cost
+    (charged hash 0);
+  Alcotest.(check int) "hash miss walks the chain"
+    (Bohm_storage.Store.hash_probe_cost + Bohm_storage.Store.chain_step_cost)
+    (charged hash 1);
+  Alcotest.(check int) "array hit" Bohm_storage.Store.array_probe_cost
+    (charged arr 0);
+  Alcotest.(check int) "array miss" Bohm_storage.Store.array_probe_cost
+    (charged arr 1)
+
 let prop_backends_agree =
   QCheck.Test.make ~count:100 ~name:"hash and array backends agree"
     QCheck.(pair (int_range 1 200) (int_range 0 400))
@@ -158,6 +208,9 @@ let suite =
         Alcotest.test_case "bucket factor" `Quick test_store_bucket_factor;
         Alcotest.test_case "schema validation" `Quick test_store_schema_validation;
         Alcotest.test_case "sim charges time" `Quick test_store_sim_charges_time;
+        Alcotest.test_case "probe option" `Quick test_store_probe_option;
+        Alcotest.test_case "probe count" `Quick test_store_probe_count;
+        Alcotest.test_case "probe costs pinned" `Quick test_store_probe_costs_pinned;
       ]
       @ qcheck [ prop_backends_agree ] );
   ]

@@ -14,22 +14,72 @@ module Experiments = Bohm_harness.Experiments
 module Runner = Bohm_harness.Runner
 module Stats = Bohm_txn.Stats
 module Ycsb = Bohm_workload.Ycsb
+module Table = Bohm_storage.Table
+module Check = Bohm_harness.Serialization_check
+module Analysis = Bohm_analysis.Report
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--scale=F] [--json=PATH] [experiment ...]";
+    "usage: main.exe [--quick] [--scale=F] [--json=PATH] [--sanitize] \
+     [experiment ...]";
   prerr_endline "experiments:";
   List.iter
     (fun (name, _) -> prerr_endline ("  " ^ name))
     Experiments.experiments;
   prerr_endline "  micro";
   prerr_endline "  smoke   (fig4-config correctness gate; non-zero exit on loss)";
+  prerr_endline
+    "  sanitize (every engine under the full sanitizer suite; non-zero exit \
+     on diagnostics)";
+  prerr_endline
+    "options: --sanitize also runs the smoke configurations under the \
+     sanitizer suite";
   exit 2
+
+(* Every engine, fully sanitized — footprint shim, race tracing, chain
+   audit — on the serialization-check workload (contended RMWs plus pure
+   reads: the access mix that exercises every code path the checkers
+   watch). Any diagnostic is a hard failure. *)
+let sanitize ~scale ~quick =
+  let rows = 48 in
+  let count =
+    max 60 (int_of_float ((if quick then 120. else 400.) *. scale))
+  in
+  let w =
+    Check.make_workload ~rows ~txns:count ~rmws_per_txn:2 ~reads_per_txn:2
+      ~seed:11
+  in
+  let spec =
+    {
+      Runner.tables = [| Table.make ~tid:0 ~name:"sanitize" ~rows ~record_bytes:8 |];
+      init = Check.initial_value;
+    }
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun engine ->
+      let stats, report =
+        Runner.run_sim_sanitized engine ~threads:6 spec (Check.txns w)
+      in
+      let clean = Analysis.is_clean report in
+      Printf.printf "sanitize %-8s %s (%d/%d committed)\n"
+        (Runner.name engine)
+        (if clean then "PASS" else "FAIL")
+        stats.Stats.committed count;
+      if not clean then begin
+        print_endline (Analysis.to_string report);
+        incr failures
+      end)
+    (Runner.all @ [ Runner.Mvto ]);
+  if !failures > 0 then begin
+    Printf.eprintf "sanitize: %d engine(s) produced diagnostics\n" !failures;
+    exit 1
+  end
 
 (* Tier-1 CI gate: the fig4 configuration at a small scale must commit
    every input transaction. Catches perf work that silently drops, dupes
    or deadlocks transactions; finishes in seconds. *)
-let smoke ~scale =
+let smoke ~scale ~sanitized =
   let count = max 500 (int_of_float (500. *. scale)) in
   let rows = 100_000 in
   let spec =
@@ -42,26 +92,44 @@ let smoke ~scale =
     Ycsb.generate ~rows ~theta:0.0 ~count ~seed:41 (Ycsb.rmw_profile 10)
   in
   let failures = ref 0 in
-  let check label stats =
+  let check label (stats, report) =
+    let clean = match report with None -> true | Some r -> Analysis.is_clean r in
     let ok =
       stats.Stats.committed = count
       && stats.Stats.logic_aborts = 0
       && stats.Stats.cc_aborts = 0
+      && clean
     in
     Printf.printf "smoke %-42s %s (%d/%d committed)\n" label
       (if ok then "PASS" else "FAIL")
       stats.Stats.committed count;
+    (match report with
+    | Some r when not (Analysis.is_clean r) -> print_endline (Analysis.to_string r)
+    | _ -> ());
     if not ok then incr failures
   in
-  check "bohm cc=4 exec=8"
-    (Runner.run_bohm_sim ~cc:4 ~exec:8 spec txns);
-  check "bohm cc=4 exec=8 preprocess"
-    (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess:true spec txns);
-  check "bohm cc=4 exec=8 preprocess re-probe"
-    (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess:true ~probe_memo:false spec
-       txns);
+  (* With --sanitize the same configurations run under the full checker
+     suite (cc=4/exec=8 expressed as 12 threads at cc_fraction 1/3 — the
+     identical split). *)
+  let run ~preprocess ~probe_memo =
+    if sanitized then
+      let bohm =
+        { Runner.default_bohm_opts with cc_fraction = 1. /. 3.; preprocess;
+          probe_memo }
+      in
+      let stats, r = Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec txns in
+      (stats, Some r)
+    else
+      (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess ~probe_memo spec txns, None)
+  in
+  let suffix = if sanitized then " sanitized" else "" in
+  check ("bohm cc=4 exec=8" ^ suffix) (run ~preprocess:false ~probe_memo:true);
+  check ("bohm cc=4 exec=8 preprocess" ^ suffix)
+    (run ~preprocess:true ~probe_memo:true);
+  check ("bohm cc=4 exec=8 preprocess re-probe" ^ suffix)
+    (run ~preprocess:true ~probe_memo:false);
   if !failures > 0 then begin
-    Printf.eprintf "smoke: %d configuration(s) lost transactions\n" !failures;
+    Printf.eprintf "smoke: %d configuration(s) failed\n" !failures;
     exit 1
   end
 
@@ -69,6 +137,7 @@ let () =
   let quick = ref false in
   let scale = ref 1.0 in
   let json = ref None in
+  let sanitized = ref false in
   let selected = ref [] in
   Array.iteri
     (fun i arg ->
@@ -78,6 +147,7 @@ let () =
           scale := float_of_string (String.sub arg 8 (String.length arg - 8))
         else if String.length arg > 7 && String.sub arg 0 7 = "--json=" then
           json := Some (String.sub arg 7 (String.length arg - 7))
+        else if arg = "--sanitize" then sanitized := true
         else if arg = "--help" || arg = "-h" then usage ()
         else selected := arg :: !selected)
     Sys.argv;
@@ -93,7 +163,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let run_one name =
     if name = "micro" then Micro.run ()
-    else if name = "smoke" then smoke ~scale:!scale
+    else if name = "smoke" then smoke ~scale:!scale ~sanitized:!sanitized
+    else if name = "sanitize" then sanitize ~scale:!scale ~quick:!quick
     else
       match List.assoc_opt name Experiments.experiments with
       | Some f -> List.iter Experiments.print (f ~scale:!scale ~quick:!quick ())

@@ -6,4 +6,7 @@
 set -e
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
+# One sanitized configuration per engine (footprint + chain + race
+# checkers on the serialization workload), then the throughput gate.
+dune exec bench/main.exe -- sanitize --quick
 exec dune exec bench/main.exe -- smoke "$@"

@@ -1,0 +1,35 @@
+module Key = Bohm_txn.Key
+
+type entry = { begin_ts : int; end_ts : int option; filled : bool }
+
+let infinity_ts = max_int
+
+let check_key report ?(newest_end = infinity_ts) k entries =
+  let add kind detail = Report.add report ~key:k kind detail in
+  let rec go newer_begin = function
+    | [] -> ()
+    | e :: rest ->
+        if not e.filled then
+          add Report.Chain_unfilled
+            (Printf.sprintf "version ts %d has no data" e.begin_ts);
+        (match newer_begin with
+        | Some nb when e.begin_ts >= nb ->
+            add Report.Chain_out_of_order
+              (Printf.sprintf "version ts %d not older than successor ts %d"
+                 e.begin_ts nb)
+        | _ -> ());
+        (match (e.end_ts, newer_begin) with
+        | Some e_end, Some nb when e_end <> nb ->
+            (* Invalidated by the successor: the end stamp must be exactly
+               the successor's begin stamp. *)
+            add Report.Chain_end_mismatch
+              (Printf.sprintf "version ts %d ends at %d but successor begins at %d"
+                 e.begin_ts e_end nb)
+        | Some e_end, None when e_end <> newest_end ->
+            add Report.Chain_end_mismatch
+              (Printf.sprintf "head version ts %d ends at %d, expected %d"
+                 e.begin_ts e_end newest_end)
+        | _ -> ());
+        go (Some e.begin_ts) rest
+  in
+  go None entries

@@ -1,0 +1,36 @@
+(** Version-chain invariant checker.
+
+    Each engine owns its version representation, so the engines fold their
+    chains into neutral {!entry} lists (newest first, exactly the link
+    order of the chain) and this module applies the shared invariants:
+
+    - {b total timestamp order}: begin timestamps strictly decrease from
+      the head (paper §3.2: CC threads leave per-key chains totally
+      ordered);
+    - {b no unfilled placeholders}: after quiescence every version carries
+      data ([filled]) — BOHM's execution phase guarantees every
+      placeholder is eventually filled (§3.3.1);
+    - {b begin/end consistency} (engines that stamp invalidation times,
+      i.e. BOHM and Hekaton): a version's end timestamp equals its
+      successor's begin timestamp, and the head's equals [newest_end]
+      (timestamp infinity). Entries with [end_ts = None] skip this
+      check (MVTO stamps no end times).
+
+    Run it post-quiescence — after the engine's [run] has joined its
+    threads — via each engine's [check_chains]. *)
+
+type entry = {
+  begin_ts : int;  (** Creation timestamp of the version. *)
+  end_ts : int option;
+      (** Invalidation timestamp, for engines that stamp one. *)
+  filled : bool;  (** Placeholder has been given data / producer settled. *)
+}
+
+val infinity_ts : int
+(** [max_int], the "never invalidated" end stamp. *)
+
+val check_key :
+  Report.t -> ?newest_end:int -> Bohm_txn.Key.t -> entry list -> unit
+(** Check one key's chain, [entries] newest-first. [newest_end] is the end
+    stamp the head must carry (default {!infinity_ts}). Diagnostics go to
+    the report under the [Chain] checker. *)

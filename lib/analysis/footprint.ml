@@ -1,0 +1,40 @@
+module Txn = Bohm_txn.Txn
+
+(* The shim wraps the logic, not the engine: every engine hands the logic
+   a ctx, so wrapping the logic to interpose on that ctx is the one
+   uniform hook that covers all of them. The wrapped logic is
+   behavior-preserving — every access is forwarded unchanged — so a
+   sanitized run takes exactly the execution path an unsanitized run
+   takes; the checks themselves are plain OCaml and charge nothing. *)
+let wrap report txn =
+  let logic ctx =
+    (* Fresh per invocation: engines re-run logic on retries, and each
+       run's returned-ness is its own. *)
+    let returned = ref false in
+    let shim =
+      {
+        Txn.read =
+          (fun k ->
+            if not (Txn.reads txn k || Txn.writes txn k) then
+              Report.add report ~txn:txn.Txn.id ~key:k Report.Undeclared_read
+                "read outside declared footprint";
+            ctx.Txn.read k);
+        write =
+          (fun k v ->
+            if !returned then
+              Report.add report ~txn:txn.Txn.id ~key:k Report.Late_write
+                "write after logic returned"
+            else if not (Txn.writes txn k) then
+              Report.add report ~txn:txn.Txn.id ~key:k Report.Undeclared_write
+                "write outside declared write set";
+            ctx.Txn.write k v);
+        spin = ctx.Txn.spin;
+      }
+    in
+    let outcome = txn.Txn.logic shim in
+    returned := true;
+    outcome
+  in
+  Txn.with_logic txn logic
+
+let wrap_all report txns = Array.map (wrap report) txns

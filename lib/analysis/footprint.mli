@@ -1,0 +1,22 @@
+(** Footprint sanitizer: checks that transaction logic honors its declared
+    read/write sets (the paper's §2.3 "deducible write-sets" contract that
+    BOHM's concurrency-control layer trusts blindly).
+
+    {!wrap} interposes on the [Txn.ctx] an engine hands the logic — the
+    one hook every engine shares — and flags:
+
+    - reads of keys outside read set ∪ write set ({!Report.Undeclared_read});
+    - writes of keys outside the write set ({!Report.Undeclared_write});
+    - writes issued after the logic returned, e.g. from a leaked ctx
+      ({!Report.Late_write}).
+
+    Every access is forwarded unchanged, so wrapping does not alter engine
+    behavior (an engine that itself rejects undeclared accesses will still
+    do so — after the diagnostic is recorded). The checks are plain
+    uncharged computation: a wrapped run's virtual-time results equal the
+    unwrapped run's. *)
+
+val wrap : Report.t -> Bohm_txn.Txn.t -> Bohm_txn.Txn.t
+(** Same transaction (id, read/write sets), shimmed logic. *)
+
+val wrap_all : Report.t -> Bohm_txn.Txn.t array -> Bohm_txn.Txn.t array

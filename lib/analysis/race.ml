@@ -1,0 +1,147 @@
+module Trace = Bohm_runtime.Trace
+
+(* FastTrack-style happens-before detection (Flanagan & Freund) over the
+   simulator's access trace. Threads carry vector clocks; synchronization
+   cells (marked via Cell.mark_sync or promoted by an RMW) act as
+   release/acquire points: a write joins the writer's clock into the
+   cell's, a read joins the cell's into the reader's. Data cells — the
+   default — are checked: each keeps its last write epoch and last read
+   epoch per thread, and a conflicting access (two threads, at least one
+   write) with no happens-before path is reported as a race.
+
+   The Sim scheduler serializes all callbacks, so plain state suffices.
+   Epoch clocks are per-thread logical counters (ticked on every traced
+   event); the virtual clock rides along for diagnostics only. *)
+
+let kind_name = function
+  | Trace.Read -> "read"
+  | Trace.Write -> "write"
+  | Trace.Rmw -> "rmw"
+
+type epoch = { thread : int; lc : int; vclock : int; kind : Trace.kind }
+
+type cell_state =
+  | Sync of int array ref  (* the cell's release clock *)
+  | Data of {
+      mutable last_write : epoch option;
+      mutable reads : epoch list;  (* newest per thread *)
+      mutable poisoned : bool;  (* one report per cell, then silence *)
+    }
+
+type t = {
+  report : Report.t;
+  threads : (int, int array ref) Hashtbl.t;
+  cells : (int, cell_state) Hashtbl.t;
+}
+
+(* Grow to exactly [n]: clock length is bounded by the highest thread id,
+   so headroom buys nothing — and over-allocating here feeds back through
+   [join] (each side grows to the other's length), which would double both
+   arrays on every RMW of a hot sync cell. *)
+let grow vc n =
+  if Array.length !vc < n then begin
+    let b = Array.make n 0 in
+    Array.blit !vc 0 b 0 (Array.length !vc);
+    vc := b
+  end
+
+let join dst src =
+  grow dst (Array.length !src);
+  let d = !dst and s = !src in
+  for i = 0 to Array.length s - 1 do
+    if s.(i) > d.(i) then d.(i) <- s.(i)
+  done
+
+let thread_vc t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some vc -> vc
+  | None ->
+      let vc = ref (Array.make (tid + 1) 0) in
+      !vc.(tid) <- 1;
+      Hashtbl.add t.threads tid vc;
+      vc
+
+let tick t tid =
+  let vc = thread_vc t tid in
+  grow vc (tid + 1);
+  !vc.(tid) <- !vc.(tid) + 1;
+  vc
+
+(* [e] happens-before the current state of [vc]? *)
+let ordered e vc = Array.length !vc > e.thread && !vc.(e.thread) >= e.lc
+
+let report_race t ~cell a b =
+  Report.add t.report Report.Data_race
+    (Printf.sprintf "cell %d: %s by thread %d @%d vs %s by thread %d @%d"
+       cell (kind_name a.kind) a.thread a.vclock (kind_name b.kind) b.thread
+       b.vclock)
+
+let cell_state t cell ~sync =
+  match Hashtbl.find_opt t.cells cell with
+  | Some (Sync _ as st) -> st
+  | Some (Data _ as st) when not sync -> st
+  | Some (Data _) | None ->
+      (* New cell, or a data cell just promoted (first RMW / late
+         mark_sync): sync cells keep no access history, so any recorded
+         epochs are dropped. *)
+      let st =
+        if sync then Sync (ref [||])
+        else Data { last_write = None; reads = []; poisoned = false }
+      in
+      Hashtbl.replace t.cells cell st;
+      st
+
+let on_access t ~cell ~sync ~thread ~clock ~kind =
+  let vc = tick t thread in
+  match cell_state t cell ~sync with
+  | Sync release -> (
+      match kind with
+      | Trace.Read -> join vc release
+      | Trace.Write -> join release vc
+      | Trace.Rmw ->
+          join vc release;
+          join release vc)
+  | Data d ->
+      if not d.poisoned then begin
+        let me = { thread; lc = !vc.(thread); vclock = clock; kind } in
+        let conflict prior =
+          prior.thread <> thread && not (ordered prior vc)
+        in
+        let flag prior =
+          d.poisoned <- true;
+          report_race t ~cell prior me
+        in
+        (match d.last_write with
+        | Some w when conflict w -> flag w
+        | _ -> ());
+        if not d.poisoned then
+          match kind with
+          | Trace.Read ->
+              d.reads <- me :: List.filter (fun e -> e.thread <> thread) d.reads
+          | Trace.Write | Trace.Rmw -> (
+              match List.find_opt conflict d.reads with
+              | Some r -> flag r
+              | None ->
+                  d.last_write <- Some me;
+                  d.reads <- [])
+      end
+
+let on_spawn t ~parent ~child =
+  let pvc = tick t parent in
+  let cvc = thread_vc t child in
+  join cvc pvc
+
+let on_join t ~joiner ~joined =
+  let jvc = thread_vc t joined in
+  join (thread_vc t joiner) jvc
+
+let sink report =
+  let t = { report; threads = Hashtbl.create 32; cells = Hashtbl.create 1024 } in
+  {
+    Trace.on_access = (fun ~cell ~sync ~thread ~clock ~kind ->
+      on_access t ~cell ~sync ~thread ~clock ~kind);
+    on_spawn = (fun ~parent ~child -> on_spawn t ~parent ~child);
+    on_join = (fun ~joiner ~joined -> on_join t ~joiner ~joined);
+  }
+
+let with_tracing report f = Trace.with_sink (sink report) f

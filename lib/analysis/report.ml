@@ -1,0 +1,99 @@
+module Key = Bohm_txn.Key
+
+type checker = Footprint | Chain | Race
+
+type kind =
+  | Undeclared_read
+  | Undeclared_write
+  | Late_write
+  | Chain_out_of_order
+  | Chain_unfilled
+  | Chain_end_mismatch
+  | Chain_dangling_lock
+  | Data_race
+
+let checker_of_kind = function
+  | Undeclared_read | Undeclared_write | Late_write -> Footprint
+  | Chain_out_of_order | Chain_unfilled | Chain_end_mismatch
+  | Chain_dangling_lock ->
+      Chain
+  | Data_race -> Race
+
+let checker_name = function
+  | Footprint -> "footprint"
+  | Chain -> "chain"
+  | Race -> "race"
+
+let kind_name = function
+  | Undeclared_read -> "undeclared-read"
+  | Undeclared_write -> "undeclared-write"
+  | Late_write -> "late-write"
+  | Chain_out_of_order -> "out-of-order"
+  | Chain_unfilled -> "unfilled-placeholder"
+  | Chain_end_mismatch -> "end-ts-mismatch"
+  | Chain_dangling_lock -> "dangling-lock"
+  | Data_race -> "data-race"
+
+type diag = {
+  kind : kind;
+  txn : int option;
+  key : Key.t option;
+  detail : string;
+}
+
+(* Diagnostics are stored newest-first and rendered oldest-first. The
+   [seen] set dedups: engines re-run transaction logic on conflicts and
+   blocks, so the same violation can be observed many times per run. *)
+type t = {
+  mutable diags : diag list;
+  mutable count : int;
+  seen : (string, unit) Hashtbl.t;
+}
+
+let create () = { diags = []; count = 0; seen = Hashtbl.create 64 }
+
+let diag_to_string d =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (checker_name (checker_of_kind d.kind));
+  Buffer.add_string b ": ";
+  Buffer.add_string b (kind_name d.kind);
+  (match d.txn with
+  | Some id -> Buffer.add_string b (Printf.sprintf " txn %d" id)
+  | None -> ());
+  (match d.key with
+  | Some k -> Buffer.add_string b (" key " ^ Key.to_string k)
+  | None -> ());
+  if d.detail <> "" then Buffer.add_string b (" (" ^ d.detail ^ ")");
+  Buffer.contents b
+
+let add t ?txn ?key kind detail =
+  let d = { kind; txn; key; detail } in
+  let line = diag_to_string d in
+  if not (Hashtbl.mem t.seen line) then begin
+    Hashtbl.add t.seen line ();
+    t.diags <- d :: t.diags;
+    t.count <- t.count + 1
+  end
+
+let diags t = List.rev t.diags
+let count t = t.count
+let is_clean t = t.count = 0
+
+let count_checker t c =
+  List.length (List.filter (fun d -> checker_of_kind d.kind = c) t.diags)
+
+let count_kind t k = List.length (List.filter (fun d -> d.kind = k) t.diags)
+
+let pp fmt t =
+  if is_clean t then Format.fprintf fmt "sanitizer: clean"
+  else begin
+    Format.fprintf fmt "sanitizer: %d diagnostic%s (footprint=%d chain=%d race=%d)"
+      t.count
+      (if t.count = 1 then "" else "s")
+      (count_checker t Footprint) (count_checker t Chain) (count_checker t Race);
+    List.iter
+      (fun d -> Format.fprintf fmt "@\n  %s" (diag_to_string d))
+      (diags t)
+  end
+
+let to_string t = Format.asprintf "%a" pp t

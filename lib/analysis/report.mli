@@ -1,0 +1,68 @@
+(** Sanitizer diagnostics, shared by the three checkers.
+
+    A report collects {!diag}s from the {!Footprint} shim, the {!Chain}
+    scanner and the {!Race} detector over one (or several) engine runs.
+    Diagnostics are deduplicated — engines legitimately re-run transaction
+    logic after conflicts, so one bug would otherwise be reported once per
+    attempt — and rendered in a stable line-oriented format suitable for
+    golden output and CI logs:
+
+    {v
+sanitizer: 2 diagnostics (footprint=2 chain=0 race=0)
+  footprint: undeclared-read txn 12 key 0:5 (read outside declared footprint)
+  footprint: late-write txn 12 key 0:2 (write after logic returned)
+    v}
+
+    Reports are not synchronized: under the cooperative simulator all
+    additions are naturally serialized, which is where sanitized runs are
+    intended to execute. *)
+
+type checker = Footprint | Chain | Race
+
+type kind =
+  | Undeclared_read  (** Read of a key outside read set ∪ write set. *)
+  | Undeclared_write  (** Write of a key outside the write set. *)
+  | Late_write  (** Write issued after the transaction logic returned. *)
+  | Chain_out_of_order
+      (** Version timestamps not strictly ordered along a chain. *)
+  | Chain_unfilled  (** Placeholder still without data after quiescence. *)
+  | Chain_end_mismatch
+      (** A version's end timestamp disagrees with its successor's begin
+          timestamp (Hekaton/BOHM invalidation discipline). *)
+  | Chain_dangling_lock
+      (** A record/lock word still held after quiescence (Silo TID lock
+          bit, 2PL lock table entry). *)
+  | Data_race
+      (** Conflicting cell accesses with no happens-before edge. *)
+
+val checker_of_kind : kind -> checker
+val checker_name : checker -> string
+val kind_name : kind -> string
+
+type diag = {
+  kind : kind;
+  txn : int option;
+  key : Bohm_txn.Key.t option;
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> ?txn:int -> ?key:Bohm_txn.Key.t -> kind -> string -> unit
+(** Record a diagnostic; duplicates (same kind, txn, key and detail) are
+    dropped. *)
+
+val diags : t -> diag list
+(** In insertion order. *)
+
+val diag_to_string : diag -> string
+
+val count : t -> int
+val count_checker : t -> checker -> int
+val count_kind : t -> kind -> int
+val is_clean : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -70,7 +70,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let create config ~tables init =
     let store =
-      Store.create_hash ~tables (fun k -> R.Cell.make (V.initial (init k)))
+      Store.create_hash ~tables (fun k ->
+          (* Chain heads are racy by design: a CC thread prepends for
+             batch [b+1] while execution threads of batch [b] read —
+             safe because chains are prepend-only and reads filter by
+             timestamp, so the head is a synchronization cell. *)
+          let head = R.Cell.make (V.initial (init k)) in
+          R.Cell.mark_sync head;
+          head)
     in
     { config; store; next_ts = 1 }
 
@@ -121,10 +128,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     Array.iteri
       (fun j k -> fp_insert fp_keys fp_enc mask k (n_rs + j))
       txn.Txn.write_set;
+    (* The claim word is CASed and re-read without other ordering — a
+       synchronization cell (its first [cas] would promote it anyway;
+       marking covers the plain reads before that). *)
+    let state = R.Cell.make st_unprocessed in
+    R.Cell.mark_sync state;
     {
       txn;
       ts = t.next_ts + i;
-      state = R.Cell.make st_unprocessed;
+      state;
       read_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.read_set;
       write_refs = Array.map (fun _ -> R.Cell.make None) txn.Txn.write_set;
       slots = Array.make (n_rs + n_ws) None;
@@ -296,7 +308,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       done;
       Sync.Barrier.await pre_barrier;
       if me = 0 then begin
-        R.Cell.set pre_done b;
+        Sync.Watermark.publish pre_done b;
         if b = n_batches - 1 then timing.pre_complete <- R.now ()
       end
     done
@@ -309,14 +321,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       (* Pipeline stage handshake: wait for preprocessing to publish this
          batch; preprocessing of batch [b+1] proceeds meanwhile. *)
       if t.config.Config.preprocess then
-        Sync.spin_until (fun () -> R.Cell.get pre_done >= b);
+        Sync.Watermark.await pre_done ~at_least:b;
       if b = 0 && my_partition = 0 then timing.cc_batch0_start <- R.now ();
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       for idx = lo to hi do
         cc_process_txn t my_partition stat low_watermark wrapped.(idx)
       done;
       Sync.Barrier.await barrier;
-      if my_partition = 0 then R.Cell.set cc_done b
+      if my_partition = 0 then Sync.Watermark.publish cc_done b
     done
 
   (* --- Execution phase (§3.3) --- *)
@@ -473,7 +485,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let n = Array.length wrapped in
     let local = Local_writes.create () in
     for b = 0 to n_batches - 1 do
-      Sync.spin_until (fun () -> R.Cell.get cc_done >= b);
+      Sync.Watermark.await cc_done ~at_least:b;
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       (* First pass over the transactions this thread is responsible for;
          blocked ones go to a retry list instead of stalling the thread
@@ -558,10 +570,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let n_batches = (n + bs - 1) / bs in
     let m = t.config.Config.cc_threads and k = t.config.Config.exec_threads in
     let barrier = Sync.Barrier.create ~parties:m in
-    let pre_done = R.Cell.make (-1) in
-    let cc_done = R.Cell.make (-1) in
+    let pre_done = Sync.Watermark.create (-1) in
+    let cc_done = Sync.Watermark.create (-1) in
+    (* Progress counters are read across threads without further
+       coordination (the GC low-watermark protocol, §3.3.2) — they carry
+       the publication edges, so they are synchronization cells too. *)
     let low_watermark = R.Cell.make 0 in
-    let exec_progress = Array.init k (fun _ -> R.Cell.make 0) in
+    R.Cell.mark_sync low_watermark;
+    let exec_progress =
+      Array.init k (fun _ ->
+          let c = R.Cell.make 0 in
+          R.Cell.mark_sync c;
+          c)
+    in
     let cc_stats = Array.init m (fun _ -> { gc_collected = 0; inserted = 0 }) in
     let exec_stats =
       Array.init k (fun _ ->
@@ -620,6 +641,39 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       ()
 
   (* --- Inspection --- *)
+
+  (* Post-quiescence chain audit: BOHM stamps both begin and end times, so
+     every link is checked — strict timestamp descent, end = successor's
+     begin, head never invalidated, and (the §3.3.1 guarantee) no
+     placeholder left unfilled. Runs uncharged on the driver thread after
+     [run] has joined the workers. *)
+  let check_chains t report =
+    R.without_cost (fun () ->
+        Store.iter t.store (fun k slot ->
+            let rec entries v acc =
+              let e =
+                {
+                  Bohm_analysis.Chain.begin_ts = v.V.begin_ts;
+                  end_ts = Some (R.Cell.get v.V.end_ts);
+                  filled = R.Cell.get v.V.data <> None;
+                }
+              in
+              match R.Cell.get v.V.prev with
+              | None -> List.rev (e :: acc)
+              | Some older -> entries older (e :: acc)
+            in
+            Bohm_analysis.Chain.check_key report k
+              (entries (R.Cell.get slot) [])))
+
+  (* Fault injection for the sanitizer's mutation tests: clear the newest
+     version's data for [k], simulating an execution thread that claimed
+     the producing transaction but never ran [install] — the dropped
+     declared write / unfilled placeholder the §3.3.1 copy-forward rule
+     normally makes impossible, and exactly what the chain audit exists to
+     catch. Never called outside tests. *)
+  let inject_lost_fill t k =
+    R.without_cost (fun () ->
+        R.Cell.set (R.Cell.get (Store.get t.store k)).V.data None)
 
   let read_latest t k =
     let head = R.Cell.get (Store.get t.store k) in

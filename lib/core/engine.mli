@@ -74,5 +74,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   val chain_length : t -> Bohm_txn.Key.t -> int
   (** Number of versions currently linked for the key (GC observability). *)
 
+  val check_chains : t -> Bohm_analysis.Report.t -> unit
+  (** Audit every key's version chain against the {!Bohm_analysis.Chain}
+      invariants: strict begin-timestamp descent, end stamp equal to the
+      successor's begin (head at timestamp infinity), and no unfilled
+      placeholder. Call after {!run} returns (quiescence); charges
+      nothing. *)
+
+  val inject_lost_fill : t -> Bohm_txn.Key.t -> unit
+  (** Fault injection for the sanitizer's mutation tests: clears the
+      newest version's data for the key, simulating an execution thread
+      that claimed the producer but never installed its write. The next
+      {!check_chains} must flag it as an unfilled placeholder. Test-only:
+      breaks {!read_latest} for the key's newest version by design. *)
+
   val config : t -> Config.t
 end

@@ -9,20 +9,31 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let infinity_ts = max_int
 
+  (* [data] is the publication point between a version's producer and its
+     readers: a reader that finds it filled must see everything the
+     producer did first, with no other synchronization in between — a
+     release/acquire pair by design, so the race tracer treats it as one.
+     [end_ts] and [prev] stay plain data cells: they are written by
+     exactly one CC thread and published to readers through the batch
+     watermarks, a discipline the tracer verifies rather than assumes. *)
   let initial value =
+    let data = R.Cell.make (Some value) in
+    R.Cell.mark_sync data;
     {
       begin_ts = 0;
       end_ts = R.Cell.make infinity_ts;
-      data = R.Cell.make (Some value);
+      data;
       producer = None;
       prev = R.Cell.make None;
     }
 
   let placeholder ~ts ~producer ~prev =
+    let data = R.Cell.make None in
+    R.Cell.mark_sync data;
     {
       begin_ts = ts;
       end_ts = R.Cell.make infinity_ts;
-      data = R.Cell.make None;
+      data;
       producer = Some producer;
       prev = R.Cell.make (Some prev);
     }

@@ -1,13 +1,17 @@
 module Stats = Bohm_txn.Stats
 module Sim = Bohm_runtime.Sim
+module Report = Bohm_analysis.Report
 
 module Bohm_sim = Bohm_core.Engine.Make (Sim)
 module Hek_sim = Bohm_hekaton.Engine.Make (Sim)
+module Mvto_sim = Bohm_mvto.Engine.Make (Sim)
 module Silo_sim = Bohm_silo.Engine.Make (Sim)
 module Twopl_sim = Bohm_twopl.Engine.Make (Sim)
 
-type engine = Bohm | Hekaton | Si | Occ | Twopl
+type engine = Bohm | Hekaton | Si | Occ | Twopl | Mvto
 
+(* The paper's five measured engines; MVTO is the extra §2.2 strawman and
+   stays out of the figure drivers. *)
 let all = [ Twopl; Bohm; Occ; Si; Hekaton ]
 
 let name = function
@@ -16,6 +20,7 @@ let name = function
   | Si -> "SI"
   | Occ -> "OCC"
   | Twopl -> "2PL"
+  | Mvto -> "MVTO"
 
 type spec = {
   tables : Bohm_storage.Table.t array;
@@ -57,33 +62,66 @@ let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
 
-let run_sim ?(bohm = default_bohm_opts) engine ~threads spec txns =
+(* One simulated run. When [report] is given, the engine's post-quiescence
+   chain audit runs inside the simulation after [run] returns (and after
+   the stats are taken) — with [report] absent the simulation is
+   instruction-for-instruction the unsanitized one. *)
+let run_engine ?report ~bohm engine ~threads spec txns =
   if threads <= 0 then invalid_arg "Runner.run_sim: threads must be positive";
+  let check chains db stats =
+    (match report with None -> () | Some r -> chains db r);
+    stats
+  in
   match engine with
   | Bohm ->
       let cc, exec = split_threads bohm threads in
-      run_bohm_sim ~cc ~exec ~batch:bohm.batch_size ~gc:bohm.gc
-        ~annotate:bohm.read_annotation ~preprocess:bohm.preprocess
-        ~probe_memo:bohm.probe_memo spec txns
+      Sim.run (fun () ->
+          let config =
+            Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec
+              ~batch_size:bohm.batch_size ~gc:bohm.gc
+              ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
+              ~probe_memo:bohm.probe_memo ()
+          in
+          let db = Bohm_sim.create config ~tables:spec.tables spec.init in
+          check Bohm_sim.check_chains db (Bohm_sim.run db txns))
   | Hekaton ->
       Sim.run (fun () ->
           let db =
             Hek_sim.create ~mode:Bohm_hekaton.Engine.Hekaton ~workers:threads
               ~tables:spec.tables spec.init
           in
-          Hek_sim.run db txns)
+          check Hek_sim.check_chains db (Hek_sim.run db txns))
   | Si ->
       Sim.run (fun () ->
           let db =
             Hek_sim.create ~mode:Bohm_hekaton.Engine.Snapshot ~workers:threads
               ~tables:spec.tables spec.init
           in
-          Hek_sim.run db txns)
+          check Hek_sim.check_chains db (Hek_sim.run db txns))
   | Occ ->
       Sim.run (fun () ->
           let db = Silo_sim.create ~workers:threads ~tables:spec.tables spec.init in
-          Silo_sim.run db txns)
+          check Silo_sim.check_chains db (Silo_sim.run db txns))
   | Twopl ->
       Sim.run (fun () ->
           let db = Twopl_sim.create ~workers:threads ~tables:spec.tables spec.init in
-          Twopl_sim.run db txns)
+          check Twopl_sim.check_chains db (Twopl_sim.run db txns))
+  | Mvto ->
+      Sim.run (fun () ->
+          let db = Mvto_sim.create ~workers:threads ~tables:spec.tables spec.init in
+          check Mvto_sim.check_chains db (Mvto_sim.run db txns))
+
+let run_sim ?(bohm = default_bohm_opts) engine ~threads spec txns =
+  run_engine ~bohm engine ~threads spec txns
+
+let run_sim_sanitized ?(bohm = default_bohm_opts) engine ~threads spec txns =
+  let report = Report.create () in
+  (* All three checkers at once: the footprint shim wraps every
+     transaction's logic, the race detector traces the whole simulation,
+     and the chain audit runs at quiescence inside it. *)
+  let txns = Bohm_analysis.Footprint.wrap_all report txns in
+  let stats =
+    Bohm_analysis.Race.with_tracing report (fun () ->
+        run_engine ~report ~bohm engine ~threads spec txns)
+  in
+  (stats, report)

@@ -5,10 +5,12 @@
     concurrency-control and execution layers ({!bohm_opts.cc_fraction});
     all other engines use every thread as a worker. *)
 
-type engine = Bohm | Hekaton | Si | Occ | Twopl
+type engine = Bohm | Hekaton | Si | Occ | Twopl | Mvto
 
 val all : engine list
-(** In the paper's legend order: 2PL, BOHM, OCC, SI, Hekaton. *)
+(** In the paper's legend order: 2PL, BOHM, OCC, SI, Hekaton. [Mvto] is
+    the extra §2.2 strawman and is excluded — the figure drivers iterate
+    [all], and the paper does not measure MVTO. *)
 
 val name : engine -> string
 
@@ -35,6 +37,20 @@ val run_sim :
   Bohm_txn.Stats.t
 (** One complete simulated run: fresh database, all transactions, stats.
     Deterministic. *)
+
+val run_sim_sanitized :
+  ?bohm:bohm_opts ->
+  engine ->
+  threads:int ->
+  spec ->
+  Bohm_txn.Txn.t array ->
+  Bohm_txn.Stats.t * Bohm_analysis.Report.t
+(** {!run_sim} with the full sanitizer suite enabled: every transaction's
+    logic runs under the {!Bohm_analysis.Footprint} shim, the whole
+    simulation is traced by the {!Bohm_analysis.Race} detector, and the
+    engine's version-chain audit runs at quiescence. The simulated
+    execution — schedule, virtual clock, stats — is identical to the
+    unsanitized run: the checkers only observe, they never charge. *)
 
 val run_bohm_sim :
   cc:int ->

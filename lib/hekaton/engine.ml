@@ -54,6 +54,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      infinity" CAS cheap and exact. *)
   let ts_infinity = Ts max_int
 
+  (* Hekaton is latch-free and optimistic throughout: every cell is read
+     and CASed by concurrent workers with visibility resolved from the
+     values themselves, so every cell is a synchronization cell for the
+     race tracer (the CASes would promote most of them anyway; marking
+     covers the plain reads that race ahead of the first RMW). *)
+  let sync c =
+    R.Cell.mark_sync c;
+    c
+
   type conflict_reason = Ww | Validation | Dep
   exception Conflict of conflict_reason
 
@@ -80,14 +89,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     {
       mode;
       workers;
-      store = Store.create_array ~tables (fun k -> R.Cell.make
+      store = Store.create_array ~tables (fun k -> sync (R.Cell.make
         {
-          begin_meta = R.Cell.make (Ts 0);
-          end_meta = R.Cell.make ts_infinity;
+          begin_meta = sync (R.Cell.make (Ts 0));
+          end_meta = sync (R.Cell.make ts_infinity);
           data = init k;
           prev = None;
-        });
-      counter = R.Cell.make 1;
+        }));
+      counter = sync (R.Cell.make 1);
     }
 
   (* --- visibility --- *)
@@ -176,8 +185,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             R.copy ~bytes:(Store.record_bytes t.store k);
             let nv =
               {
-                begin_meta = R.Cell.make (Owned att.self);
-                end_meta = R.Cell.make ts_infinity;
+                begin_meta = sync (R.Cell.make (Owned att.self));
+                end_meta = sync (R.Cell.make ts_infinity);
                 data = value;
                 prev = Some head;
               }
@@ -252,11 +261,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let run_attempt t stat txn =
     let self =
       {
-        state = R.Cell.make st_active;
-        end_ts = R.Cell.make 0;
-        dep_count = R.Cell.make 0;
-        dep_failed = R.Cell.make 0;
-        dependents = R.Cell.make (Open []);
+        state = sync (R.Cell.make st_active);
+        end_ts = sync (R.Cell.make 0);
+        dep_count = sync (R.Cell.make 0);
+        dep_failed = sync (R.Cell.make 0);
+        dependents = sync (R.Cell.make (Open []));
       }
     in
     let begin_ts = R.Cell.faa t.counter 1 in
@@ -357,6 +366,44 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       ()
 
   (* --- inspection --- *)
+
+  (* Post-quiescence audit. Settled chains carry [Ts] stamps on both
+     sides of every version; any [Owned] metadata surviving the joins is
+     a transaction that never released its write — reported as a dangling
+     owner, and the key's order/consistency checks are skipped since its
+     stamps are not yet numbers. *)
+  let check_chains t report =
+    R.without_cost (fun () ->
+        Store.iter t.store (fun k slot ->
+            let dangling = ref false in
+            let meta_ts which m =
+              match m with
+              | Ts e -> Some e
+              | Owned _ ->
+                  dangling := true;
+                  Bohm_analysis.Report.add report ~key:k
+                    Bohm_analysis.Report.Chain_dangling_lock
+                    (which ^ " stamp still owned after quiescence");
+                  None
+            in
+            let rec entries v acc =
+              let b = meta_ts "begin" (R.Cell.get v.begin_meta) in
+              let e = meta_ts "end" (R.Cell.get v.end_meta) in
+              let acc =
+                match (b, e) with
+                | Some b, Some e ->
+                    { Bohm_analysis.Chain.begin_ts = b;
+                      end_ts = Some e;
+                      filled = true }
+                    :: acc
+                | _ -> acc
+              in
+              match v.prev with
+              | None -> List.rev acc
+              | Some p -> entries p acc
+            in
+            let es = entries (R.Cell.get slot) [] in
+            if not !dangling then Bohm_analysis.Chain.check_key report k es))
 
   let read_latest t k =
     let rec newest v =

@@ -51,4 +51,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
   val chain_length : t -> Bohm_txn.Key.t -> int
+
+  val check_chains : t -> Bohm_analysis.Report.t -> unit
+  (** Post-quiescence chain audit: begin stamps strictly descend, each
+      version's end stamp equals its successor's begin stamp, the head
+      ends at infinity, and no begin/end metadata still references an
+      in-flight owner (reported as a dangling lock). Call after {!run}
+      returns; charges nothing. *)
 end

@@ -47,6 +47,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     mutable read_stamps : int;
   }
 
+  (* Writers mutate chains under the record lock, but readers walk them
+     with no lock at all (Reed's protocol), stamping [read_ts] by CAS as
+     they go — every cell here is racy by design, hence marked for the
+     race tracer. *)
+  let sync c =
+    R.Cell.mark_sync c;
+    c
+
   let create ~workers ~tables init =
     if workers <= 0 then invalid_arg "Mvto: workers must be positive";
     {
@@ -54,18 +62,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       store =
         Store.create_hash ~tables (fun k ->
             {
-              lock = R.Cell.make 0;
+              lock = sync (R.Cell.make 0);
               head =
-                R.Cell.make
-                  {
-                    wts = 0;
-                    data = init k;
-                    read_ts = R.Cell.make 0;
-                    producer = None;
-                    prev = R.Cell.make None;
-                  };
+                sync
+                  (R.Cell.make
+                     {
+                       wts = 0;
+                       data = init k;
+                       read_ts = sync (R.Cell.make 0);
+                       producer = None;
+                       prev = sync (R.Cell.make None);
+                     });
             });
-      counter = R.Cell.make 1;
+      counter = sync (R.Cell.make 1);
     }
 
   let lock_record r =
@@ -161,9 +170,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         {
           wts = ts;
           data = value;
-          read_ts = R.Cell.make 0;
+          read_ts = sync (R.Cell.make 0);
           producer = Some self;
-          prev = R.Cell.make (R.Cell.get pred.prev);
+          prev = sync (R.Cell.make (R.Cell.get pred.prev));
         }
       in
       (match parent with
@@ -180,9 +189,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         {
           wts = ts;
           data = value;
-          read_ts = R.Cell.make 0;
+          read_ts = sync (R.Cell.make 0);
           producer = Some self;
-          prev = R.Cell.make (Some pred);
+          prev = sync (R.Cell.make (Some pred));
         }
       in
       (match parent with
@@ -226,7 +235,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       writes
 
   let run_attempt t stat txn =
-    let self = { state = R.Cell.make st_active } in
+    let self = { state = sync (R.Cell.make st_active) } in
     let ts = R.Cell.faa t.counter 1 in
     stat.faa <- stat.faa + 1;
     let writes = ref [] in
@@ -314,6 +323,33 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           ("wait_aborts", float_of_int (sum (fun s -> s.wait_aborts)));
         ]
       ()
+
+  (* Post-quiescence audit. MVTO stamps no end times ([end_ts = None]
+     skips the begin/end consistency check); a version whose producer is
+     not settled-committed after the joins is an aborted or in-flight
+     write left linked — surfaced through [filled]. *)
+  let check_chains t report =
+    R.without_cost (fun () ->
+        Store.iter t.store (fun k r ->
+            let rec entries v acc =
+              let filled =
+                match v.producer with
+                | None -> true
+                | Some tx -> R.Cell.get tx.state = st_committed
+              in
+              let e =
+                { Bohm_analysis.Chain.begin_ts = v.wts; end_ts = None; filled }
+              in
+              match R.Cell.get v.prev with
+              | None -> List.rev (e :: acc)
+              | Some p -> entries p (e :: acc)
+            in
+            let es = entries (R.Cell.get r.head) [] in
+            if R.Cell.get r.lock <> 0 then
+              Bohm_analysis.Report.add report ~key:k
+                Bohm_analysis.Report.Chain_dangling_lock
+                "record lock still held after quiescence";
+            Bohm_analysis.Chain.check_key report k es))
 
   let read_latest t k =
     let rec newest v =

@@ -34,4 +34,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
   val chain_length : t -> Bohm_txn.Key.t -> int
+
+  val check_chains : t -> Bohm_analysis.Report.t -> unit
+  (** Post-quiescence chain audit: write timestamps strictly descend
+      (MVTO stamps no end times, so begin/end consistency is vacuous), no
+      version of an aborted or unsettled producer remains linked, and no
+      record lock is still held. Call after {!run} returns; charges
+      nothing. *)
 end

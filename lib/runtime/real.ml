@@ -9,6 +9,18 @@ module Cell = struct
   let cas = Atomic.compare_and_set
   let faa = Atomic.fetch_and_add
   let incr = Atomic.incr
+
+  (* Tracing is simulator-only; classification has nothing to hook. *)
+  let mark_sync _ = ()
+end
+
+module Metric = struct
+  type t = int Atomic.t
+
+  let make () = Atomic.make 0
+  let incr = Atomic.incr
+  let get = Atomic.get
+  let reset t = Atomic.set t 0
 end
 
 type thread = unit Domain.t

@@ -46,6 +46,33 @@ module type S = sig
     (** [faa c n] atomically adds [n] and returns the previous value. *)
 
     val incr : int t -> unit
+
+    val mark_sync : 'a t -> unit
+    (** Classify the cell as a {e synchronization} location for the
+        optional race tracer ({!Trace}): its accesses carry
+        acquire/release ordering and are never themselves reported as
+        races. Mark cells that are racy {e by design} — watermarks,
+        state words, version-chain heads read without coordination.
+        Unmarked cells are treated as published data: conflicting
+        accesses from different threads must be ordered by
+        synchronization edges or the race detector flags them. Atomic
+        read-modify-writes ([cas]/[faa]) promote a cell automatically.
+        Free of charge; a no-op on the real runtime. *)
+  end
+
+  (** Uncharged diagnostic counters. Unlike {!Cell}, a metric never
+      touches the cost model — incrementing one is free in the simulator
+      — but it is exact under real parallelism too ([Atomic.t]-backed in
+      {!Real}, a plain int on the cooperative simulator where updates
+      cannot interleave). For counters that must not perturb what they
+      measure, e.g. index-probe counts. *)
+  module Metric : sig
+    type t
+
+    val make : unit -> t
+    val incr : t -> unit
+    val get : t -> int
+    val reset : t -> unit
   end
 
   type thread

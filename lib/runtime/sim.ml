@@ -66,9 +66,41 @@ module Cell = struct
     mutable shared : bool; (* some non-owner has read since last write *)
     mutable avail : int; (* virtual time at which the line is free *)
     mutable last_write : int; (* completion time of the last write *)
+    cid : int; (* unique id, for the optional access tracer *)
+    mutable sync : bool; (* synchronization cell (see Cell.mark_sync) *)
   }
 
-  let make v = { v; owner = -1; shared = false; avail = 0; last_write = min_int }
+  (* Not a Cell and uncharged: cells are created on one thread. *)
+  let cell_counter = ref 0
+
+  let make v =
+    incr cell_counter;
+    {
+      v;
+      owner = -1;
+      shared = false;
+      avail = 0;
+      last_write = min_int;
+      cid = !cell_counter;
+      sync = false;
+    }
+
+  let mark_sync c = c.sync <- true
+
+  (* Report an access to the installed tracer, if any. Never touches the
+     virtual clock: traced runs charge exactly what untraced runs do.
+     Accesses outside a simulation (setup code) are not reported — there
+     is no thread to attribute them to, and nothing runs concurrently. *)
+  let trace c kind =
+    match !Trace.sink with
+    | None -> ()
+    | Some sink -> (
+        match !state with
+        | None -> ()
+        | Some s ->
+            let ts = current s in
+            sink.Trace.on_access ~cell:c.cid ~sync:c.sync ~thread:ts.id
+              ~clock:ts.clock ~kind)
 
   (* A line written recently by some core is "hot": accesses pay a
      cache-to-cache transfer. A long-untouched line is merely a DRAM
@@ -95,6 +127,7 @@ module Cell = struct
           ts.clock <- start + cost;
           maybe_yield s ts
         end;
+        trace c Trace.Read;
         c.v
 
   (* Charge for exclusive ownership of the line and reserve it until the
@@ -122,8 +155,11 @@ module Cell = struct
     | Some s ->
         let ts = current s in
         if s.charging then charge_exclusive s ts c !Costs.store_owned;
-        c.v <- v
+        c.v <- v;
+        trace c Trace.Write
 
+  (* Atomic RMWs are synchronization by nature (locks, claims, counters):
+     the first one permanently promotes the cell to the sync class. *)
   let cas c expected desired =
     match !state with
     | None ->
@@ -135,11 +171,16 @@ module Cell = struct
     | Some s ->
         let ts = current s in
         if s.charging then charge_exclusive s ts c !Costs.atomic_rmw;
-        if c.v == expected then begin
-          c.v <- desired;
-          true
-        end
-        else false
+        c.sync <- true;
+        let won =
+          if c.v == expected then begin
+            c.v <- desired;
+            true
+          end
+          else false
+        in
+        trace c Trace.Rmw;
+        won
 
   let faa c n =
     match !state with
@@ -150,11 +191,24 @@ module Cell = struct
     | Some s ->
         let ts = current s in
         if s.charging then charge_exclusive s ts c !Costs.atomic_rmw;
+        c.sync <- true;
         let old = c.v in
         c.v <- old + n;
+        trace c Trace.Rmw;
         old
 
   let incr c = ignore (faa c 1)
+end
+
+module Metric = struct
+  (* Exact on the cooperative simulator (no preemption inside [incr]) and
+     free of model cost by construction: not a Cell. *)
+  type t = { mutable n : int }
+
+  let make () = { n = 0 }
+  let incr t = t.n <- t.n + 1
+  let get t = t.n
+  let reset t = t.n <- 0
 end
 
 let work n =
@@ -202,11 +256,17 @@ let without_cost f =
   s.charging <- false;
   Fun.protect ~finally:(fun () -> s.charging <- saved) f
 
+let trace_join ~joiner ~joined =
+  match !Trace.sink with
+  | None -> ()
+  | Some sink -> sink.Trace.on_join ~joiner ~joined
+
 let finish sched ts =
   ts.finished <- true;
   sched.live <- sched.live - 1;
   let wake { waiter_ts; waiter_k } =
     if waiter_ts.clock < ts.clock then waiter_ts.clock <- ts.clock;
+    trace_join ~joiner:waiter_ts.id ~joined:ts.id;
     enqueue sched waiter_ts (fun () -> Effect.Deep.continue waiter_k ())
   in
   List.iter wake ts.joiners;
@@ -233,6 +293,7 @@ let run_thread sched ts body =
                 (fun (k : (a, unit) Effect.Deep.continuation) ->
                   if target.finished then begin
                     if ts.clock < target.clock then ts.clock <- target.clock;
+                    trace_join ~joiner:ts.id ~joined:target.id;
                     enqueue sched ts (fun () -> Effect.Deep.continue k ())
                   end
                   else
@@ -250,6 +311,9 @@ let spawn body =
   in
   s.next_id <- s.next_id + 1;
   s.live <- s.live + 1;
+  (match !Trace.sink with
+  | None -> ()
+  | Some sink -> sink.Trace.on_spawn ~parent:parent.id ~child:ts.id);
   enqueue s ts (fun () -> run_thread s ts body);
   ts
 
@@ -257,7 +321,8 @@ let join ts =
   let s = get_sched () in
   let me = current s in
   if ts.finished then begin
-    if me.clock < ts.clock then me.clock <- ts.clock
+    if me.clock < ts.clock then me.clock <- ts.clock;
+    trace_join ~joiner:me.id ~joined:ts.id
   end
   else Effect.perform (Join_wait ts)
 

@@ -33,12 +33,15 @@ module Make (R : Runtime_intf.S) = struct
 
     let create ~parties =
       if parties <= 0 then invalid_arg "Barrier.create: parties must be positive";
-      {
-        parties;
-        arrived = R.Cell.make 0;
-        sense = R.Cell.make 0;
-        completed = R.Cell.make 0;
-      }
+      let sync v =
+        let c = R.Cell.make v in
+        R.Cell.mark_sync c;
+        c
+      in
+      (* Synchronization cells by definition: the tracer derives the
+         all-before-await happens-before all-after-await edges from the
+         arrival RMWs and the sense publish. *)
+      { parties; arrived = sync 0; sense = sync 0; completed = sync 0 }
 
     let await t =
       let my_sense = R.Cell.get t.sense in
@@ -54,10 +57,31 @@ module Make (R : Runtime_intf.S) = struct
     let rounds t = R.Cell.get t.completed
   end
 
+  (* Monotonic published counter: the engines' pipeline-stage handshake
+     (BOHM's [pre_done]/[cc_done] batch watermarks). [publish]/[await]
+     compile to exactly the Cell.set / spin_until the engines used to
+     write by hand — identical cost — while the sync marking records the
+     release/acquire edge for the race tracer. *)
+  module Watermark = struct
+    type t = int R.Cell.t
+
+    let create v =
+      let c = R.Cell.make v in
+      R.Cell.mark_sync c;
+      c
+
+    let publish c v = R.Cell.set c v
+    let await c ~at_least = spin_until (fun () -> R.Cell.get c >= at_least)
+    let get = R.Cell.get
+  end
+
   module Spinlock = struct
     type t = int R.Cell.t
 
-    let create () = R.Cell.make 0
+    let create () =
+      let c = R.Cell.make 0 in
+      R.Cell.mark_sync c;
+      c
 
     let try_acquire t = R.Cell.get t = 0 && R.Cell.cas t 0 1
 

@@ -41,6 +41,22 @@ module Make (R : Runtime_intf.S) : sig
     (** Number of completed barrier episodes; for tests and stats. *)
   end
 
+  (** Monotonic published counter — the pipeline-stage handshake of the
+      BOHM engine ([pre_done]/[cc_done] batch watermarks). Semantically
+      [publish] is a plain {!Runtime_intf.S.Cell.set} and [await] a plain
+      {!spin_until}, at identical simulated cost; the cell is classified
+      as a synchronization location so the optional race tracer
+      ({!Trace}) records the publish→observe edge that orders the plain
+      (non-Cell) data published under the watermark. *)
+  module Watermark : sig
+    type t
+
+    val create : int -> t
+    val publish : t -> int -> unit
+    val await : t -> at_least:int -> unit
+    val get : t -> int
+  end
+
   (** Test-and-test-and-set spinlock with exponential back-off — the
       per-bucket latch used by the 2PL lock table and the index write
       paths. *)

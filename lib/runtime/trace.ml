@@ -1,0 +1,19 @@
+(* Optional instrumentation tap for the simulator. See trace.mli. *)
+
+type kind = Read | Write | Rmw
+
+type sink = {
+  on_access :
+    cell:int -> sync:bool -> thread:int -> clock:int -> kind:kind -> unit;
+  on_spawn : parent:int -> child:int -> unit;
+  on_join : joiner:int -> joined:int -> unit;
+}
+
+let sink : sink option ref = ref None
+
+let with_sink s f =
+  match !sink with
+  | Some _ -> invalid_arg "Trace.with_sink: a sink is already installed"
+  | None ->
+      sink := Some s;
+      Fun.protect ~finally:(fun () -> sink := None) f

@@ -1,0 +1,41 @@
+(** Optional instrumentation tap for the deterministic simulator.
+
+    When a {!sink} is installed, {!Sim} reports every {!Runtime_intf.S.Cell}
+    access (with the accessing thread's id and virtual clock) plus thread
+    spawn/join edges. The race detector in [Bohm_analysis] consumes these
+    events to run a happens-before check over an engine execution.
+
+    Cost discipline: emitting events never touches the virtual clock or the
+    cost model — a traced run charges exactly the cycles an untraced run
+    does, so sanitized executions reproduce untraced results bit-for-bit.
+    With no sink installed the only overhead is one [ref] read per cell
+    access (real time, never modelled time).
+
+    The real runtime ({!Real}) does not emit events: tracing relies on the
+    simulator's deterministic total order. Sinks are installed per
+    simulation, around {!Sim.run}, via {!with_sink}. *)
+
+type kind = Read | Write | Rmw  (** [Rmw] covers [cas] and [faa]. *)
+
+type sink = {
+  on_access :
+    cell:int -> sync:bool -> thread:int -> clock:int -> kind:kind -> unit;
+      (** One cell access. [cell] is the cell's unique id, [sync] its
+          synchronization classification (see
+          {!Runtime_intf.S.Cell.mark_sync}; atomic read-modify-writes
+          promote a cell permanently), [clock] the thread's virtual clock
+          {e after} the access was charged. *)
+  on_spawn : parent:int -> child:int -> unit;
+      (** [child]'s first action happens after everything [parent] did
+          before the spawn. *)
+  on_join : joiner:int -> joined:int -> unit;
+      (** Everything [joined] did happens before [joiner]'s continuation. *)
+}
+
+val sink : sink option ref
+(** The installed sink, if any. Written only through {!with_sink}; read by
+    {!Sim} on every traced operation. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install [sink] for the duration of the callback (typically a full
+    {!Sim.run}). Rejects nested installation. *)

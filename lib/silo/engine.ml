@@ -30,13 +30,21 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     mutable read_retries : int;
   }
 
+  (* Both record cells are racy by design — the TID word is the lock and
+     validation witness, and the value is read optimistically while a
+     committer may be installing (the TID re-check makes it safe) — so
+     both are synchronization cells for the race tracer. *)
+  let sync c =
+    R.Cell.mark_sync c;
+    c
+
   let create ~workers ~tables init =
     if workers <= 0 then invalid_arg "Silo: workers must be positive";
     {
       workers;
       store =
         Store.create_hash ~tables (fun k ->
-            { tid = R.Cell.make 0; value = R.Cell.make (init k) });
+            { tid = sync (R.Cell.make 0); value = sync (R.Cell.make (init k)) });
       last_seq = Array.make workers 0;
     }
 
@@ -199,4 +207,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       ()
 
   let read_latest t k = R.Cell.get (Store.get t.store k).value
+
+  (* Post-quiescence audit: Silo keeps one version per record, so the
+     chain invariants reduce to "no TID word still carries the lock
+     bit" — a locked record after the joins is a commit that never
+     finished phase 3. *)
+  let check_chains t report =
+    R.without_cost (fun () ->
+        Store.iter t.store (fun k r ->
+            let tid = R.Cell.get r.tid in
+            if locked tid then
+              Bohm_analysis.Report.add report ~key:k
+                Bohm_analysis.Report.Chain_dangling_lock
+                (Printf.sprintf "TID word %d still locked after quiescence" tid)))
 end

@@ -30,4 +30,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       (unstable-TID re-reads). *)
 
   val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+
+  val check_chains : t -> Bohm_analysis.Report.t -> unit
+  (** Post-quiescence audit: with one version per record the chain
+      invariants reduce to "no TID word still carries the lock bit" — a
+      record left locked is a phase-3 install that never finished. Call
+      after {!run} returns; charges nothing. *)
 end

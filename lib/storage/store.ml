@@ -16,10 +16,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type 'a t = {
     tables : Table.t array;
     per_table : 'a backend array;
-    (* Diagnostic count of charged index probes (hits and misses). Not a
-       Cell: incrementing it must not perturb the cost model. Exact on the
-       cooperative simulator; approximate under real parallelism. *)
-    mutable probes : int;
+    (* Diagnostic count of charged index probes (hits and misses). A
+       Metric, not a Cell: incrementing it must not perturb the cost
+       model. Exact on the cooperative simulator (plain int) and under
+       real parallelism (Atomic-backed). *)
+    probes : R.Metric.t;
   }
 
   let check_schema tables =
@@ -39,7 +40,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                  init (Key.make ~table:tbl.Table.tid ~row))))
         tables
     in
-    { tables; per_table; probes = 0 }
+    { tables; per_table; probes = R.Metric.make () }
 
   let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
 
@@ -63,7 +64,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           Hash_backend { buckets = Array.map Array.of_list chains; mask })
         tables
     in
-    { tables; per_table; probes = 0 }
+    { tables; per_table; probes = R.Metric.make () }
 
   (* One charged index probe. Callers on a hot path should hold on to the
      returned slot handle instead of probing again: the index is immutable
@@ -72,7 +73,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let table = Key.table k and row = Key.row k in
     if table >= Array.length t.per_table then None
     else begin
-      t.probes <- t.probes + 1;
+      R.Metric.incr t.probes;
       match t.per_table.(table) with
       | Array_backend slots ->
           R.work array_probe_cost;
@@ -98,8 +99,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     end
 
   let get t k = match probe t k with Some slot -> slot | None -> raise Not_found
-  let probe_count t = t.probes
-  let reset_probe_count t = t.probes <- 0
+  let probe_count t = R.Metric.get t.probes
+  let reset_probe_count t = R.Metric.reset t.probes
 
   let tables t = t.tables
 

@@ -50,9 +50,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   val probe_count : 'a t -> int
   (** Number of charged index probes since creation (or the last
-      {!reset_probe_count}), hits and misses alike. Diagnostic: exact on
-      the deterministic simulator, approximate under real parallelism
-      (plain counter, so it costs nothing in the model). *)
+      {!reset_probe_count}), hits and misses alike. Diagnostic, backed by
+      {!Bohm_runtime.Runtime_intf.S.Metric}: exact on the deterministic
+      simulator (plain counter) {e and} under real parallelism
+      (Atomic-backed), while costing nothing in the model either way. *)
 
   val reset_probe_count : 'a t -> unit
 

@@ -100,4 +100,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       ()
 
   let read_latest t k = R.Cell.get (Store.get t.store k)
+
+  (* Post-quiescence audit: single-version locking, so the invariant is
+     that the shrinking phase ran to completion — every lock word back to
+     zero (no reader count left, no writer bit left). *)
+  let check_chains t report =
+    R.without_cost (fun () ->
+        Store.iter t.store (fun k _slot ->
+            let h = Locks.holders t.locks k in
+            if h <> 0 then
+              Bohm_analysis.Report.add report ~key:k
+                Bohm_analysis.Report.Chain_dangling_lock
+                (Printf.sprintf "lock word %d still held after quiescence" h)))
 end

@@ -19,4 +19,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   (** Extra stat counters: ["locks_acquired"]. *)
 
   val read_latest : t -> Bohm_txn.Key.t -> Bohm_txn.Value.t
+
+  val check_chains : t -> Bohm_analysis.Report.t -> unit
+  (** Post-quiescence audit: single-version locking, so the invariant is
+      that every lock word is back to zero — a non-zero word is a
+      shrinking phase that never completed. Call after {!run} returns;
+      charges nothing. *)
 end

@@ -6,7 +6,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* Lock word: -1 = writer held, 0 = free, n > 0 = n readers. *)
   type t = int R.Cell.t Store.t
 
-  let create ~tables = Store.create_hash ~tables (fun _ -> R.Cell.make 0)
+  (* Lock words are synchronization cells: the acquire CAS/FAA and the
+     release store carry the ordering that makes the *value* cells —
+     which stay unmarked — race-free. The tracer thereby checks the lock
+     discipline instead of assuming it. *)
+  let create ~tables =
+    Store.create_hash ~tables (fun _ ->
+        let c = R.Cell.make 0 in
+        R.Cell.mark_sync c;
+        c)
 
   let try_lock cell = function
     | Read ->

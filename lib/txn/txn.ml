@@ -33,6 +33,8 @@ let normalize keys =
 let make ~id ~read_set ~write_set logic =
   { id; read_set = normalize read_set; write_set = normalize write_set; logic }
 
+let with_logic t logic = { t with logic }
+
 let mem sorted k =
   let rec go lo hi =
     if lo >= hi then false

@@ -36,6 +36,12 @@ val make :
 (** Sorts and de-duplicates both sets. A key may appear in both sets (a
     read-modify-write). *)
 
+val with_logic : t -> (ctx -> outcome) -> t
+(** Same id and declared sets, different logic — the hook shims use to
+    interpose on the ctx (e.g. the [Bohm_analysis] footprint sanitizer).
+    The replacement must obey the same purity contract as the
+    original. *)
+
 val reads : t -> Key.t -> bool
 (** Membership in the declared read set (binary search). *)
 

@@ -1,0 +1,459 @@
+(* Tests for Bohm_analysis: the footprint sanitizer, the version-chain
+   checker and the happens-before race detector — each exercised directly
+   on synthetic inputs, then end-to-end through sanitized engine runs with
+   injected faults (each mutant must be caught by exactly its checker). *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Table = Bohm_storage.Table
+module Sim = Bohm_runtime.Sim
+module Real = Bohm_runtime.Real
+module Costs = Bohm_runtime.Costs
+module Report = Bohm_analysis.Report
+module Footprint = Bohm_analysis.Footprint
+module Chain = Bohm_analysis.Chain
+module Race = Bohm_analysis.Race
+module Runner = Bohm_harness.Runner
+module Check = Bohm_harness.Serialization_check
+
+let () = Costs.defaults ()
+let k row = Key.make ~table:0 ~row
+
+let counts r =
+  ( Report.count_checker r Report.Footprint,
+    Report.count_checker r Report.Chain,
+    Report.count_checker r Report.Race )
+
+let check_counts name expected r =
+  Alcotest.(check (triple int int int)) name expected (counts r)
+
+(* --- Report --- *)
+
+let test_report_dedup () =
+  let r = Report.create () in
+  Report.add r ~txn:3 ~key:(k 1) Report.Undeclared_read "spurious";
+  Report.add r ~txn:3 ~key:(k 1) Report.Undeclared_read "spurious";
+  Report.add r ~txn:3 ~key:(k 1) Report.Undeclared_read "different detail";
+  Alcotest.(check int) "duplicates dropped" 2 (Report.count r);
+  Alcotest.(check bool) "not clean" false (Report.is_clean r)
+
+(* Substring helper (avoid extra deps). *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_report_render () =
+  let r = Report.create () in
+  Alcotest.(check string) "clean" "sanitizer: clean" (Report.to_string r);
+  Report.add r ~txn:12 ~key:(k 5) Report.Late_write "write after logic returned";
+  let s = Report.to_string r in
+  Alcotest.(check bool) "header" true (contains s "sanitizer: 1 diagnostic");
+  Alcotest.(check bool) "kind rendered" true (contains s "late-write")
+
+(* --- Footprint shim (no engine, no simulator: pure ctx interposition) --- *)
+
+let null_ctx () =
+  { Txn.read = (fun _ -> Value.zero); write = (fun _ _ -> ()); spin = ignore }
+
+let test_footprint_clean () =
+  let r = Report.create () in
+  let txn =
+    Txn.make ~id:1 ~read_set:[ k 0; k 1 ] ~write_set:[ k 1 ] (fun ctx ->
+        ignore (ctx.Txn.read (k 0));
+        ignore (ctx.Txn.read (k 1));
+        (* read-own-write key *)
+        ctx.Txn.write (k 1) Value.zero;
+        Txn.Commit)
+  in
+  let wrapped = Footprint.wrap r txn in
+  ignore (wrapped.Txn.logic (null_ctx ()));
+  Alcotest.(check bool) "clean" true (Report.is_clean r)
+
+let test_footprint_violations () =
+  let r = Report.create () in
+  let leaked = ref None in
+  let txn =
+    Txn.make ~id:2 ~read_set:[ k 0; k 1 ] ~write_set:[ k 1 ] (fun ctx ->
+        leaked := Some ctx;
+        ignore (ctx.Txn.read (k 7));
+        (* outside both sets *)
+        ctx.Txn.write (k 0) Value.zero;
+        (* read set only *)
+        Txn.Commit)
+  in
+  let wrapped = Footprint.wrap r txn in
+  ignore (wrapped.Txn.logic (null_ctx ()));
+  (* The leaked ctx is the shim's: a write through it after return is a
+     late write (still forwarded, still flagged). *)
+  (Option.get !leaked).Txn.write (k 1) Value.zero;
+  Alcotest.(check int) "undeclared read" 1
+    (Report.count_kind r Report.Undeclared_read);
+  Alcotest.(check int) "undeclared write" 1
+    (Report.count_kind r Report.Undeclared_write);
+  Alcotest.(check int) "late write" 1 (Report.count_kind r Report.Late_write);
+  check_counts "all from footprint checker" (3, 0, 0) r
+
+(* --- Chain checker on synthetic entries (newest first) --- *)
+
+let entry ?end_ts ?(filled = true) begin_ts = { Chain.begin_ts; end_ts; filled }
+
+let test_chain_ok () =
+  let r = Report.create () in
+  Chain.check_key r (k 0)
+    [
+      entry 9 ~end_ts:Chain.infinity_ts;
+      entry 4 ~end_ts:9;
+      entry 0 ~end_ts:4;
+    ];
+  (* MVTO-style chain without end stamps. *)
+  Chain.check_key r (k 1) [ entry 7; entry 3; entry 0 ];
+  Alcotest.(check bool) "clean" true (Report.is_clean r)
+
+let test_chain_out_of_order () =
+  let r = Report.create () in
+  Chain.check_key r (k 0) [ entry 3; entry 5; entry 0 ];
+  Alcotest.(check int) "flagged" 1 (Report.count_kind r Report.Chain_out_of_order)
+
+let test_chain_unfilled () =
+  let r = Report.create () in
+  Chain.check_key r (k 0) [ entry 5 ~filled:false ~end_ts:Chain.infinity_ts; entry 0 ~end_ts:5 ];
+  Alcotest.(check int) "flagged" 1 (Report.count_kind r Report.Chain_unfilled)
+
+let test_chain_end_mismatch () =
+  let r = Report.create () in
+  (* Head must carry the infinity stamp... *)
+  Chain.check_key r (k 0) [ entry 5 ~end_ts:7; entry 0 ~end_ts:5 ];
+  (* ...and interior ends must equal the successor's begin. *)
+  Chain.check_key r (k 1)
+    [ entry 5 ~end_ts:Chain.infinity_ts; entry 0 ~end_ts:6 ];
+  Alcotest.(check int) "flagged" 2
+    (Report.count_kind r Report.Chain_end_mismatch)
+
+(* --- Race detector on hand-built simulator schedules --- *)
+
+let traced body =
+  let r = Report.create () in
+  Race.with_tracing r (fun () -> Sim.run body);
+  r
+
+let test_race_unsynchronized () =
+  let r =
+    traced (fun () ->
+        let c = Sim.Cell.make 0 in
+        let t1 = Sim.spawn (fun () -> Sim.Cell.set c 1) in
+        let t2 = Sim.spawn (fun () -> Sim.Cell.set c 2) in
+        Sim.join t1;
+        Sim.join t2)
+  in
+  Alcotest.(check int) "write-write race" 1 (Report.count_kind r Report.Data_race)
+
+let test_race_flag_synchronized () =
+  let r =
+    traced (fun () ->
+        let c = Sim.Cell.make 0 in
+        let flag = Sim.Cell.make 0 in
+        Sim.Cell.mark_sync flag;
+        let t1 =
+          Sim.spawn (fun () ->
+              Sim.Cell.set c 1;
+              Sim.Cell.set flag 1)
+        in
+        let t2 =
+          Sim.spawn (fun () ->
+              while Sim.Cell.get flag = 0 do
+                Sim.relax ()
+              done;
+              Sim.Cell.set c 2)
+        in
+        Sim.join t1;
+        Sim.join t2;
+        ignore (Sim.Cell.get c))
+  in
+  Alcotest.(check bool) "release/acquire orders the writes" true
+    (Report.is_clean r)
+
+let test_race_rmw_promotion () =
+  (* An RMW cell is synchronization by nature: concurrent faa is not a
+     race, and neither is the main thread's read after joining. *)
+  let r =
+    traced (fun () ->
+        let c = Sim.Cell.make 0 in
+        let worker () = ignore (Sim.Cell.faa c 1) in
+        let ts = List.init 3 (fun _ -> Sim.spawn worker) in
+        List.iter Sim.join ts;
+        ignore (Sim.Cell.get c))
+  in
+  Alcotest.(check bool) "promoted to sync" true (Report.is_clean r)
+
+let test_race_join_orders () =
+  let r =
+    traced (fun () ->
+        let c = Sim.Cell.make 0 in
+        let t1 = Sim.spawn (fun () -> Sim.Cell.set c 1) in
+        Sim.join t1;
+        (* After the join this thread is ordered after t1's write. *)
+        let t2 = Sim.spawn (fun () -> Sim.Cell.set c 2) in
+        Sim.join t2)
+  in
+  Alcotest.(check bool) "join edge" true (Report.is_clean r)
+
+(* --- Injected faults: each mutant caught by exactly its checker --- *)
+
+let spec rows =
+  {
+    Runner.tables = [| Table.make ~tid:0 ~name:"t" ~rows ~record_bytes:8 |];
+    init = (fun _ -> Value.zero);
+  }
+
+let rmw_txn id row =
+  Txn.make ~id ~read_set:[ k row ] ~write_set:[ k row ] (fun ctx ->
+      let v = Value.to_int (ctx.Txn.read (k row)) in
+      ctx.Txn.write (k row) (Value.of_int (v + 1));
+      Txn.Commit)
+
+let test_mutant_undeclared_read () =
+  (* Logic peeks at a row outside its declared footprint: only the
+     footprint shim can see it (the row is otherwise untouched, so the
+     race and chain checkers stay silent). *)
+  let mutant =
+    Txn.make ~id:3 ~read_set:[ k 2 ] ~write_set:[ k 2 ] (fun ctx ->
+        ignore (ctx.Txn.read (k 9));
+        let v = Value.to_int (ctx.Txn.read (k 2)) in
+        ctx.Txn.write (k 2) (Value.of_int (v + 1));
+        Txn.Commit)
+  in
+  let _, r =
+    Runner.run_sim_sanitized Runner.Twopl ~threads:2 (spec 16)
+      [| rmw_txn 1 0; rmw_txn 2 1; mutant |]
+  in
+  Alcotest.(check int) "undeclared read" 1
+    (Report.count_kind r Report.Undeclared_read);
+  check_counts "footprint only" (1, 0, 0) r
+
+let test_mutant_dropped_write () =
+  (* A dropped declared write cannot be produced through transaction logic
+     — BOHM's §3.3.1 copy-forward rule finalizes unexercised write-set
+     entries, by design — so the fault is injected below [install]:
+     [inject_lost_fill] models an execution thread that claimed the
+     producer but died before filling the placeholder. Only the chain
+     audit can see it. *)
+  let module B = Bohm_core.Engine.Make (Sim) in
+  let r = Report.create () in
+  let txns =
+    Footprint.wrap_all r [| rmw_txn 1 0; rmw_txn 2 1; rmw_txn 3 5 |]
+  in
+  Race.with_tracing r (fun () ->
+      Sim.run (fun () ->
+          let config =
+            Bohm_core.Config.make ~cc_threads:1 ~exec_threads:3 ~batch_size:8 ()
+          in
+          let db =
+            B.create config
+              ~tables:[| Table.make ~tid:0 ~name:"t" ~rows:16 ~record_bytes:8 |]
+              (fun _ -> Value.zero)
+          in
+          ignore (B.run db txns);
+          B.inject_lost_fill db (k 5);
+          B.check_chains db r));
+  Alcotest.(check int) "unfilled placeholder" 1
+    (Report.count_kind r Report.Chain_unfilled);
+  check_counts "chain only" (0, 1, 0) r
+
+let test_mutant_rogue_cell_race () =
+  (* Logic mutates shared state behind the engine's back — a plain cell
+     with no lock and no version chain. Invisible to the footprint shim
+     (not a ctx access) and to the chain audit (not in a store); only the
+     race detector can catch it. *)
+  let rogue = Sim.Cell.make 0 in
+  let rogue_txn id row =
+    Txn.make ~id ~read_set:[ k row ] ~write_set:[ k row ] (fun ctx ->
+        Sim.Cell.set rogue id;
+        let v = Value.to_int (ctx.Txn.read (k row)) in
+        ctx.Txn.write (k row) (Value.of_int (v + 1));
+        Txn.Commit)
+  in
+  let _, r =
+    Runner.run_sim_sanitized Runner.Twopl ~threads:2 (spec 16)
+      [| rogue_txn 1 0; rogue_txn 2 1; rogue_txn 3 2; rogue_txn 4 3 |]
+  in
+  Alcotest.(check int) "rogue write-write race" 1
+    (Report.count_kind r Report.Data_race);
+  Alcotest.(check int) "no footprint diags" 0
+    (Report.count_checker r Report.Footprint);
+  Alcotest.(check int) "no chain diags" 0 (Report.count_checker r Report.Chain)
+
+(* --- Every engine, fully sanitized, comes back clean --- *)
+
+let test_all_engines_sanitized_clean () =
+  let w =
+    Check.make_workload ~rows:16 ~txns:40 ~rmws_per_txn:2 ~reads_per_txn:2
+      ~seed:5
+  in
+  let spec =
+    { Runner.tables = [| Table.make ~tid:0 ~name:"t" ~rows:16 ~record_bytes:8 |];
+      init = Check.initial_value }
+  in
+  List.iter
+    (fun engine ->
+      let stats, r =
+        Runner.run_sim_sanitized engine ~threads:4 spec (Check.txns w)
+      in
+      Alcotest.(check int)
+        (Runner.name engine ^ " commits all")
+        40 stats.Bohm_txn.Stats.committed;
+      Alcotest.(check string)
+        (Runner.name engine ^ " sanitized clean")
+        "sanitizer: clean" (Report.to_string r))
+    (Runner.all @ [ Runner.Mvto ])
+
+(* --- Serialization checker: Corrupt verdicts on hand-fed observations --- *)
+
+let feed_logic txn reads =
+  (* Run a workload transaction's logic against scripted read results so
+     its observation buffer records exactly [reads]. *)
+  let remaining = ref reads in
+  let ctx =
+    {
+      Txn.read =
+        (fun _ ->
+          match !remaining with
+          | v :: tl ->
+              remaining := tl;
+              Value.of_int v
+          | [] -> Value.zero);
+      write = (fun _ _ -> ());
+      spin = ignore;
+    }
+  in
+  ignore (txn.Txn.logic ctx)
+
+let corrupt_msg = function
+  | Check.Corrupt msg -> msg
+  | v -> Alcotest.failf "expected Corrupt, got %s" (Check.verdict_to_string v)
+
+let test_corrupt_lost_update () =
+  let w = Check.make_workload ~rows:1 ~txns:2 ~rmws_per_txn:1 ~reads_per_txn:0 ~seed:1 in
+  let txns = Check.txns w in
+  feed_logic txns.(0) [ 0 ];
+  feed_logic txns.(1) [ 0 ];
+  (* both claim to overwrite the initial version *)
+  let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 2)) in
+  Alcotest.(check bool) "names lost update" true (contains msg "lost update")
+
+let test_corrupt_phantom_value () =
+  let w = Check.make_workload ~rows:2 ~txns:1 ~rmws_per_txn:1 ~reads_per_txn:1 ~seed:1 in
+  let txns = Check.txns w in
+  (* RMW observes the initial version; the pure read observes writer 77,
+     which never ran. *)
+  feed_logic txns.(0) [ 0; 77 ];
+  let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 1)) in
+  Alcotest.(check bool) "names phantom" true (contains msg "phantom value")
+
+let test_corrupt_short_chain () =
+  let w = Check.make_workload ~rows:1 ~txns:2 ~rmws_per_txn:1 ~reads_per_txn:0 ~seed:1 in
+  let txns = Check.txns w in
+  feed_logic txns.(0) [ 0 ];
+  feed_logic txns.(1) [ 2 ];
+  (* txn 2 claims txn 2 as predecessor: unreachable *)
+  let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 1)) in
+  Alcotest.(check bool) "names short chain" true (contains msg "of 2 writers")
+
+let test_corrupt_final_mismatch () =
+  let w = Check.make_workload ~rows:1 ~txns:1 ~rmws_per_txn:1 ~reads_per_txn:0 ~seed:1 in
+  let txns = Check.txns w in
+  feed_logic txns.(0) [ 0 ];
+  let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 9)) in
+  Alcotest.(check bool) "names final value" true (contains msg "final value is 9")
+
+(* --- Workload generation: distinct rows, deterministic --- *)
+
+let test_workload_distinct_rows () =
+  (* Footprint size equals rows: only possible if every draw is distinct
+     (Txn.make deduplicates, so a collision would shrink the footprint). *)
+  let w = Check.make_workload ~rows:6 ~txns:20 ~rmws_per_txn:3 ~reads_per_txn:3 ~seed:9 in
+  Array.iter
+    (fun txn ->
+      Alcotest.(check int) "distinct footprint" 6
+        (Array.length (Txn.footprint txn)))
+    (Check.txns w)
+
+let test_workload_deterministic () =
+  let fp w =
+    Array.map (fun t -> Array.map Key.row (Txn.footprint t)) (Check.txns w)
+  in
+  let mk () = Check.make_workload ~rows:24 ~txns:30 ~rmws_per_txn:2 ~reads_per_txn:3 ~seed:42 in
+  Alcotest.(check bool) "same seed, same workload" true (fp (mk ()) = fp (mk ()))
+
+(* --- Metric: exact under the real runtime's parallel domains --- *)
+
+let test_real_metric_exact () =
+  let m = Real.Metric.make () in
+  let per = 25_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Real.spawn (fun () ->
+            for _ = 1 to per do
+              Real.Metric.incr m
+            done))
+  in
+  List.iter Real.join ds;
+  Alcotest.(check int) "no lost increments" (4 * per) (Real.Metric.get m);
+  Real.Metric.reset m;
+  Alcotest.(check int) "reset" 0 (Real.Metric.get m)
+
+let suite =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "dedup" `Quick test_report_dedup;
+        Alcotest.test_case "render" `Quick test_report_render;
+      ] );
+    ( "footprint",
+      [
+        Alcotest.test_case "clean" `Quick test_footprint_clean;
+        Alcotest.test_case "violations" `Quick test_footprint_violations;
+      ] );
+    ( "chain",
+      [
+        Alcotest.test_case "ok" `Quick test_chain_ok;
+        Alcotest.test_case "out of order" `Quick test_chain_out_of_order;
+        Alcotest.test_case "unfilled" `Quick test_chain_unfilled;
+        Alcotest.test_case "end mismatch" `Quick test_chain_end_mismatch;
+      ] );
+    ( "race",
+      [
+        Alcotest.test_case "unsynchronized" `Quick test_race_unsynchronized;
+        Alcotest.test_case "flag synchronized" `Quick test_race_flag_synchronized;
+        Alcotest.test_case "rmw promotion" `Quick test_race_rmw_promotion;
+        Alcotest.test_case "join orders" `Quick test_race_join_orders;
+      ] );
+    ( "mutants",
+      [
+        Alcotest.test_case "undeclared read" `Quick test_mutant_undeclared_read;
+        Alcotest.test_case "dropped write" `Quick test_mutant_dropped_write;
+        Alcotest.test_case "rogue cell race" `Quick test_mutant_rogue_cell_race;
+      ] );
+    ( "engines",
+      [
+        Alcotest.test_case "all sanitized clean" `Quick
+          test_all_engines_sanitized_clean;
+      ] );
+    ( "corrupt verdicts",
+      [
+        Alcotest.test_case "lost update" `Quick test_corrupt_lost_update;
+        Alcotest.test_case "phantom value" `Quick test_corrupt_phantom_value;
+        Alcotest.test_case "short chain" `Quick test_corrupt_short_chain;
+        Alcotest.test_case "final mismatch" `Quick test_corrupt_final_mismatch;
+      ] );
+    ( "workload",
+      [
+        Alcotest.test_case "distinct rows" `Quick test_workload_distinct_rows;
+        Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+      ] );
+    ( "metric",
+      [ Alcotest.test_case "real exact" `Quick test_real_metric_exact ] );
+  ]
+
+let () = Alcotest.run "bohm_analysis" suite

@@ -3,9 +3,9 @@
    With no arguments, regenerates every table and figure of the paper's
    evaluation on the simulated multicore machine, runs the ablation
    benches, and finishes with the Bechamel component micro-benchmarks.
-   Pass experiment names (fig4 fig5 fig6 fig7 fig8 tab9 fig10
+   Pass experiment names (fig4 fig4-noroute fig5 fig6 fig7 fig8 tab9 fig10
    ablation-batch ablation-annotation ablation-gc ablation-cc-split
-   ablation-preprocess ablation-probe-memo micro smoke)
+   ablation-preprocess ablation-probe-memo ablation-cc-routing micro smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
    the run (with per-column throughput ceilings) as one JSON document. *)
@@ -71,6 +71,28 @@ let sanitize ~scale ~quick =
         incr failures
       end)
     (Runner.all @ [ Runner.Mvto ]);
+  (* BOHM additionally in the two batch-routing modes with the
+     preprocessing stage on: the routed run exercises the dense dispatch,
+     freelist recycling and steal-cursor paths under the full checker
+     suite; the scan run pins the routing-off baseline. *)
+  List.iter
+    (fun (label, cc_routing) ->
+      let bohm =
+        { Runner.default_bohm_opts with preprocess = true; cc_routing }
+      in
+      let stats, report =
+        Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:6 spec
+          (Check.txns w)
+      in
+      let clean = Analysis.is_clean report in
+      Printf.printf "sanitize %-8s %s (%d/%d committed)\n" label
+        (if clean then "PASS" else "FAIL")
+        stats.Stats.committed count;
+      if not clean then begin
+        print_endline (Analysis.to_string report);
+        incr failures
+      end)
+    [ ("Bohm+rt", true); ("Bohm-rt", false) ];
   if !failures > 0 then begin
     Printf.eprintf "sanitize: %d engine(s) produced diagnostics\n" !failures;
     exit 1
@@ -111,23 +133,30 @@ let smoke ~scale ~sanitized =
   (* With --sanitize the same configurations run under the full checker
      suite (cc=4/exec=8 expressed as 12 threads at cc_fraction 1/3 — the
      identical split). *)
-  let run ~preprocess ~probe_memo =
+  let run ~preprocess ~probe_memo ~routing =
     if sanitized then
       let bohm =
         { Runner.default_bohm_opts with cc_fraction = 1. /. 3.; preprocess;
-          probe_memo }
+          probe_memo; cc_routing = routing }
       in
       let stats, r = Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec txns in
       (stats, Some r)
     else
-      (Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess ~probe_memo spec txns, None)
+      ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess ~probe_memo
+          ~cc_routing:routing spec txns,
+        None )
   in
   let suffix = if sanitized then " sanitized" else "" in
-  check ("bohm cc=4 exec=8" ^ suffix) (run ~preprocess:false ~probe_memo:true);
-  check ("bohm cc=4 exec=8 preprocess" ^ suffix)
-    (run ~preprocess:true ~probe_memo:true);
+  check ("bohm cc=4 exec=8" ^ suffix)
+    (run ~preprocess:false ~probe_memo:true ~routing:true);
+  check ("bohm cc=4 exec=8 no-routing" ^ suffix)
+    (run ~preprocess:false ~probe_memo:true ~routing:false);
+  check ("bohm cc=4 exec=8 preprocess routed" ^ suffix)
+    (run ~preprocess:true ~probe_memo:true ~routing:true);
+  check ("bohm cc=4 exec=8 preprocess scan-dispatch" ^ suffix)
+    (run ~preprocess:true ~probe_memo:true ~routing:false);
   check ("bohm cc=4 exec=8 preprocess re-probe" ^ suffix)
-    (run ~preprocess:true ~probe_memo:false);
+    (run ~preprocess:true ~probe_memo:false ~routing:true);
   if !failures > 0 then begin
     Printf.eprintf "smoke: %d configuration(s) failed\n" !failures;
     exit 1

@@ -1,12 +1,42 @@
 #!/bin/sh
 # Tier-1 perf-PR gate: run the fig4-configuration smoke bench (~seconds)
-# and fail if any BOHM configuration commits fewer transactions than it
-# was given. Wire into CI before merging anything that touches lib/core,
-# lib/storage or lib/runtime. Also available as `dune build @bench-smoke`.
+# with batch routing on and off, check the routing-off engine against the
+# recorded BENCH_PR1.json figures, and fail if any BOHM configuration
+# commits fewer transactions than it was given. Wire into CI before
+# merging anything that touches lib/core, lib/storage or lib/runtime.
+# Also available as `dune build @bench-smoke`.
 set -e
 cd "$(dirname "$0")/.."
 dune build bench/main.exe
 # One sanitized configuration per engine (footprint + chain + race
-# checkers on the serialization workload), then the throughput gate.
+# checkers on the serialization workload), plus BOHM with routing on/off.
 dune exec bench/main.exe -- sanitize --quick
+
+# Determinism gate: with cc_routing off the engine must retrace the PR 1
+# code paths instruction for instruction. The --quick fig4-noroute sweep
+# (CC in {1,4}, exec in {2,8}; each cell an independent deterministic
+# simulation at the full transaction count) must therefore reproduce the
+# corresponding BENCH_PR1.json fig4 cells bit-for-bit.
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+dune exec bench/main.exe -- fig4-noroute --quick --json="$tmp" > /dev/null
+row() { # row JSON-FILE X -> the values line of the fig4 row at x=X
+  awk -v x="\"x\": \"$2\"" '
+    /"title": "Figure 4/ { in_fig4 = 1 }
+    in_fig4 && index($0, x) { print; exit }' "$1" \
+    | sed 's/.*\[//; s/\].*//'
+}
+for x in 2 8; do
+  got=$(row "$tmp" $x)
+  # BENCH_PR1 columns are CC=1,2,4,8; the quick sweep runs CC=1 and CC=4.
+  want=$(row BENCH_PR1.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: fig4 with cc_routing off diverges from BENCH_PR1.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4-noroute determinism gate PASS (matches BENCH_PR1.json at exec=2,8 / CC=1,4)"
+
 exec dune exec bench/main.exe -- smoke "$@"

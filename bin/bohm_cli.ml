@@ -105,8 +105,16 @@ let run_cmd =
       & info [ "no-probe-memo" ]
           ~doc:"Disable probe-once slot memoization (re-probe the index).")
   in
+  let no_cc_routing =
+    Arg.(
+      value & flag
+      & info [ "no-cc-routing" ]
+          ~doc:
+            "Disable batch-routed concurrency control (dense per-partition \
+             dispatch, version freelists, steal cursor).")
+  in
   let action engine workload threads theta rows count seed cc_fraction batch
-      no_gc no_annotation preprocess no_probe_memo =
+      no_gc no_annotation preprocess no_probe_memo no_cc_routing =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -144,6 +152,7 @@ let run_cmd =
         read_annotation = not no_annotation;
         preprocess;
         probe_memo = not no_probe_memo;
+        cc_routing = not no_cc_routing;
       }
     in
     let name, stats =
@@ -176,7 +185,7 @@ let run_cmd =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
       $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
-      $ no_probe_memo)
+      $ no_probe_memo $ no_cc_routing)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 

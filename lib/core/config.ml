@@ -6,10 +6,12 @@ type t = {
   read_annotation : bool;
   preprocess : bool;
   probe_memo : bool;
+  cc_routing : bool;
 }
 
 let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
-    ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true) () =
+    ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true)
+    ?(cc_routing = true) () =
   if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
   if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
   if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
@@ -21,9 +23,11 @@ let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
     read_annotation;
     preprocess;
     probe_memo;
+    cc_routing;
   }
 
 let pp fmt t =
-  Format.fprintf fmt "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b"
+  Format.fprintf fmt
+    "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b route=%b"
     t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess
-    t.probe_memo
+    t.probe_memo t.cc_routing

@@ -25,6 +25,18 @@ type t = private {
           handle in the transaction wrapper; the CC and execution layers
           consume the cached handle instead of re-probing. Off replays the
           re-probing path for the [ablation-probe-memo] bench. *)
+  cc_routing : bool;
+      (** Batch-routed concurrency control. With [preprocess], the
+          preprocessing sweep additionally emits per-(batch, partition)
+          routing buffers — dense arrays of the transaction indices that
+          own at least one footprint entry in the partition — so each CC
+          thread iterates only its routed slice instead of dispatching on
+          every transaction of the batch. Also enables the engine's
+          version freelists (recycling Condition-3 GC'd records into
+          placeholder allocation, with [gc]) and the shared per-batch
+          steal cursor in the execution layer. Off replays the scan
+          dispatch, allocate-always and rescan-steal paths for the
+          [ablation-cc-routing] bench. *)
 }
 
 val make :
@@ -35,10 +47,12 @@ val make :
   ?read_annotation:bool ->
   ?preprocess:bool ->
   ?probe_memo:bool ->
+  ?cc_routing:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
-    read annotation on, preprocessing off, probe memoization on. Raises
-    [Invalid_argument] on non-positive thread counts or batch size. *)
+    read annotation on, preprocessing off, probe memoization on, batch
+    routing on. Raises [Invalid_argument] on non-positive thread counts
+    or batch size. *)
 
 val pp : Format.formatter -> t -> unit

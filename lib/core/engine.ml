@@ -7,7 +7,10 @@ module Local_writes = Bohm_txn.Local_writes
 (* Work charges (cycles) for computation the cell/copy model does not cover:
    per-transaction write-set scanning in each CC thread (the serial fraction
    discussed under Amdahl's law in §3.2.2), version allocation, dispatch and
-   read resolution in the execution layer. *)
+   read resolution in the execution layer. The batch-routed dispatch path
+   has its own constants in [Bohm_runtime.Costs] (cc_routed_dispatch,
+   cc_route_append, cc_route_merge, cc_insert_recycled) so ablation benches
+   can vary them. *)
 let cc_scan_base = 30
 let cc_scan_per_key = 4
 let cc_insert_work = 40
@@ -83,6 +86,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let config t = t.config
   let index_probes t = Store.probe_count t.store
+
+  (* [cc_routing] is one flag for three mechanically independent
+     optimizations so one ablation toggles the whole batch-routed mode.
+     Each piece additionally needs the layer that feeds it: dense dispatch
+     consumes the routing buffers preprocessing emits; the freelist is fed
+     by Condition-3 truncation; only the steal cursor stands alone. *)
+  let routing_on t = t.config.Config.cc_routing && t.config.Config.preprocess
+  let recycling_on t = t.config.Config.cc_routing && t.config.Config.gc
 
   let partition_of cc_threads k = Key.hash k mod cc_threads
 
@@ -187,7 +198,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   (* --- Concurrency-control phase (§3.2) --- *)
 
-  type cc_stat = { mutable gc_collected : int; mutable inserted : int }
+  type cc_stat = {
+    mutable gc_collected : int;
+    mutable inserted : int;
+    (* Partition-local version freelist: records unlinked by Condition-3
+       truncation, reincarnated as placeholders by later inserts. Owned by
+       one CC thread, never shared — only this thread's truncations feed
+       it and only this thread's inserts drain it. *)
+    mutable pool : wrapped V.t list;
+    mutable recycled : int;
+  }
 
   (* Annotate read-set entry [i] of [w] with the version it must read.
      Heads in this thread's partition only ever advance when this thread
@@ -204,8 +224,20 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let k = w.txn.Txn.write_set.(i) in
     let slot = slot_for t w (Array.length w.txn.Txn.read_set + i) k in
     let prev = R.Cell.get slot in
-    R.work cc_insert_work;
-    let v = V.placeholder ~ts:w.ts ~producer:w ~prev in
+    let v =
+      match stat.pool with
+      | r :: rest ->
+          (* Recycle a Condition-3 casualty instead of allocating: sound
+             because every transaction that could see the old incarnation
+             had finished executing before truncation unlinked it. *)
+          stat.pool <- rest;
+          stat.recycled <- stat.recycled + 1;
+          R.work !Bohm_runtime.Costs.cc_insert_recycled;
+          V.recycle r ~ts:w.ts ~producer:w ~prev
+      | [] ->
+          R.work cc_insert_work;
+          V.placeholder ~ts:w.ts ~producer:w ~prev
+    in
     R.Cell.set w.write_refs.(i) (Some v);
     R.Cell.set prev.V.end_ts w.ts;
     R.Cell.set slot v;
@@ -216,32 +248,52 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
          invalidated at or before that timestamp are invisible forever. *)
       let gc_ts = R.Cell.get low_watermark * t.config.Config.batch_size in
       if gc_ts > 0 then
-        stat.gc_collected <- stat.gc_collected + V.truncate_older_than v ~gc_ts
+        if recycling_on t then begin
+          let dropped = V.truncate_collect v ~gc_ts in
+          stat.gc_collected <- stat.gc_collected + List.length dropped;
+          stat.pool <- List.rev_append dropped stat.pool
+        end
+        else
+          stat.gc_collected <- stat.gc_collected + V.truncate_older_than v ~gc_ts
     end
 
-  let cc_process_txn t my_partition stat low_watermark w =
+  (* A transaction the CC layer reached before preprocessing stamped it:
+     the [pre_done] watermark handshake broke. Structured so sanitized
+     runs can localize the failure to a pipeline coordinate. *)
+  let stamp_failure ~batch ~partition ~idx =
+    invalid_arg
+      (Printf.sprintf
+         "Bohm: pipeline handshake failure: concurrency-control partition \
+          %d reached txn %d of batch %d before preprocessing stamped it"
+         partition idx batch)
+
+  (* Apply the footprint entries [my_partition] owns in [w], as computed by
+     preprocessing — no per-transaction scan (the Amdahl term of 3.2.2).
+     [dispatch] is the per-transaction charge: [cc_dispatch_work] when the
+     CC thread found [w] by scanning the batch, [Costs.cc_routed_dispatch]
+     when a routing buffer delivered its index directly. *)
+  let cc_apply_owned t my_partition stat low_watermark ~batch ~idx ~dispatch w
+      =
+    if Array.length w.owned_keys = 0 then
+      stamp_failure ~batch ~partition:my_partition ~idx;
+    let n_rs = Array.length w.txn.Txn.read_set in
+    let mine = w.owned_keys.(my_partition) in
+    R.work (dispatch + (cc_scan_per_key * Array.length mine));
+    Array.iter
+      (fun encoded ->
+        if encoded < n_rs then begin
+          if t.config.Config.read_annotation then cc_annotate_read t w encoded
+        end
+        else cc_insert_write t stat low_watermark w (encoded - n_rs))
+      mine
+
+  let cc_process_txn t my_partition stat low_watermark ~batch ~idx w =
     let cc_threads = t.config.Config.cc_threads in
     let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
     let n_rs = Array.length rs in
-    if t.config.Config.preprocess then begin
-      (* The preprocessing layer already determined which entries are
-         ours: no per-transaction scan (the Amdahl term of 3.2.2). The
-         [pre_done] watermark guarantees the stamp happened before CC got
-         here; an empty stamp would mean the pipeline handshake broke. *)
-      if Array.length w.owned_keys = 0 then
-        invalid_arg
-          "Bohm: concurrency control reached a transaction preprocessing \
-           has not stamped";
-      let mine = w.owned_keys.(my_partition) in
-      R.work (cc_dispatch_work + (cc_scan_per_key * Array.length mine));
-      Array.iter
-        (fun encoded ->
-          if encoded < n_rs then begin
-            if t.config.Config.read_annotation then cc_annotate_read t w encoded
-          end
-          else cc_insert_write t stat low_watermark w (encoded - n_rs))
-        mine
-    end
+    if t.config.Config.preprocess then
+      cc_apply_owned t my_partition stat low_watermark ~batch ~idx
+        ~dispatch:cc_dispatch_work w
     else begin
       (* Every CC thread scans the whole transaction to find its keys. *)
       R.work (cc_scan_base + (cc_scan_per_key * (n_rs + Array.length ws)));
@@ -266,6 +318,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     mutable pre_complete : float;
   }
 
+  (* Per-(batch, partition) routing buffers, the dense-dispatch complement
+     to [owned_keys]: while sweeping batch [b], preprocessor [me] appends
+     each transaction index owning at least one footprint entry of
+     partition [p] to its segment [segs.(b).(me).(p)] (ascending — the
+     sweep strides upward). Each CC thread merges its own partition's
+     segments into the dense slice it iterates instead of scanning
+     [lo..hi]; segments are published to it through the [pre_done]
+     watermark, exactly like the [owned_keys] stamps they index into, so
+     routing adds no synchronization of its own. Layout:
+     [segs.(batch).(worker).(partition)]. *)
+
   (* The 3.2.2 pre-processing layer: embarrassingly parallel over
      transactions, it computes for each CC thread the footprint entries in
      its partition — and, on the memoized path, resolves each footprint
@@ -273,13 +336,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      pipeline stage: the [workers] preprocessors sweep one batch, meet at
      [pre_barrier], publish the batch through the [pre_done] watermark
      (the handshake CC threads consume, mirroring [cc_done]), and move on
-     to the next batch while CC works on this one. *)
-  let preprocess_loop t wrapped me workers pre_barrier pre_done timing
+     to the next batch while CC works on this one. With routing, the sweep
+     additionally feeds the per-partition routing buffers. *)
+  let preprocess_loop t wrapped me workers pre_barrier pre_done timing routes
       n_batches =
     let m = t.config.Config.cc_threads in
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
     let scratch = Array.make m [] in
+    let seg_lists = Array.make m [] in
     for b = 0 to n_batches - 1 do
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       let idx = ref (lo + me) in
@@ -304,8 +369,28 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             scratch.(p) <- (n_rs + i) :: scratch.(p))
           ws;
         w.owned_keys <- Array.map (fun l -> Array.of_list (List.rev l)) scratch;
+        (match routes with
+        | Some _ ->
+            let appended = ref 0 in
+            for p = 0 to m - 1 do
+              if scratch.(p) <> [] then begin
+                seg_lists.(p) <- !idx :: seg_lists.(p);
+                incr appended
+              end
+            done;
+            if !appended > 0 then
+              R.work (!Bohm_runtime.Costs.cc_route_append * !appended)
+        | None -> ());
         idx := !idx + workers
       done;
+      (match routes with
+      | Some segs ->
+          let mine = segs.(b).(me) in
+          for p = 0 to m - 1 do
+            mine.(p) <- Array.of_list (List.rev seg_lists.(p));
+            seg_lists.(p) <- []
+          done
+      | None -> ());
       Sync.Barrier.await pre_barrier;
       if me = 0 then begin
         Sync.Watermark.publish pre_done b;
@@ -314,7 +399,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     done
 
   let cc_loop t my_partition stat low_watermark barrier pre_done cc_done timing
-      wrapped n_batches =
+      wrapped routed n_batches =
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
     for b = 0 to n_batches - 1 do
@@ -323,10 +408,44 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       if t.config.Config.preprocess then
         Sync.Watermark.await pre_done ~at_least:b;
       if b = 0 && my_partition = 0 then timing.cc_batch0_start <- R.now ();
-      let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
-      for idx = lo to hi do
-        cc_process_txn t my_partition stat low_watermark wrapped.(idx)
-      done;
+      (match routed with
+      | Some segs ->
+          (* Merge this partition's per-preprocessor segments into the
+             dense slice, then dispatch only the transactions that own
+             something here, in timestamp order — the batch's non-owners
+             are never even loaded. Concatenating the (already ascending)
+             segments and sorting restores ascending transaction index,
+             i.e. timestamp order: segments are disjoint strided
+             subsequences of the batch. *)
+          let segs_b = segs.(b) in
+          let total =
+            Array.fold_left
+              (fun acc per_worker ->
+                acc + Array.length per_worker.(my_partition))
+              0 segs_b
+          in
+          let routed = Array.make total 0 in
+          let pos = ref 0 in
+          Array.iter
+            (fun per_worker ->
+              let seg = per_worker.(my_partition) in
+              Array.blit seg 0 routed !pos (Array.length seg);
+              pos := !pos + Array.length seg)
+            segs_b;
+          Array.sort (fun (a : int) b -> compare a b) routed;
+          R.work (!Bohm_runtime.Costs.cc_route_merge * total);
+          Array.iter
+            (fun idx ->
+              cc_apply_owned t my_partition stat low_watermark ~batch:b ~idx
+                ~dispatch:!Bohm_runtime.Costs.cc_routed_dispatch
+                wrapped.(idx))
+            routed
+      | None ->
+          let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
+          for idx = lo to hi do
+            cc_process_txn t my_partition stat low_watermark ~batch:b ~idx
+              wrapped.(idx)
+          done);
       Sync.Barrier.await barrier;
       if my_partition = 0 then Sync.Watermark.publish cc_done b
     done
@@ -479,7 +598,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     go 0
 
-  let exec_loop t me stat exec_progress low_watermark cc_done wrapped n_batches =
+  let exec_loop t me stat exec_progress low_watermark cc_done wrapped
+      steal_cursors n_batches =
     let bs = t.config.Config.batch_size in
     let k = t.config.Config.exec_threads in
     let n = Array.length wrapped in
@@ -541,11 +661,34 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
          the batch, pick up any transaction still unprocessed — typically
          ones queued behind a long read-only transaction on another
          thread. *)
-      for steal_idx = lo to hi do
-        let w = wrapped.(steal_idx) in
-        if R.Cell.get w.state = st_unprocessed then
-          ignore (try_advance t stat local ~depth:0 ~mine:false w)
-      done;
+      (match steal_cursors with
+      | Some cursors ->
+          (* Shared per-batch cursor: the longest all-complete prefix any
+             sweeper has observed. Late sweepers resume there instead of
+             rescanning the whole batch. Purely an iteration-start hint —
+             a stale cursor only means extra (idempotent) state checks,
+             and the cursor is CASed against the value read so it never
+             moves backwards. *)
+          let cur = cursors.(b) in
+          let base = R.Cell.get cur in
+          let span = hi - lo in
+          let prefix = ref base in
+          let prefix_open = ref true in
+          for s = base to span do
+            let w = wrapped.(lo + s) in
+            if R.Cell.get w.state = st_unprocessed then
+              ignore (try_advance t stat local ~depth:0 ~mine:false w);
+            if !prefix_open then
+              if R.Cell.get w.state = st_complete then prefix := s + 1
+              else prefix_open := false
+          done;
+          if !prefix > base then ignore (R.Cell.cas cur base !prefix)
+      | None ->
+          for steal_idx = lo to hi do
+            let w = wrapped.(steal_idx) in
+            if R.Cell.get w.state = st_unprocessed then
+              ignore (try_advance t stat local ~depth:0 ~mine:false w)
+          done);
       R.Cell.set exec_progress.(me) (b + 1);
       if me = 0 then begin
         (* RCU-style low watermark: the minimum batch every execution
@@ -583,7 +726,28 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           R.Cell.mark_sync c;
           c)
     in
-    let cc_stats = Array.init m (fun _ -> { gc_collected = 0; inserted = 0 }) in
+    (* Steal cursors are read/CASed across execution threads without other
+       ordering — synchronization cells, like the progress counters. *)
+    let steal_cursors =
+      if not t.config.Config.cc_routing then None
+      else
+        Some
+          (Array.init n_batches (fun _ ->
+               let c = R.Cell.make 0 in
+               R.Cell.mark_sync c;
+               c))
+    in
+    let routes =
+      if not (routing_on t) then None
+      else
+        Some
+          (Array.init n_batches (fun _ ->
+               Array.init (m + k) (fun _ -> Array.make m [||])))
+    in
+    let cc_stats =
+      Array.init m (fun _ ->
+          { gc_collected = 0; inserted = 0; pool = []; recycled = 0 })
+    in
     let exec_stats =
       Array.init k (fun _ ->
           { committed = 0; logic_aborts = 0; dep_blocks = 0; steals = 0 })
@@ -603,20 +767,20 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         List.init workers (fun me ->
             R.spawn (fun () ->
                 preprocess_loop t wrapped me workers pre_barrier pre_done
-                  timing n_batches))
+                  timing routes n_batches))
       end
     in
     let cc_threads =
       List.init m (fun j ->
           R.spawn (fun () ->
               cc_loop t j cc_stats.(j) low_watermark barrier pre_done cc_done
-                timing wrapped n_batches))
+                timing wrapped routes n_batches))
     in
     let exec_threads =
       List.init k (fun e ->
           R.spawn (fun () ->
               exec_loop t e exec_stats.(e) exec_progress low_watermark cc_done
-                wrapped n_batches))
+                wrapped steal_cursors n_batches))
     in
     List.iter R.join pre_threads;
     List.iter R.join cc_threads;
@@ -631,6 +795,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       ~extra:
         [
           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
+          ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
           (* Microseconds: virtual times are sub-millisecond, and the

@@ -11,14 +11,19 @@
       [pre_done] watermark, so preprocessing of batch [b+1] overlaps
       concurrency control of batch [b].
 
-    - {b Concurrency-control threads} scan every transaction of a batch in
-      timestamp order. Each owns a hash partition of the key space and, for
-      write-set keys in its partition, inserts an uninitialized placeholder
-      version, invalidates the predecessor, and (optionally) truncates the
-      GC'd tail of the chain. For read-set keys in its partition it stamps
-      the transaction with a reference to the exact version to read
-      (the §3.2.3 read-annotation optimization). CC threads synchronize
-      only at batch boundaries, through one barrier.
+    - {b Concurrency-control threads} process a batch's transactions in
+      timestamp order — scanning every transaction, or, with
+      [Config.cc_routing] (and [preprocess]), iterating only the dense
+      per-(batch, partition) routing buffer preprocessing emitted, so
+      transactions owning nothing in the partition are never touched. Each
+      thread owns a hash partition of the key space and, for write-set
+      keys in its partition, inserts an uninitialized placeholder version
+      (drawn from the thread's freelist of Condition-3 GC'd records when
+      [cc_routing] and [gc] are on), invalidates the predecessor, and
+      (optionally) truncates the GC'd tail of the chain. For read-set keys
+      in its partition it stamps the transaction with a reference to the
+      exact version to read (the §3.2.3 read-annotation optimization). CC
+      threads synchronize only at batch boundaries, through one barrier.
 
     - {b Execution threads} pick up batches the CC layer has finished.
       Thread [i] is responsible for transactions [i, i+k, …] of the batch
@@ -54,8 +59,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       by several successive streams.
 
       Extra stat counters: ["gc_collected"] (versions unlinked),
+      ["versions_recycled"] (placeholders drawn from the CC freelists
+      instead of allocated, 0 unless [Config.cc_routing] and [gc]),
       ["dep_blocks"] (execution attempts that hit an unproduced version),
-      ["steals"] (executions completed by a non-responsible thread),
+      ["steals"] (executions completed by a non-responsible thread —
+      found by the shared per-batch steal cursor when [Config.cc_routing],
+      by a full batch rescan otherwise),
       ["cc_batch0_start_us"] / ["pre_complete_us"] (virtual times, in
       microseconds, at which
       CC began batch 0 and preprocessing finished its last batch — the

@@ -1,10 +1,13 @@
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
+  (* Fields are mutable so GC'd records can be recycled as fresh
+     placeholders ({!recycle}); outside the freelist path every field is
+     written once, at creation, by the owning CC thread. *)
   type 'txn t = {
-    begin_ts : int;
-    end_ts : int R.Cell.t;
-    data : Bohm_txn.Value.t option R.Cell.t;
-    producer : 'txn option;
-    prev : 'txn t option R.Cell.t;
+    mutable begin_ts : int;
+    mutable end_ts : int R.Cell.t;
+    mutable data : Bohm_txn.Value.t option R.Cell.t;
+    mutable producer : 'txn option;
+    mutable prev : 'txn t option R.Cell.t;
   }
 
   let infinity_ts = max_int
@@ -38,6 +41,24 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       prev = R.Cell.make (Some prev);
     }
 
+  (* Reinitialize a reclaimed record as [placeholder] would build it. The
+     cells are made fresh rather than reset: [Cell.make] is free in the
+     cost model ("allocation is not modelled") whereas resetting a cell
+     another core last touched would charge an ownership transfer the real
+     machine does not pay at allocation time — and fresh cells carry no
+     stale access history into the race tracer. What recycling saves is
+     the allocator/GC pressure on the record itself, charged by the engine
+     as [Costs.cc_insert_recycled] versus a fresh insert's work. *)
+  let recycle v ~ts ~producer ~prev =
+    let data = R.Cell.make None in
+    R.Cell.mark_sync data;
+    v.begin_ts <- ts;
+    v.end_ts <- R.Cell.make infinity_ts;
+    v.data <- data;
+    v.producer <- Some producer;
+    v.prev <- R.Cell.make (Some prev);
+    v
+
   let rec visible_at v ~ts =
     if v.begin_ts <= ts then Some v
     else
@@ -51,15 +72,22 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     go v 1
 
-  let truncate_older_than v ~gc_ts =
+  let truncate_collect v ~gc_ts =
     match visible_at v ~ts:gc_ts with
-    | None -> 0
-    | Some keep ->
-        let dropped =
-          match R.Cell.get keep.prev with
-          | None -> 0
-          | Some older -> chain_length older
-        in
-        if dropped > 0 then R.Cell.set keep.prev None;
-        dropped
+    | None -> []
+    | Some keep -> (
+        match R.Cell.get keep.prev with
+        | None -> []
+        | Some older ->
+            let rec collect v acc =
+              let acc = v :: acc in
+              match R.Cell.get v.prev with
+              | None -> acc
+              | Some p -> collect p acc
+            in
+            let dropped = collect older [] in
+            R.Cell.set keep.prev None;
+            dropped)
+
+  let truncate_older_than v ~gc_ts = List.length (truncate_collect v ~gc_ts)
 end

@@ -12,12 +12,16 @@
 
 module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   type 'txn t = {
-    begin_ts : int;
-    end_ts : int R.Cell.t;  (** [infinity_ts] until invalidated. *)
-    data : Bohm_txn.Value.t option R.Cell.t;  (** [None] = placeholder. *)
-    producer : 'txn option;  (** [None] for bulk-loaded versions. *)
-    prev : 'txn t option R.Cell.t;
+    mutable begin_ts : int;
+    mutable end_ts : int R.Cell.t;  (** [infinity_ts] until invalidated. *)
+    mutable data : Bohm_txn.Value.t option R.Cell.t;
+        (** [None] = placeholder. *)
+    mutable producer : 'txn option;  (** [None] for bulk-loaded versions. *)
+    mutable prev : 'txn t option R.Cell.t;
   }
+  (** Fields are mutable only so {!recycle} can reinitialize a GC'd record
+      in place; outside the freelist every field is written once, at
+      creation, by the owning CC thread. *)
 
   val infinity_ts : int
 
@@ -37,6 +41,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   val chain_length : 'txn t -> int
 
+  val recycle : 'txn t -> ts:int -> producer:'txn -> prev:'txn t -> 'txn t
+  (** Reinitialize a record reclaimed by {!truncate_collect} so it is
+      indistinguishable from a fresh {!placeholder} (returns the same
+      record, reinitialized). The cells are rebuilt fresh — allocation is
+      uncharged in the cost model and fresh cells carry no stale access
+      history into the race tracer; what recycling saves is the record
+      allocation itself, which the engine charges as
+      [Costs.cc_insert_recycled] instead of a fresh insert's work. Sound
+      only for records truncated under Condition 3: every transaction that
+      could see the old incarnation has finished executing. *)
+
   val truncate_older_than : 'txn t -> gc_ts:int -> int
   (** From [v], find the newest version with [begin_ts <= gc_ts] and cut
       the chain below it; returns the number of versions unlinked. Only
@@ -44,4 +59,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       (single-writer chains); concurrent readers at [ts > gc_ts] never
       reach the cut region, which is the RCU argument of §3.3.2,
       Condition 3. *)
+
+  val truncate_collect : 'txn t -> gc_ts:int -> 'txn t list
+  (** Like {!truncate_older_than} but returns the unlinked records (in
+      unspecified order) so the caller can feed a freelist and later
+      {!recycle} them. Same single-writer / Condition-3 contract — and the
+      same charge sequence, so the two truncation entry points are
+      interchangeable in the cost model. *)
 end

@@ -53,7 +53,7 @@ let ycsb_spec ?(rows = ycsb_rows) ?(bytes = ycsb_bytes) () =
 
 (* --- Figure 4: CC / execution interaction --- *)
 
-let fig4 ?(scale = 1.0) ?(quick = false) () =
+let fig4_series ~cc_routing ~title ~notes ~scale ~quick =
   let count = scaled scale 8_000 in
   let rows = ycsb_rows in
   (* Small records and uniform access put all the stress on the CC layer
@@ -68,25 +68,48 @@ let fig4 ?(scale = 1.0) ?(quick = false) () =
         ( string_of_int exec,
           List.map
             (fun cc ->
-              let stats = Runner.run_bohm_sim ~cc ~exec spec txns in
+              let stats = Runner.run_bohm_sim ~cc ~exec ~cc_routing spec txns in
               Some (Stats.throughput stats))
             cc_counts ))
       exec_counts
   in
   [
     {
-      title = "Figure 4: concurrency control / execution interaction (txns/s)";
+      title;
       x_label = "exec threads";
       columns = List.map (fun cc -> Printf.sprintf "CC=%d" cc) cc_counts;
       rows = rows_data;
-      notes =
-        [
-          "10RMW, 8-byte records, uniform keys: maximal stress on the CC layer.";
-          "Expected: throughput rises with exec threads until the CC layer's";
-          "ceiling; more CC threads raise the ceiling (intra-txn parallelism).";
-        ];
+      notes;
     };
   ]
+
+let fig4 ?(scale = 1.0) ?(quick = false) () =
+  fig4_series ~cc_routing:true
+    ~title:"Figure 4: concurrency control / execution interaction (txns/s)"
+    ~notes:
+      [
+        "10RMW, 8-byte records, uniform keys: maximal stress on the CC layer.";
+        "Expected: throughput rises with exec threads until the CC layer's";
+        "ceiling; more CC threads raise the ceiling (intra-txn parallelism).";
+      ]
+    ~scale ~quick
+
+(* The same sweep with batch routing off: the engine retraces the PR 1
+   code paths instruction for instruction, so this series must stay
+   bit-for-bit identical to the fig4 series of BENCH_PR1.json — the
+   determinism gate bench/smoke.sh enforces on the --quick cells. *)
+let fig4_noroute ?(scale = 1.0) ?(quick = false) () =
+  fig4_series ~cc_routing:false
+    ~title:
+      "Figure 4 (cc_routing off): concurrency control / execution \
+       interaction (txns/s)"
+    ~notes:
+      [
+        "Batch routing disabled: scan dispatch, allocate-always inserts and";
+        "rescan stealing — the exact PR 1 engine, kept as a determinism";
+        "anchor (must reproduce BENCH_PR1.json's fig4 bit-for-bit).";
+      ]
+    ~scale ~quick
 
 (* --- Figures 5/6: YCSB thread sweeps --- *)
 
@@ -523,6 +546,67 @@ let ablation_probe_memo ?(scale = 1.0) ?(quick = false) () =
     };
   ]
 
+let ablation_cc_routing ?(scale = 1.0) ?(quick = false) () =
+  let count = scaled scale 8_000 in
+  let spec = ycsb_spec ~bytes:8 () in
+  (* The fig4 workload again: with 10-key footprints spread over many
+     partitions, most (batch, partition) dispatches own nothing — exactly
+     the skip work dense routing eliminates. *)
+  let txns =
+    Ycsb.generate ~rows:ycsb_rows ~theta:0.0 ~count ~seed:41 (Ycsb.rmw_profile 10)
+  in
+  let exec = if quick then 8 else 20 in
+  let ccs = if quick then [ 4 ] else [ 1; 2; 4; 8 ] in
+  let extra stats name =
+    match Stats.extra stats name with Some f -> f | None -> 0.
+  in
+  let rows_data =
+    List.map
+      (fun cc ->
+        let run cc_routing =
+          Runner.run_bohm_sim ~cc ~exec ~preprocess:true ~cc_routing spec txns
+        in
+        let scan = run false in
+        let routed = run true in
+        ( Printf.sprintf "CC=%d" cc,
+          [
+            Some (Stats.throughput scan);
+            Some (Stats.throughput routed);
+            Some (extra routed "versions_recycled");
+            Some (extra routed "steals");
+            Some (extra routed "dep_blocks");
+          ] ))
+      ccs
+  in
+  [
+    {
+      title =
+        Printf.sprintf
+          "Ablation: batch-routed CC dispatch + version recycling, %d exec \
+           threads (fig4 workload)"
+          exec;
+      x_label = "cc threads";
+      columns =
+        [
+          "scan (txns/s)";
+          "routed (txns/s)";
+          "recycled";
+          "steals";
+          "dep_blocks";
+        ];
+      rows = rows_data;
+      notes =
+        [
+          "Both columns run the pipelined preprocessing stage. The scan path";
+          "dispatches on every transaction of a batch per partition; the routed";
+          "path iterates the dense per-(batch, partition) index slice that";
+          "preprocessing emits, recycles Condition-3 GC'd versions through";
+          "partition-local freelists, and steals via the shared batch cursor.";
+          "The last three columns are the routed run's counters.";
+        ];
+    };
+  ]
+
 (* BOHM against classic multiversion timestamp ordering (Reed; paper
    2.2/5): MVTO tracks every read in shared memory and lets readers abort
    writers — the two costs BOHM eliminates. Not one of the paper's
@@ -597,6 +681,8 @@ let experiments =
     ("ablation-cc-split", ablation_cc_split);
     ("ablation-preprocess", ablation_preprocess);
     ("ablation-probe-memo", ablation_probe_memo);
+    ("ablation-cc-routing", ablation_cc_routing);
+    ("fig4-noroute", fig4_noroute);
     ("mvto", extension_mvto);
   ]
 

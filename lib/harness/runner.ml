@@ -34,6 +34,7 @@ type bohm_opts = {
   read_annotation : bool;
   preprocess : bool;
   probe_memo : bool;
+  cc_routing : bool;
 }
 
 let default_bohm_opts =
@@ -44,6 +45,7 @@ let default_bohm_opts =
     read_annotation = true;
     preprocess = false;
     probe_memo = true;
+    cc_routing = true;
   }
 
 let split_threads opts threads =
@@ -53,11 +55,11 @@ let split_threads opts threads =
   (cc, exec)
 
 let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) ?(probe_memo = true) spec txns =
+    ?(preprocess = false) ?(probe_memo = true) ?(cc_routing = true) spec txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
-          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ()
+          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -80,7 +82,7 @@ let run_engine ?report ~bohm engine ~threads spec txns =
             Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec
               ~batch_size:bohm.batch_size ~gc:bohm.gc
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
-              ~probe_memo:bohm.probe_memo ()
+              ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing ()
           in
           let db = Bohm_sim.create config ~tables:spec.tables spec.init in
           check Bohm_sim.check_chains db (Bohm_sim.run db txns))

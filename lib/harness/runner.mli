@@ -26,11 +26,14 @@ type bohm_opts = {
   read_annotation : bool;
   preprocess : bool;  (** Pipelined §3.2.2 preprocessing stage. *)
   probe_memo : bool;  (** Probe-once slot memoization. *)
+  cc_routing : bool;
+      (** Batch-routed CC: dense per-partition dispatch (with
+          [preprocess]), version freelists (with [gc]), steal cursor. *)
 }
 
 val default_bohm_opts : bohm_opts
 (** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
-    off, probe memoization on. *)
+    off, probe memoization on, batch routing on. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -60,6 +63,7 @@ val run_bohm_sim :
   ?annotate:bool ->
   ?preprocess:bool ->
   ?probe_memo:bool ->
+  ?cc_routing:bool ->
   spec ->
   Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t

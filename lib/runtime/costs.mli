@@ -47,6 +47,39 @@ val spawn_cost : int ref
 val recency_window : int ref
 (** Cycles after a write during which the line counts as hot. *)
 
+(** {2 Batch-routed concurrency control}
+
+    Work charges for the dense-dispatch path ([Config.cc_routing] in the
+    BOHM engine). The scan-dispatch path pays the engine's
+    [cc_dispatch_work] (12 cycles) for {e every} transaction of a batch —
+    loading the wrapper and its ownership stamp just to discover the
+    partition owns nothing. The routed path iterates a dense array of
+    owning transaction indices instead, and pays for building that array
+    where the work is embarrassingly parallel: in the preprocessing
+    stage. *)
+
+val cc_routed_dispatch : int ref
+(** Per routed transaction in a CC thread: one dense-array read plus the
+    wrapper load. Cheaper than the engine's scan-path [cc_dispatch_work]
+    because non-owning transactions are never touched and there is no
+    ownership test on the hot path. *)
+
+val cc_route_append : int ref
+(** Preprocessing charge per (transaction, owning partition) pair: one
+    append of the transaction index into a partition-local segment. *)
+
+val cc_route_merge : int ref
+(** CC-thread charge per routed entry when a partition's per-preprocessor
+    segments are merged (ascending, preserving timestamp order) into the
+    dense slice the thread then iterates. *)
+
+val cc_insert_recycled : int ref
+(** Version-insert work when the placeholder record comes off the CC
+    thread's freelist instead of the allocator; fresh inserts pay the
+    engine's [cc_insert_work] (40 cycles). The difference is the avoided
+    allocator work — cell initialization itself is uncharged on both
+    paths, matching [Cell.make]'s "allocation is not modelled". *)
+
 val cycles_per_second : float
 (** Virtual clock rate used to convert cycles to seconds (2 GHz). *)
 

@@ -38,9 +38,9 @@ let transfer_txn id a b n =
       Txn.Commit)
 
 let default_config ?(cc = 2) ?(ex = 2) ?(batch = 16) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) ?(probe_memo = true) () =
+    ?(preprocess = false) ?(probe_memo = true) ?(routing = true) () =
   Config.make ~cc_threads:cc ~exec_threads:ex ~batch_size:batch ~gc
-    ~read_annotation:annotate ~preprocess ~probe_memo ()
+    ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing:routing ()
 
 let run_sim ?config txns =
   let config = match config with Some c -> c | None -> default_config () in
@@ -58,7 +58,8 @@ let test_config_defaults () =
   Alcotest.(check int) "batch" 1000 c.Config.batch_size;
   Alcotest.(check bool) "gc" true c.Config.gc;
   Alcotest.(check bool) "annotation" true c.Config.read_annotation;
-  Alcotest.(check bool) "probe memo" true c.Config.probe_memo
+  Alcotest.(check bool) "probe memo" true c.Config.probe_memo;
+  Alcotest.(check bool) "cc routing" true c.Config.cc_routing
 
 let test_config_validation () =
   Alcotest.check_raises "cc" (Invalid_argument "Config.make: cc_threads must be positive")
@@ -522,6 +523,229 @@ let prop_equivalence_across_probe_and_preprocess_combos =
               !ok))
         [ (false, false); (false, true); (true, false); (true, true) ])
 
+(* --- batch-routed dispatch and version recycling --- *)
+
+(* Chains, committed counts and the chain audit from one simulated run.
+   GC off keeps chain structure deterministic across configurations (GC
+   truncation depth depends on scheduling), so routed and scan runs must
+   agree exactly. *)
+let routed_fingerprint ~routing ~seed txns =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Sim_engine.create
+          (default_config ~cc:3 ~ex:3 ~batch:16 ~gc:false ~preprocess:true
+             ~routing ())
+          ~tables init_zero
+      in
+      let stats = Sim_engine.run db txns in
+      let report = Bohm_analysis.Report.create () in
+      Sim_engine.check_chains db report;
+      let values =
+        Array.init 64 (fun i ->
+            Value.to_int (Sim_engine.read_latest db (key i)))
+      in
+      let chains =
+        Array.init 64 (fun i -> Sim_engine.chain_length db (key i))
+      in
+      ( stats.Stats.committed,
+        values,
+        chains,
+        Bohm_analysis.Report.is_clean report ))
+
+let prop_routed_equals_scan_dispatch =
+  QCheck.Test.make ~count:12
+    ~name:"routed dispatch equals scan dispatch (commits, values, chains)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+      let committed_r, values_r, chains_r, clean_r =
+        routed_fingerprint ~routing:true ~seed:(seed + 5) txns
+      in
+      let committed_s, values_s, chains_s, clean_s =
+        routed_fingerprint ~routing:false ~seed:(seed + 5) txns
+      in
+      clean_r && clean_s
+      && committed_r = committed_s
+      && values_r = values_s
+      && chains_r = chains_s)
+
+let test_routed_serialization_check_sim () =
+  (* Randomized contended workload with routing, freelists and GC all on:
+     the run must be provably serializable and its chains clean. *)
+  let w =
+    Bohm_harness.Serialization_check.make_workload ~rows:48 ~txns:300
+      ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:7
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"ser" ~rows:48 ~record_bytes:8 |]
+  in
+  let db, clean =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create
+            (default_config ~cc:3 ~ex:3 ~batch:32 ~preprocess:true ())
+            ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+        in
+        ignore (Sim_engine.run db (Bohm_harness.Serialization_check.txns w));
+        let report = Bohm_analysis.Report.create () in
+        Sim_engine.check_chains db report;
+        (db, Bohm_analysis.Report.is_clean report))
+  in
+  Alcotest.(check bool) "chains clean" true clean;
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Sim_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
+let test_routed_serialization_check_real () =
+  let w =
+    Bohm_harness.Serialization_check.make_workload ~rows:48 ~txns:300
+      ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:13
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"ser" ~rows:48 ~record_bytes:8 |]
+  in
+  let db =
+    Real_engine.create
+      (default_config ~cc:3 ~ex:3 ~batch:32 ~preprocess:true ())
+      ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+  in
+  ignore (Real_engine.run db (Bohm_harness.Serialization_check.txns w));
+  let report = Bohm_analysis.Report.create () in
+  Real_engine.check_chains db report;
+  Alcotest.(check bool) "chains clean" true
+    (Bohm_analysis.Report.is_clean report);
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Real_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
+let test_real_routed_equals_scan () =
+  let rng = Rng.create ~seed:909 in
+  let txns = Array.init 250 (fun i -> random_rmw_txn rng i) in
+  let run routing =
+    let db =
+      Real_engine.create
+        (default_config ~cc:3 ~ex:3 ~batch:32 ~gc:false ~preprocess:true
+           ~routing ())
+        ~tables init_zero
+    in
+    let stats = Real_engine.run db txns in
+    let values =
+      Array.init 64 (fun i -> Value.to_int (Real_engine.read_latest db (key i)))
+    in
+    let chains = Array.init 64 (fun i -> Real_engine.chain_length db (key i)) in
+    (stats.Stats.committed, values, chains)
+  in
+  let committed_r, values_r, chains_r = run true in
+  let committed_s, values_s, chains_s = run false in
+  Alcotest.(check int) "committed equal" committed_s committed_r;
+  Alcotest.(check (array int)) "values equal" values_s values_r;
+  Alcotest.(check (array int)) "chains equal" chains_s chains_r
+
+(* Freelist soundness at the version level: truncation hands back exactly
+   the records below the keeper, none of which any live reader can still
+   reach, and recycling reinitializes a record as a fresh placeholder. *)
+let test_truncate_collect_returns_unreachable () =
+  let v0, v1, v2 = build_chain () in
+  let v3 = Version.placeholder ~ts:30 ~producer:3 ~prev:v2 in
+  Bohm_runtime.Real.Cell.set v2.Version.end_ts 30;
+  (* gc_ts = 25: v2 (begin 20) is the keeper; v1 and v0 are unlinked. *)
+  let dropped = Version.truncate_collect v3 ~gc_ts:25 in
+  Alcotest.(check int) "two dropped" 2 (List.length dropped);
+  Alcotest.(check bool) "v0 collected" true (List.memq v0 dropped);
+  Alcotest.(check bool) "v1 collected" true (List.memq v1 dropped);
+  Alcotest.(check int) "chain shortened" 2 (Version.chain_length v3);
+  (* Condition 3: only transactions with ts <= gc_ts could ever have seen
+     the dropped records, and those have all finished. Every later reader
+     must resolve to a surviving version. *)
+  for ts = 20 to 60 do
+    match Version.visible_at v3 ~ts with
+    | None -> Alcotest.failf "no version visible at %d" ts
+    | Some v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ts=%d resolves to a survivor" ts)
+          false (List.memq v dropped)
+  done;
+  (* Collecting again finds nothing. *)
+  Alcotest.(check int) "idempotent" 0
+    (List.length (Version.truncate_collect v3 ~gc_ts:25))
+
+let test_recycle_reinitializes_record () =
+  let _, v1, v2 = build_chain () in
+  let dropped = Version.truncate_collect v2 ~gc_ts:15 in
+  Alcotest.(check bool) "v0 reclaimed" true (List.length dropped = 1);
+  let r = List.hd dropped in
+  let recycled = Version.recycle r ~ts:40 ~producer:4 ~prev:v2 in
+  Alcotest.(check bool) "same record reused" true (recycled == r);
+  Alcotest.(check int) "begin stamped" 40 recycled.Version.begin_ts;
+  Alcotest.(check int) "end at infinity" Version.infinity_ts
+    (Bohm_runtime.Real.Cell.get recycled.Version.end_ts);
+  Alcotest.(check bool) "data empty" true
+    (Bohm_runtime.Real.Cell.get recycled.Version.data = None);
+  Alcotest.(check bool) "producer recorded" true
+    (recycled.Version.producer = Some 4);
+  Alcotest.(check bool) "linked to prev" true
+    (match Bohm_runtime.Real.Cell.get recycled.Version.prev with
+    | Some p -> p == v2
+    | None -> false);
+  (* The old chain is untouched: v1 still heads a 2-version chain. *)
+  Alcotest.(check int) "old chain intact" 2 (Version.chain_length v2);
+  Alcotest.(check bool) "keeper's prev stays cut" true
+    (Bohm_runtime.Real.Cell.get v1.Version.prev = None)
+
+let test_recycling_engine_counts_and_state () =
+  (* Hot-key RMWs with small batches: Condition-3 truncation feeds the
+     freelists, later inserts drain them, and the final state and chain
+     audit are unaffected. Routing is on by default; preprocess off shows
+     the freelist works independently of dense dispatch. *)
+  let txns = List.init 2000 (fun i -> incr_txn i (key 1) 1) in
+  let value, stats, clean, chain =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create (default_config ~batch:64 ()) ~tables init_zero
+        in
+        let stats = Sim_engine.run db (Array.of_list txns) in
+        let report = Bohm_analysis.Report.create () in
+        Sim_engine.check_chains db report;
+        ( Value.to_int (Sim_engine.read_latest db (key 1)),
+          stats,
+          Bohm_analysis.Report.is_clean report,
+          Sim_engine.chain_length db (key 1) ))
+  in
+  Alcotest.(check int) "value correct" 2000 value;
+  let extra name =
+    match Stats.extra stats name with Some f -> int_of_float f | None -> 0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "recycled versions, got %d" (extra "versions_recycled"))
+    true
+    (extra "versions_recycled" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "recycles (%d) bounded by collections (%d)"
+       (extra "versions_recycled") (extra "gc_collected"))
+    true
+    (extra "versions_recycled" <= extra "gc_collected");
+  Alcotest.(check bool) "chains clean" true clean;
+  Alcotest.(check bool) "chain bounded" true (chain < 2000)
+
+let test_no_recycling_without_routing () =
+  let txns = List.init 2000 (fun i -> incr_txn i (key 1) 1) in
+  let _, stats =
+    run_sim ~config:(default_config ~batch:64 ~routing:false ()) txns
+  in
+  Alcotest.(check bool) "nothing recycled" true
+    (Stats.extra stats "versions_recycled" = Some 0.)
+
 (* --- multiple runs share the database --- *)
 
 let test_sequential_runs_accumulate () =
@@ -659,6 +883,24 @@ let suite =
             prop_transfers_conserve;
             prop_equivalence_across_probe_and_preprocess_combos;
           ] );
+    ( "bohm-routing",
+      [
+        Alcotest.test_case "serialization check, routed (sim)" `Quick
+          test_routed_serialization_check_sim;
+        Alcotest.test_case "serialization check, routed (real)" `Quick
+          test_routed_serialization_check_real;
+        Alcotest.test_case "routed equals scan (real)" `Quick
+          test_real_routed_equals_scan;
+        Alcotest.test_case "truncate_collect returns unreachable" `Quick
+          test_truncate_collect_returns_unreachable;
+        Alcotest.test_case "recycle reinitializes record" `Quick
+          test_recycle_reinitializes_record;
+        Alcotest.test_case "recycling engine counters and state" `Quick
+          test_recycling_engine_counts_and_state;
+        Alcotest.test_case "no recycling without routing" `Quick
+          test_no_recycling_without_routing;
+      ]
+      @ qcheck [ prop_routed_equals_scan_dispatch ] );
     ( "bohm-probe-memo",
       [
         Alcotest.test_case "one probe per footprint key" `Quick

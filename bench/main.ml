@@ -3,9 +3,10 @@
    With no arguments, regenerates every table and figure of the paper's
    evaluation on the simulated multicore machine, runs the ablation
    benches, and finishes with the Bechamel component micro-benchmarks.
-   Pass experiment names (fig4 fig4-noroute fig5 fig6 fig7 fig8 tab9 fig10
-   ablation-batch ablation-annotation ablation-gc ablation-cc-split
-   ablation-preprocess ablation-probe-memo ablation-cc-routing micro smoke)
+   Pass experiment names (fig4 fig4-noroute fig4-nowakeup fig5 fig6 fig7
+   fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc
+   ablation-cc-split ablation-preprocess ablation-probe-memo
+   ablation-cc-routing ablation-exec-wakeup micro smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
    the run (with per-column throughput ceilings) as one JSON document. *)
@@ -71,17 +72,28 @@ let sanitize ~scale ~quick =
         incr failures
       end)
     (Runner.all @ [ Runner.Mvto ]);
-  (* BOHM additionally in the two batch-routing modes with the
-     preprocessing stage on: the routed run exercises the dense dispatch,
-     freelist recycling and steal-cursor paths under the full checker
-     suite; the scan run pins the routing-off baseline. *)
+  (* BOHM additionally in the batch-routing and wakeup on/off modes with
+     the preprocessing stage on: the routed run exercises the dense
+     dispatch, freelist recycling and steal-cursor paths, the wakeup runs
+     exercise the waiter-registration/seal/ready-queue protocol (and the
+     dangling-waiter audit), and the scan/retry runs pin the off
+     baselines — all under the full checker suite. These runs use 12
+     threads at cc_fraction 1/3 (cc=4/exec=8): parking engages only at 8+
+     execution threads, so a smaller pool would sanitize the wakeup flag
+     without ever tracing the waiter protocol. *)
   List.iter
-    (fun (label, cc_routing) ->
+    (fun (label, cc_routing, exec_wakeup) ->
       let bohm =
-        { Runner.default_bohm_opts with preprocess = true; cc_routing }
+        {
+          Runner.default_bohm_opts with
+          cc_fraction = 1. /. 3.;
+          preprocess = true;
+          cc_routing;
+          exec_wakeup;
+        }
       in
       let stats, report =
-        Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:6 spec
+        Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec
           (Check.txns w)
       in
       let clean = Analysis.is_clean report in
@@ -92,7 +104,12 @@ let sanitize ~scale ~quick =
         print_endline (Analysis.to_string report);
         incr failures
       end)
-    [ ("Bohm+rt", true); ("Bohm-rt", false) ];
+    [
+      ("Bohm+rt", true, true);
+      ("Bohm-rt", false, true);
+      ("Bohm+rt-wk", true, false);
+      ("Bohm-rt-wk", false, false);
+    ];
   if !failures > 0 then begin
     Printf.eprintf "sanitize: %d engine(s) produced diagnostics\n" !failures;
     exit 1
@@ -133,30 +150,32 @@ let smoke ~scale ~sanitized =
   (* With --sanitize the same configurations run under the full checker
      suite (cc=4/exec=8 expressed as 12 threads at cc_fraction 1/3 — the
      identical split). *)
-  let run ~preprocess ~probe_memo ~routing =
+  let run ?(wakeup = true) ~preprocess ~probe_memo ~routing () =
     if sanitized then
       let bohm =
         { Runner.default_bohm_opts with cc_fraction = 1. /. 3.; preprocess;
-          probe_memo; cc_routing = routing }
+          probe_memo; cc_routing = routing; exec_wakeup = wakeup }
       in
       let stats, r = Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec txns in
       (stats, Some r)
     else
       ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess ~probe_memo
-          ~cc_routing:routing spec txns,
+          ~cc_routing:routing ~exec_wakeup:wakeup spec txns,
         None )
   in
   let suffix = if sanitized then " sanitized" else "" in
   check ("bohm cc=4 exec=8" ^ suffix)
-    (run ~preprocess:false ~probe_memo:true ~routing:true);
+    (run ~preprocess:false ~probe_memo:true ~routing:true ());
   check ("bohm cc=4 exec=8 no-routing" ^ suffix)
-    (run ~preprocess:false ~probe_memo:true ~routing:false);
+    (run ~preprocess:false ~probe_memo:true ~routing:false ());
+  check ("bohm cc=4 exec=8 no-wakeup" ^ suffix)
+    (run ~wakeup:false ~preprocess:false ~probe_memo:true ~routing:true ());
   check ("bohm cc=4 exec=8 preprocess routed" ^ suffix)
-    (run ~preprocess:true ~probe_memo:true ~routing:true);
+    (run ~preprocess:true ~probe_memo:true ~routing:true ());
   check ("bohm cc=4 exec=8 preprocess scan-dispatch" ^ suffix)
-    (run ~preprocess:true ~probe_memo:true ~routing:false);
+    (run ~preprocess:true ~probe_memo:true ~routing:false ());
   check ("bohm cc=4 exec=8 preprocess re-probe" ^ suffix)
-    (run ~preprocess:true ~probe_memo:false ~routing:true);
+    (run ~preprocess:true ~probe_memo:false ~routing:true ());
   if !failures > 0 then begin
     Printf.eprintf "smoke: %d configuration(s) failed\n" !failures;
     exit 1

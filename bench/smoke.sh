@@ -39,4 +39,29 @@ for x in 2 8; do
 done
 echo "fig4-noroute determinism gate PASS (matches BENCH_PR1.json at exec=2,8 / CC=1,4)"
 
+# Second determinism gate: with exec_wakeup off the engine must retrace
+# the PR 3 retry-polling code paths instruction for instruction, so the
+# --quick fig4-nowakeup sweep must reproduce the corresponding
+# BENCH_PR3.json fig4 cells bit-for-bit.
+tmp2=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2"' EXIT
+dune exec bench/main.exe -- fig4-nowakeup --quick --json="$tmp2" > /dev/null
+for x in 2 8; do
+  got=$(row "$tmp2" $x)
+  want=$(row BENCH_PR3.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: fig4 with exec_wakeup off diverges from BENCH_PR3.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4-nowakeup determinism gate PASS (matches BENCH_PR3.json at exec=2,8 / CC=1,4)"
+
+# Ablation smoke: run the wakeup-vs-retry sweep shrunk. A lost wakeup
+# parks a transaction forever, which deadlocks the simulator and exits
+# non-zero; the full-scale table lives in EXPERIMENTS.md / BENCH_PR4.json.
+dune exec bench/main.exe -- ablation-exec-wakeup --quick > /dev/null \
+  && echo "ablation-exec-wakeup smoke PASS"
+
 exec dune exec bench/main.exe -- smoke "$@"

@@ -113,8 +113,17 @@ let run_cmd =
             "Disable batch-routed concurrency control (dense per-partition \
              dispatch, version freelists, steal cursor).")
   in
+  let no_exec_wakeup =
+    Arg.(
+      value & flag
+      & info [ "no-exec-wakeup" ]
+          ~doc:
+            "Disable fill-triggered dependency wakeups (blocked transactions \
+             are retry-polled instead of parked on waiter lists).")
+  in
   let action engine workload threads theta rows count seed cc_fraction batch
-      no_gc no_annotation preprocess no_probe_memo no_cc_routing =
+      no_gc no_annotation preprocess no_probe_memo no_cc_routing
+      no_exec_wakeup =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -153,6 +162,7 @@ let run_cmd =
         preprocess;
         probe_memo = not no_probe_memo;
         cc_routing = not no_cc_routing;
+        exec_wakeup = not no_exec_wakeup;
       }
     in
     let name, stats =
@@ -185,7 +195,7 @@ let run_cmd =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
       $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
-      $ no_probe_memo $ no_cc_routing)
+      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 

@@ -1,8 +1,16 @@
 module Key = Bohm_txn.Key
 
-type entry = { begin_ts : int; end_ts : int option; filled : bool }
+type entry = {
+  begin_ts : int;
+  end_ts : int option;
+  filled : bool;
+  dangling_waiters : int;
+}
 
 let infinity_ts = max_int
+
+let entry ?(dangling_waiters = 0) ~begin_ts ~end_ts ~filled () =
+  { begin_ts; end_ts; filled; dangling_waiters }
 
 let check_key report ?(newest_end = infinity_ts) k entries =
   let add kind detail = Report.add report ~key:k kind detail in
@@ -12,6 +20,11 @@ let check_key report ?(newest_end = infinity_ts) k entries =
         if not e.filled then
           add Report.Chain_unfilled
             (Printf.sprintf "version ts %d has no data" e.begin_ts);
+        if e.dangling_waiters > 0 then
+          add Report.Chain_dangling_waiter
+            (Printf.sprintf
+               "version ts %d still holds %d unclaimed waiter record(s)"
+               e.begin_ts e.dangling_waiters);
         (match newer_begin with
         | Some nb when e.begin_ts >= nb ->
             add Report.Chain_out_of_order

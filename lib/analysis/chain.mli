@@ -24,10 +24,25 @@ type entry = {
   end_ts : int option;
       (** Invalidation timestamp, for engines that stamp one. *)
   filled : bool;  (** Placeholder has been given data / producer settled. *)
+  dangling_waiters : int;
+      (** Waiter records still registered and unclaimed on the version at
+          quiescence (BOHM's fill-triggered wakeup protocol): each one is
+          a parked transaction whose wakeup was never pushed. 0 for
+          engines without waiter lists. *)
 }
 
 val infinity_ts : int
 (** [max_int], the "never invalidated" end stamp. *)
+
+val entry :
+  ?dangling_waiters:int ->
+  begin_ts:int ->
+  end_ts:int option ->
+  filled:bool ->
+  unit ->
+  entry
+(** Convenience constructor; [dangling_waiters] defaults to 0 for engines
+    without waiter lists. *)
 
 val check_key :
   Report.t -> ?newest_end:int -> Bohm_txn.Key.t -> entry list -> unit

@@ -10,12 +10,13 @@ type kind =
   | Chain_unfilled
   | Chain_end_mismatch
   | Chain_dangling_lock
+  | Chain_dangling_waiter
   | Data_race
 
 let checker_of_kind = function
   | Undeclared_read | Undeclared_write | Late_write -> Footprint
   | Chain_out_of_order | Chain_unfilled | Chain_end_mismatch
-  | Chain_dangling_lock ->
+  | Chain_dangling_lock | Chain_dangling_waiter ->
       Chain
   | Data_race -> Race
 
@@ -32,6 +33,7 @@ let kind_name = function
   | Chain_unfilled -> "unfilled-placeholder"
   | Chain_end_mismatch -> "end-ts-mismatch"
   | Chain_dangling_lock -> "dangling-lock"
+  | Chain_dangling_waiter -> "dangling-waiter"
   | Data_race -> "data-race"
 
 type diag = {

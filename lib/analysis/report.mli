@@ -32,6 +32,11 @@ type kind =
   | Chain_dangling_lock
       (** A record/lock word still held after quiescence (Silo TID lock
           bit, 2PL lock table entry). *)
+  | Chain_dangling_waiter
+      (** A waiter record still registered and unclaimed on a version's
+          waiter list after quiescence (BOHM fill-triggered wakeup): a
+          parked transaction whose wakeup was never pushed — a lost
+          wakeup. *)
   | Data_race
       (** Conflicting cell accesses with no happens-before edge. *)
 

@@ -37,6 +37,16 @@ type t = private {
           steal cursor in the execution layer. Off replays the scan
           dispatch, allocate-always and rescan-steal paths for the
           [ablation-cc-routing] bench. *)
+  exec_wakeup : bool;
+      (** Fill-triggered dependency wakeup. An execution attempt that hits
+          a still-unfilled version registers a compact waiter record on
+          that version and parks the transaction; the thread that fills
+          the version drains the waiter list and pushes the now-ready
+          transaction indices onto each registrant's MPSC ready queue, so
+          a blocked transaction is re-attempted once per resolved
+          dependency instead of once per retry-list sweep. Off retraces
+          the retry-list code paths exactly (the [fig4-nowakeup]
+          determinism anchor and the [ablation-exec-wakeup] bench). *)
 }
 
 val make :
@@ -48,11 +58,12 @@ val make :
   ?preprocess:bool ->
   ?probe_memo:bool ->
   ?cc_routing:bool ->
+  ?exec_wakeup:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
     read annotation on, preprocessing off, probe memoization on, batch
-    routing on. Raises [Invalid_argument] on non-positive thread counts
-    or batch size. *)
+    routing on, fill-triggered wakeup on. Raises [Invalid_argument] on
+    non-positive thread counts or batch size. *)
 
 val pp : Format.formatter -> t -> unit

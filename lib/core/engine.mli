@@ -36,6 +36,17 @@
       every placeholder is always eventually filled and writers never
       abort.
 
+      When a dependency cannot be resolved inline, what happens next is
+      governed by [Config.exec_wakeup]. Off: the transaction goes on its
+      thread's retry list, polled until the dependency completes. On (the
+      default): the thread registers a compact waiter record on the
+      unfilled version itself — publishing a shared registration signal
+      first, then re-checking the data, so the race against the fill is
+      decided by a per-record claim token and no wakeup is ever lost — and
+      the thread that fills the version pushes one wakeup onto the parked
+      thread's MPSC ready queue: one re-attempt per resolved dependency
+      instead of polling.
+
     Reads never block writes, reads write no shared memory, there is no
     global timestamp counter, and the serialization order is exactly the
     input order. *)
@@ -65,6 +76,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       ["steals"] (executions completed by a non-responsible thread —
       found by the shared per-batch steal cursor when [Config.cc_routing],
       by a full batch rescan otherwise),
+      ["exec_retry_scans"] (passes over a thread's blocked list: retry-list
+      sweeps with [Config.exec_wakeup] off, busy-list polls with it on),
+      ["wakeups"] (fill-triggered wakeups pushed; 0 with [exec_wakeup]
+      off),
       ["cc_batch0_start_us"] / ["pre_complete_us"] (virtual times, in
       microseconds, at which
       CC began batch 0 and preprocessing finished its last batch — the
@@ -86,9 +101,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   val check_chains : t -> Bohm_analysis.Report.t -> unit
   (** Audit every key's version chain against the {!Bohm_analysis.Chain}
       invariants: strict begin-timestamp descent, end stamp equal to the
-      successor's begin (head at timestamp infinity), and no unfilled
-      placeholder. Call after {!run} returns (quiescence); charges
-      nothing. *)
+      successor's begin (head at timestamp infinity), no unfilled
+      placeholder, and no dangling waiter record (a registered,
+      unclaimed waiter surviving quiescence is a lost wakeup). Call after
+      {!run} returns (quiescence); charges nothing. *)
 
   val inject_lost_fill : t -> Bohm_txn.Key.t -> unit
   (** Fault injection for the sanitizer's mutation tests: clears the
@@ -96,6 +112,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       that claimed the producer but never installed its write. The next
       {!check_chains} must flag it as an unfilled placeholder. Test-only:
       breaks {!read_latest} for the key's newest version by design. *)
+
+  val inject_dangling_waiter : t -> Bohm_txn.Key.t -> unit
+  (** Fault injection for the sanitizer's mutation tests: registers a
+      waiter record on the key's newest version that no filler will ever
+      claim or wake — the lost wakeup the dangling-waiter chain audit
+      exists to catch. The next {!check_chains} must flag it. Raises
+      [Invalid_argument] if the head's waiter list is already sealed. *)
 
   val config : t -> Config.t
 end

@@ -2,15 +2,84 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* Fields are mutable so GC'd records can be recycled as fresh
      placeholders ({!recycle}); outside the freelist path every field is
      written once, at creation, by the owning CC thread. *)
+  type waiter = {
+    w_owner : int;
+    w_batch : int;
+    w_index : int;
+    w_claimed : int R.Cell.t;
+  }
+
+  type waitq = Waiting of waiter list | Sealed
+
   type 'txn t = {
     mutable begin_ts : int;
     mutable end_ts : int R.Cell.t;
     mutable data : Bohm_txn.Value.t option R.Cell.t;
     mutable producer : 'txn option;
     mutable prev : 'txn t option R.Cell.t;
+    mutable waiters : waitq R.Cell.t;
   }
 
   let infinity_ts = max_int
+
+  (* Waiter lists carry the fill-triggered wakeup protocol: the list CAS
+     and the per-record claim CAS are synchronization by nature (and their
+     RMWs would auto-promote the cells anyway); marking also covers the
+     plain reads the publication re-checks perform. *)
+  let make_waitq q =
+    let c = R.Cell.make q in
+    R.Cell.mark_sync c;
+    c
+
+  let make_waiter ~owner ~batch ~index =
+    let claimed = R.Cell.make 0 in
+    R.Cell.mark_sync claimed;
+    { w_owner = owner; w_batch = batch; w_index = index; w_claimed = claimed }
+
+  (* Push [w] onto the version's waiter list. [`Sealed] means the fill
+     path already sealed the list — the data is filled (sealing happens
+     strictly after the data store), so the caller retries inline instead
+     of parking. *)
+  let register_waiter v w =
+    let rec go () =
+      match R.Cell.get v.waiters with
+      | Sealed -> `Sealed
+      | Waiting ws as cur ->
+          if R.Cell.cas v.waiters cur (Waiting (w :: ws)) then `Registered
+          else go ()
+    in
+    go ()
+
+  (* Fill-side drain: swap the list to [Sealed] and return the registered
+     waiters in registration order. Must be called only after the
+     version's data is set — [Sealed] is the published promise that any
+     later would-be registrant can read the data instead. Idempotent:
+     a second call returns []. *)
+  let seal_waiters v =
+    let rec go () =
+      match R.Cell.get v.waiters with
+      | Sealed -> []
+      | Waiting ws as cur ->
+          if R.Cell.cas v.waiters cur Sealed then List.rev ws else go ()
+    in
+    go ()
+
+  (* Fast emptiness probe for the fill path: sealing is pointless on a
+     version nobody waits on (the claim-token handshake already covers a
+     registration racing the fill), so the filler pays one read instead of
+     an RMW on the common waiterless version. *)
+  let has_waiters v =
+    match R.Cell.get v.waiters with
+    | Sealed | Waiting [] -> false
+    | Waiting _ -> true
+
+  (* Quiescence audit hook: waiter records still on an unsealed list whose
+     wakeup was neither pushed nor self-served. Uncharged use only. *)
+  let unclaimed_waiters v =
+    match R.Cell.get v.waiters with
+    | Sealed -> 0
+    | Waiting ws ->
+        List.length (List.filter (fun w -> R.Cell.get w.w_claimed = 0) ws)
 
   (* [data] is the publication point between a version's producer and its
      readers: a reader that finds it filled must see everything the
@@ -28,6 +97,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       data;
       producer = None;
       prev = R.Cell.make None;
+      (* Born filled, so born sealed: a registration attempt (which can
+         only race a fill) observes the seal and reads the data. *)
+      waiters = make_waitq Sealed;
     }
 
   let placeholder ~ts ~producer ~prev =
@@ -39,6 +111,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       data;
       producer = Some producer;
       prev = R.Cell.make (Some prev);
+      waiters = make_waitq (Waiting []);
     }
 
   (* Reinitialize a reclaimed record as [placeholder] would build it. The
@@ -57,6 +130,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     v.data <- data;
     v.producer <- Some producer;
     v.prev <- R.Cell.make (Some prev);
+    v.waiters <- make_waitq (Waiting []);
     v
 
   let rec visible_at v ~ts =

@@ -11,6 +11,24 @@
     engine's transaction wrapper without a circular dependency. *)
 
 module Make (R : Bohm_runtime.Runtime_intf.S) : sig
+  type waiter = {
+    w_owner : int;  (** Execution thread to notify. *)
+    w_batch : int;  (** Batch of the parked transaction (diagnostics). *)
+    w_index : int;  (** Index of the parked transaction in the run. *)
+    w_claimed : int R.Cell.t;
+        (** 0 free, 1 consumed. Exactly-once consumption token: the filler
+            CASes it before pushing a wakeup, the registrant CASes it
+            before serving itself on the register-vs-fill race — precisely
+            one of them wins, so there is neither a lost nor a duplicated
+            wakeup for this record. *)
+  }
+  (** A parked execution attempt, registered on the unfilled version whose
+      data it needs (the fill-triggered wakeup protocol). *)
+
+  type waitq = Waiting of waiter list | Sealed
+      (** [Sealed] is terminal and implies the version's data is filled:
+          the fill path stores the data strictly before sealing. *)
+
   type 'txn t = {
     mutable begin_ts : int;
     mutable end_ts : int R.Cell.t;  (** [infinity_ts] until invalidated. *)
@@ -18,12 +36,49 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
         (** [None] = placeholder. *)
     mutable producer : 'txn option;  (** [None] for bulk-loaded versions. *)
     mutable prev : 'txn t option R.Cell.t;
+    mutable waiters : waitq R.Cell.t;
+        (** CAS-linked waiter list; [Sealed] from birth on bulk-loaded
+            versions. Untouched (beyond free creation) when the engine
+            runs with [Config.exec_wakeup] off. *)
   }
   (** Fields are mutable only so {!recycle} can reinitialize a GC'd record
       in place; outside the freelist every field is written once, at
       creation, by the owning CC thread. *)
 
   val infinity_ts : int
+
+  val make_waiter : owner:int -> batch:int -> index:int -> waiter
+  (** A fresh, unclaimed waiter record. *)
+
+  val register_waiter : 'txn t -> waiter -> [ `Registered | `Sealed ]
+  (** CAS the record onto the version's waiter list. [`Sealed] means the
+      fill already happened — read the data and retry inline. After
+      [`Registered] the caller must re-read [data]: if it is now filled
+      the filler may have missed the registration (it reads the list once,
+      after its data store), so the caller must try to CAS [w_claimed]
+      itself — winning means no wakeup is coming (serve yourself), losing
+      means the wakeup is already queued. If [data] is still unfilled the
+      registration is published before the fill in the global order, the
+      filler is guaranteed to see the record, and parking is safe. *)
+
+  val has_waiters : 'txn t -> bool
+  (** One read: is the list unsealed and non-empty? Lets the fill path
+      skip the seal RMW on versions nobody waits on — safe because a
+      registration racing the fill self-serves through the claim token
+      when its post-registration data re-read finds the fill already
+      done. *)
+
+  val seal_waiters : 'txn t -> waiter list
+  (** Swap the list to [Sealed] and return the registered records in
+      registration order. Call only after the version's data is stored —
+      the seal is the published promise that later registrants can read
+      the data instead of parking. Idempotent; a second call returns
+      []. *)
+
+  val unclaimed_waiters : 'txn t -> int
+  (** Records still on an unsealed list whose wakeup was neither pushed
+      nor self-served — at quiescence any such record is a lost wakeup.
+      For the chain audit; uncharged use only. *)
 
   val initial : Bohm_txn.Value.t -> 'txn t
   (** A bulk-loaded version: begin 0, end infinity, data present. *)

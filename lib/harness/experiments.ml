@@ -53,7 +53,7 @@ let ycsb_spec ?(rows = ycsb_rows) ?(bytes = ycsb_bytes) () =
 
 (* --- Figure 4: CC / execution interaction --- *)
 
-let fig4_series ~cc_routing ~title ~notes ~scale ~quick =
+let fig4_series ~cc_routing ~exec_wakeup ~title ~notes ~scale ~quick =
   let count = scaled scale 8_000 in
   let rows = ycsb_rows in
   (* Small records and uniform access put all the stress on the CC layer
@@ -68,7 +68,9 @@ let fig4_series ~cc_routing ~title ~notes ~scale ~quick =
         ( string_of_int exec,
           List.map
             (fun cc ->
-              let stats = Runner.run_bohm_sim ~cc ~exec ~cc_routing spec txns in
+              let stats =
+                Runner.run_bohm_sim ~cc ~exec ~cc_routing ~exec_wakeup spec txns
+              in
               Some (Stats.throughput stats))
             cc_counts ))
       exec_counts
@@ -84,7 +86,7 @@ let fig4_series ~cc_routing ~title ~notes ~scale ~quick =
   ]
 
 let fig4 ?(scale = 1.0) ?(quick = false) () =
-  fig4_series ~cc_routing:true
+  fig4_series ~cc_routing:true ~exec_wakeup:true
     ~title:"Figure 4: concurrency control / execution interaction (txns/s)"
     ~notes:
       [
@@ -94,20 +96,37 @@ let fig4 ?(scale = 1.0) ?(quick = false) () =
       ]
     ~scale ~quick
 
-(* The same sweep with batch routing off: the engine retraces the PR 1
-   code paths instruction for instruction, so this series must stay
-   bit-for-bit identical to the fig4 series of BENCH_PR1.json — the
+(* The same sweep with batch routing and wakeups off: the engine retraces
+   the PR 1 code paths instruction for instruction, so this series must
+   stay bit-for-bit identical to the fig4 series of BENCH_PR1.json — the
    determinism gate bench/smoke.sh enforces on the --quick cells. *)
 let fig4_noroute ?(scale = 1.0) ?(quick = false) () =
-  fig4_series ~cc_routing:false
+  fig4_series ~cc_routing:false ~exec_wakeup:false
     ~title:
       "Figure 4 (cc_routing off): concurrency control / execution \
        interaction (txns/s)"
     ~notes:
       [
-        "Batch routing disabled: scan dispatch, allocate-always inserts and";
-        "rescan stealing — the exact PR 1 engine, kept as a determinism";
-        "anchor (must reproduce BENCH_PR1.json's fig4 bit-for-bit).";
+        "Batch routing and fill-triggered wakeups disabled: scan dispatch,";
+        "allocate-always inserts, rescan stealing and retry polling — the";
+        "exact PR 1 engine, kept as a determinism anchor (must reproduce";
+        "BENCH_PR1.json's fig4 bit-for-bit).";
+      ]
+    ~scale ~quick
+
+(* Routing on, wakeups off: the exact PR 3 engine — the second determinism
+   anchor (must reproduce BENCH_PR3.json's fig4 bit-for-bit). *)
+let fig4_nowakeup ?(scale = 1.0) ?(quick = false) () =
+  fig4_series ~cc_routing:true ~exec_wakeup:false
+    ~title:
+      "Figure 4 (exec_wakeup off): concurrency control / execution \
+       interaction (txns/s)"
+    ~notes:
+      [
+        "Fill-triggered wakeups disabled: blocked transactions sit on their";
+        "thread's retry list and are polled — the exact PR 3 engine, kept";
+        "as a determinism anchor (must reproduce BENCH_PR3.json's fig4";
+        "bit-for-bit).";
       ]
     ~scale ~quick
 
@@ -607,6 +626,69 @@ let ablation_cc_routing ?(scale = 1.0) ?(quick = false) () =
     };
   ]
 
+let ablation_exec_wakeup ?(scale = 1.0) ?(quick = false) () =
+  let count = scaled scale 8_000 in
+  let spec = ycsb_spec ~bytes:8 () in
+  (* The fig4 workload under high contention: skewed 10RMW chains
+     transactions on each other's placeholders, so the execution layer
+     spends its time on unresolved dependencies — exactly the retries the
+     wakeup protocol converts into queue pushes. *)
+  let txns =
+    Ycsb.generate ~rows:ycsb_rows ~theta:0.9 ~count ~seed:41 (Ycsb.rmw_profile 10)
+  in
+  let cc = 4 in
+  let execs = if quick then [ 1; 8 ] else [ 1; 2; 4; 8; 12; 16; 20 ] in
+  let extra stats name =
+    match Stats.extra stats name with Some f -> f | None -> 0.
+  in
+  let rows_data =
+    List.map
+      (fun exec ->
+        let run exec_wakeup =
+          Runner.run_bohm_sim ~cc ~exec ~exec_wakeup spec txns
+        in
+        let retry = run false in
+        let wakeup = run true in
+        ( string_of_int exec,
+          [
+            Some (Stats.throughput retry);
+            Some (Stats.throughput wakeup);
+            Some (extra retry "exec_retry_scans");
+            Some (extra wakeup "exec_retry_scans");
+            Some (extra wakeup "wakeups");
+            Some (extra wakeup "dep_blocks");
+          ] ))
+      execs
+  in
+  [
+    {
+      title =
+        Printf.sprintf
+          "Ablation: fill-triggered dependency wakeup, CC=%d (fig4 workload, \
+           theta=0.9)"
+          cc;
+      x_label = "exec threads";
+      columns =
+        [
+          "retry (txns/s)";
+          "wakeup (txns/s)";
+          "retry scans (off)";
+          "busy polls (on)";
+          "wakeups";
+          "dep_blocks";
+        ];
+      rows = rows_data;
+      notes =
+        [
+          "Both columns run batch-routed CC. The retry path re-polls each";
+          "blocked transaction's dependency state until it resolves; the";
+          "wakeup path parks a waiter record on the unfilled version and the";
+          "filling thread pushes one ready-queue wakeup per waiter — one";
+          "re-attempt per resolved dependency instead of polling.";
+        ];
+    };
+  ]
+
 (* BOHM against classic multiversion timestamp ordering (Reed; paper
    2.2/5): MVTO tracks every read in shared memory and lets readers abort
    writers — the two costs BOHM eliminates. Not one of the paper's
@@ -682,7 +764,9 @@ let experiments =
     ("ablation-preprocess", ablation_preprocess);
     ("ablation-probe-memo", ablation_probe_memo);
     ("ablation-cc-routing", ablation_cc_routing);
+    ("ablation-exec-wakeup", ablation_exec_wakeup);
     ("fig4-noroute", fig4_noroute);
+    ("fig4-nowakeup", fig4_nowakeup);
     ("mvto", extension_mvto);
   ]
 

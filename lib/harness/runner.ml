@@ -35,6 +35,7 @@ type bohm_opts = {
   preprocess : bool;
   probe_memo : bool;
   cc_routing : bool;
+  exec_wakeup : bool;
 }
 
 let default_bohm_opts =
@@ -46,6 +47,7 @@ let default_bohm_opts =
     preprocess = false;
     probe_memo = true;
     cc_routing = true;
+    exec_wakeup = true;
   }
 
 let split_threads opts threads =
@@ -55,11 +57,13 @@ let split_threads opts threads =
   (cc, exec)
 
 let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) ?(probe_memo = true) ?(cc_routing = true) spec txns =
+    ?(preprocess = false) ?(probe_memo = true) ?(cc_routing = true)
+    ?(exec_wakeup = true) spec txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
-          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing ()
+          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing
+          ~exec_wakeup ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -82,7 +86,8 @@ let run_engine ?report ~bohm engine ~threads spec txns =
             Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec
               ~batch_size:bohm.batch_size ~gc:bohm.gc
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
-              ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing ()
+              ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing
+              ~exec_wakeup:bohm.exec_wakeup ()
           in
           let db = Bohm_sim.create config ~tables:spec.tables spec.init in
           check Bohm_sim.check_chains db (Bohm_sim.run db txns))

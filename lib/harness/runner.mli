@@ -29,11 +29,14 @@ type bohm_opts = {
   cc_routing : bool;
       (** Batch-routed CC: dense per-partition dispatch (with
           [preprocess]), version freelists (with [gc]), steal cursor. *)
+  exec_wakeup : bool;
+      (** Fill-triggered dependency wakeup in the execution layer; off
+          replays the retry-polling paths. *)
 }
 
 val default_bohm_opts : bohm_opts
 (** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
-    off, probe memoization on, batch routing on. *)
+    off, probe memoization on, batch routing on, wakeup on. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -64,6 +67,7 @@ val run_bohm_sim :
   ?preprocess:bool ->
   ?probe_memo:bool ->
   ?cc_routing:bool ->
+  ?exec_wakeup:bool ->
   spec ->
   Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t

@@ -392,9 +392,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               let acc =
                 match (b, e) with
                 | Some b, Some e ->
-                    { Bohm_analysis.Chain.begin_ts = b;
-                      end_ts = Some e;
-                      filled = true }
+                    Bohm_analysis.Chain.entry ~begin_ts:b ~end_ts:(Some e)
+                      ~filled:true ()
                     :: acc
                 | _ -> acc
               in

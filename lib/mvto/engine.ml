@@ -338,7 +338,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                 | Some tx -> R.Cell.get tx.state = st_committed
               in
               let e =
-                { Bohm_analysis.Chain.begin_ts = v.wts; end_ts = None; filled }
+                Bohm_analysis.Chain.entry ~begin_ts:v.wts ~end_ts:None ~filled
+                  ()
               in
               match R.Cell.get v.prev with
               | None -> List.rev (e :: acc)

@@ -80,6 +80,31 @@ val cc_insert_recycled : int ref
     allocator work — cell initialization itself is uncharged on both
     paths, matching [Cell.make]'s "allocation is not modelled". *)
 
+(** {2 Fill-triggered dependency wakeup}
+
+    Work charges for the execution layer's waiter protocol
+    ([Config.exec_wakeup] in the BOHM engine). The cell operations of the
+    protocol — the waiter-list CAS, the signal counter RMWs, the ready-queue
+    push — are charged by the runtime as usual; these constants cover the
+    surrounding bookkeeping (allocating and linking the waiter record,
+    formatting the wakeup, saving/abandoning the execution attempt) that the
+    cell model does not see. *)
+
+val exec_waiter_register : int ref
+(** Per waiter registration in a blocked execution thread: building the
+    (thread, batch, txn) waiter record and linking it, beyond the charged
+    list CAS and signal increment. *)
+
+val exec_wake_push : int ref
+(** Per wakeup a filling thread pushes: claiming the waiter record and
+    enqueueing the ready transaction index, beyond the charged claim CAS
+    and queue CAS. *)
+
+val exec_park : int ref
+(** Per park: abandoning the execution attempt after the waiter is safely
+    published (the thread returns to its queue/poll loop instead of
+    re-running logic). *)
+
 val cycles_per_second : float
 (** Virtual clock rate used to convert cycles to seconds (2 GHz). *)
 

@@ -75,6 +75,31 @@ module Make (R : Runtime_intf.S) = struct
     let get = R.Cell.get
   end
 
+  (* Treiber-style multi-producer single-consumer queue of ints (the BOHM
+     execution layer's ready queues): producers cons onto the head with a
+     CAS; the consumer swaps the whole list out with one CAS and replays
+     it in push order. The cell is a synchronization location by
+     construction (every access is a get feeding a CAS), and the empty
+     check is a single read, so an idle consumer polls at cache-hit
+     cost. *)
+  module Mpsc = struct
+    type t = int list R.Cell.t
+
+    let create () =
+      let c = R.Cell.make [] in
+      R.Cell.mark_sync c;
+      c
+
+    let rec push t v =
+      let cur = R.Cell.get t in
+      if not (R.Cell.cas t cur (v :: cur)) then push t v
+
+    let rec drain t =
+      match R.Cell.get t with
+      | [] -> []
+      | cur -> if R.Cell.cas t cur [] then List.rev cur else drain t
+  end
+
   module Spinlock = struct
     type t = int R.Cell.t
 

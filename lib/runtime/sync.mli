@@ -57,6 +57,24 @@ module Make (R : Runtime_intf.S) : sig
     val get : t -> int
   end
 
+  (** Treiber-style multi-producer single-consumer queue of ints — the
+      BOHM execution layer's ready queues for fill-triggered wakeups.
+      Producers cons an element onto the head with one CAS; the single
+      consumer swaps the whole list out with one CAS and receives the
+      elements in push order. Polling an empty queue costs one read. *)
+  module Mpsc : sig
+    type t
+
+    val create : unit -> t
+
+    val push : t -> int -> unit
+    (** Safe from any thread. *)
+
+    val drain : t -> int list
+    (** All queued elements, oldest first; empties the queue. Single
+        consumer only. *)
+  end
+
   (** Test-and-test-and-set spinlock with exponential back-off — the
       per-bucket latch used by the 2PL lock table and the index write
       paths. *)

@@ -97,7 +97,8 @@ let test_footprint_violations () =
 
 (* --- Chain checker on synthetic entries (newest first) --- *)
 
-let entry ?end_ts ?(filled = true) begin_ts = { Chain.begin_ts; end_ts; filled }
+let entry ?end_ts ?(filled = true) ?(dangling_waiters = 0) begin_ts =
+  { Chain.begin_ts; end_ts; filled; dangling_waiters }
 
 let test_chain_ok () =
   let r = Report.create () in
@@ -259,6 +260,36 @@ let test_mutant_dropped_write () =
           B.check_chains db r));
   Alcotest.(check int) "unfilled placeholder" 1
     (Report.count_kind r Report.Chain_unfilled);
+  check_counts "chain only" (0, 1, 0) r
+
+let test_mutant_dangling_waiter () =
+  (* A registered waiter nobody ever claims or wakes cannot be produced
+     through the engine's protocol — the per-record claim token makes
+     every wakeup exactly-once — so the fault is injected after the run:
+     [inject_dangling_waiter] models a filler that sealed a version's
+     waiter list without draining it. Only the dangling-waiter chain
+     audit can see it (the version is filled and correctly linked, so the
+     other chain invariants and the race tracer stay silent). *)
+  let module B = Bohm_core.Engine.Make (Sim) in
+  let r = Report.create () in
+  let txns =
+    Footprint.wrap_all r [| rmw_txn 1 0; rmw_txn 2 1; rmw_txn 3 5 |]
+  in
+  Race.with_tracing r (fun () ->
+      Sim.run (fun () ->
+          let config =
+            Bohm_core.Config.make ~cc_threads:1 ~exec_threads:3 ~batch_size:8 ()
+          in
+          let db =
+            B.create config
+              ~tables:[| Table.make ~tid:0 ~name:"t" ~rows:16 ~record_bytes:8 |]
+              (fun _ -> Value.zero)
+          in
+          ignore (B.run db txns);
+          B.inject_dangling_waiter db (k 5);
+          B.check_chains db r));
+  Alcotest.(check int) "dangling waiter" 1
+    (Report.count_kind r Report.Chain_dangling_waiter);
   check_counts "chain only" (0, 1, 0) r
 
 let test_mutant_rogue_cell_race () =
@@ -433,6 +464,7 @@ let suite =
       [
         Alcotest.test_case "undeclared read" `Quick test_mutant_undeclared_read;
         Alcotest.test_case "dropped write" `Quick test_mutant_dropped_write;
+        Alcotest.test_case "dangling waiter" `Quick test_mutant_dangling_waiter;
         Alcotest.test_case "rogue cell race" `Quick test_mutant_rogue_cell_race;
       ] );
     ( "engines",

@@ -834,6 +834,198 @@ let prop_transfers_conserve =
           done;
           !total = 0))
 
+(* --- fill-triggered dependency wakeup --- *)
+
+(* Parking engages only at 8+ execution threads (below that the engine
+   keeps the retry discipline even with the flag on — the adaptive
+   spin-then-park policy documented in the engine), so every test that
+   must trace the waiter protocol runs with 8 execution threads. *)
+
+let wakeup_config ?(batch = 16) ?(gc = true) ?(preprocess = true) ~wakeup () =
+  Config.make ~cc_threads:2 ~exec_threads:8 ~batch_size:batch ~gc ~preprocess
+    ~exec_wakeup:wakeup ()
+
+(* Commits, final values, chain shapes and the chain audit (which
+   includes the dangling-waiter check) from one simulated run. GC off
+   keeps chain structure deterministic across configurations, so wakeup
+   and retry runs must agree exactly. *)
+let wakeup_fingerprint ~wakeup ~seed txns =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Sim_engine.create
+          (wakeup_config ~gc:false ~wakeup ())
+          ~tables init_zero
+      in
+      let stats = Sim_engine.run db txns in
+      let report = Bohm_analysis.Report.create () in
+      Sim_engine.check_chains db report;
+      let values =
+        Array.init 64 (fun i ->
+            Value.to_int (Sim_engine.read_latest db (key i)))
+      in
+      let chains =
+        Array.init 64 (fun i -> Sim_engine.chain_length db (key i))
+      in
+      ( stats.Stats.committed,
+        values,
+        chains,
+        Bohm_analysis.Report.is_clean report ))
+
+let prop_wakeup_equals_retry =
+  QCheck.Test.make ~count:12
+    ~name:"fill-triggered wakeup equals retry polling (commits, values, chains)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+      let committed_w, values_w, chains_w, clean_w =
+        wakeup_fingerprint ~wakeup:true ~seed txns
+      in
+      let committed_r, values_r, chains_r, clean_r =
+        wakeup_fingerprint ~wakeup:false ~seed txns
+      in
+      clean_w && clean_r
+      && committed_w = Array.length txns
+      && committed_w = committed_r
+      && values_w = values_r && chains_w = chains_r)
+
+(* Lost-wakeup stress: every transaction RMWs the same key, so each batch
+   is one maximal dependency chain and every fill races the next
+   transaction's registration. A lost wakeup leaves a parked transaction
+   that is never re-attempted — its thread never finishes the batch and
+   the simulator's deadlock detector aborts the run (the oracle); a
+   duplicated wakeup would double-apply an increment and break the final
+   value; a waiter registered but never claimed survives to the chain
+   audit as a dangling waiter. Schedule jitter and a batch size varied
+   with the seed shift the register-vs-fill interleaving across runs. *)
+let prop_no_lost_wakeup_under_hot_key_chains =
+  QCheck.Test.make ~count:15
+    ~name:"hot-key chains: no lost or duplicated wakeup"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let count = 200 in
+      let batch = 4 + (seed mod 3 * 12) in
+      let txns = Array.init count (fun i -> incr_txn i (key 0) 1) in
+      Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+          let db =
+            Sim_engine.create
+              (wakeup_config ~batch ~wakeup:true ())
+              ~tables init_zero
+          in
+          let stats = Sim_engine.run db txns in
+          let report = Bohm_analysis.Report.create () in
+          Sim_engine.check_chains db report;
+          stats.Stats.committed = count
+          && Value.to_int (Sim_engine.read_latest db (key 0)) = count
+          && Bohm_analysis.Report.is_clean report))
+
+let test_wakeup_serialization_check_sim () =
+  (* Randomized contended workload with parking engaged: the run must be
+     provably serializable and its chains clean (no unfilled placeholder,
+     no dangling waiter). *)
+  let w =
+    Bohm_harness.Serialization_check.make_workload ~rows:48 ~txns:400
+      ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:17
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"ser" ~rows:48 ~record_bytes:8 |]
+  in
+  let db, clean =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create
+            (wakeup_config ~batch:32 ~wakeup:true ())
+            ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+        in
+        ignore (Sim_engine.run db (Bohm_harness.Serialization_check.txns w));
+        let report = Bohm_analysis.Report.create () in
+        Sim_engine.check_chains db report;
+        (db, Bohm_analysis.Report.is_clean report))
+  in
+  Alcotest.(check bool) "chains clean (no dangling waiter)" true clean;
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Sim_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
+let test_wakeup_serialization_check_real () =
+  let w =
+    Bohm_harness.Serialization_check.make_workload ~rows:48 ~txns:400
+      ~rmws_per_txn:2 ~reads_per_txn:2 ~seed:19
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"ser" ~rows:48 ~record_bytes:8 |]
+  in
+  let db =
+    Real_engine.create
+      (wakeup_config ~batch:32 ~preprocess:false ~wakeup:true ())
+      ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+  in
+  ignore (Real_engine.run db (Bohm_harness.Serialization_check.txns w));
+  let report = Bohm_analysis.Report.create () in
+  Real_engine.check_chains db report;
+  Alcotest.(check bool) "chains clean (no dangling waiter)" true
+    (Bohm_analysis.Report.is_clean report);
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Real_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
+let test_real_wakeup_equals_retry () =
+  let rng = Rng.create ~seed:1117 in
+  let txns = Array.init 250 (fun i -> random_rmw_txn rng i) in
+  let run wakeup =
+    let db =
+      Real_engine.create
+        (wakeup_config ~batch:32 ~gc:false ~preprocess:false ~wakeup ())
+        ~tables init_zero
+    in
+    let stats = Real_engine.run db txns in
+    let report = Bohm_analysis.Report.create () in
+    Real_engine.check_chains db report;
+    let values =
+      Array.init 64 (fun i -> Value.to_int (Real_engine.read_latest db (key i)))
+    in
+    let chains = Array.init 64 (fun i -> Real_engine.chain_length db (key i)) in
+    (stats.Stats.committed, values, chains,
+     Bohm_analysis.Report.is_clean report)
+  in
+  let committed_w, values_w, chains_w, clean_w = run true in
+  let committed_r, values_r, chains_r, clean_r = run false in
+  Alcotest.(check bool) "chains clean" true (clean_w && clean_r);
+  Alcotest.(check int) "all committed" (Array.length txns) committed_w;
+  Alcotest.(check int) "commits equal" committed_r committed_w;
+  Alcotest.(check (array int)) "values equal" values_r values_w;
+  Alcotest.(check (array int)) "chains equal" chains_r chains_w
+
+let test_real_no_lost_wakeup_hot_key () =
+  (* The hot-key chain stress on the real domains runtime: genuinely
+     concurrent register-vs-fill races. A lost wakeup hangs the run; a
+     duplicated one breaks the final count. *)
+  let count = 300 in
+  let txns = Array.init count (fun i -> incr_txn i (key 0) 1) in
+  let db =
+    Real_engine.create
+      (wakeup_config ~batch:8 ~preprocess:false ~wakeup:true ())
+      ~tables init_zero
+  in
+  let stats = Real_engine.run db txns in
+  let report = Bohm_analysis.Report.create () in
+  Real_engine.check_chains db report;
+  Alcotest.(check int) "all committed" count stats.Stats.committed;
+  Alcotest.(check int) "final value" count
+    (Value.to_int (Real_engine.read_latest db (key 0)));
+  Alcotest.(check bool) "chains clean (no dangling waiter)" true
+    (Bohm_analysis.Report.is_clean report)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -901,6 +1093,22 @@ let suite =
           test_no_recycling_without_routing;
       ]
       @ qcheck [ prop_routed_equals_scan_dispatch ] );
+    ( "bohm-wakeup",
+      [
+        Alcotest.test_case "serialization check, wakeup (sim)" `Quick
+          test_wakeup_serialization_check_sim;
+        Alcotest.test_case "serialization check, wakeup (real)" `Quick
+          test_wakeup_serialization_check_real;
+        Alcotest.test_case "wakeup equals retry (real)" `Quick
+          test_real_wakeup_equals_retry;
+        Alcotest.test_case "hot-key lost-wakeup stress (real)" `Quick
+          test_real_no_lost_wakeup_hot_key;
+      ]
+      @ qcheck
+          [
+            prop_wakeup_equals_retry;
+            prop_no_lost_wakeup_under_hot_key_chains;
+          ] );
     ( "bohm-probe-memo",
       [
         Alcotest.test_case "one probe per footprint key" `Quick

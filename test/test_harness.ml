@@ -159,6 +159,35 @@ let test_autotune_finds_balanced_split_for_cc_heavy_load () =
     true
     (r.Bohm_harness.Autotune.cc_threads >= 3 && r.Bohm_harness.Autotune.cc_threads <= 13)
 
+let test_autotune_converges_with_wakeup () =
+  (* The fig4 regime (contended 10RMW on 8-byte records) at 20 threads:
+     exec-heavy splits cross the parking threshold (8+ execution
+     threads), so the search probes both retry-discipline and
+     wakeup-discipline splits in one sweep and must still converge on a
+     consistent winner. *)
+  let spec =
+    {
+      Runner.tables = Ycsb.tables ~rows:50_000 ~record_bytes:8;
+      init = Ycsb.initial_value;
+    }
+  in
+  let txns =
+    Ycsb.generate ~rows:50_000 ~theta:0.9 ~count:6_000 ~seed:29
+      (Ycsb.rmw_profile 10)
+  in
+  let r = Bohm_harness.Autotune.search ~threads:20 spec txns in
+  Alcotest.(check int) "threads conserved" 20
+    (r.Bohm_harness.Autotune.cc_threads + r.Bohm_harness.Autotune.exec_threads);
+  Alcotest.(check bool) "wakeup-discipline splits probed" true
+    (List.exists (fun (cc, _) -> 20 - cc >= 8) r.Bohm_harness.Autotune.samples);
+  let best_sample =
+    List.fold_left (fun acc (_, t) -> max acc t) 0. r.Bohm_harness.Autotune.samples
+  in
+  Alcotest.(check (float 0.001)) "winner is the best sample" best_sample
+    r.Bohm_harness.Autotune.throughput;
+  Alcotest.(check bool) "throughput positive" true
+    (r.Bohm_harness.Autotune.throughput > 0.)
+
 let test_autotune_rejects_one_thread () =
   let spec =
     { Runner.tables = Ycsb.tables ~rows:100 ~record_bytes:8; init = Ycsb.initial_value }
@@ -276,6 +305,8 @@ let suite =
         Alcotest.test_case "valid result" `Quick test_autotune_valid_result;
         Alcotest.test_case "balanced split for cc-heavy load" `Slow
           test_autotune_finds_balanced_split_for_cc_heavy_load;
+        Alcotest.test_case "converges with wakeup" `Quick
+          test_autotune_converges_with_wakeup;
         Alcotest.test_case "rejects one thread" `Quick test_autotune_rejects_one_thread;
       ] );
     ( "experiments",

@@ -6,7 +6,7 @@
    Pass experiment names (fig4 fig4-noroute fig4-nowakeup fig5 fig6 fig7
    fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc
    ablation-cc-split ablation-preprocess ablation-probe-memo
-   ablation-cc-routing ablation-exec-wakeup micro smoke)
+   ablation-cc-routing ablation-exec-wakeup latency-profile micro smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
    the run (with per-column throughput ceilings) as one JSON document. *)

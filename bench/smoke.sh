@@ -64,4 +64,57 @@ echo "fig4-nowakeup determinism gate PASS (matches BENCH_PR3.json at exec=2,8 / 
 dune exec bench/main.exe -- ablation-exec-wakeup --quick > /dev/null \
   && echo "ablation-exec-wakeup smoke PASS"
 
+# Third determinism gate: with Config.obs off (the default) the engine
+# must not read the observability clock at all, so the --quick fig4 sweep
+# must reproduce the corresponding BENCH_PR4.json fig4 cells bit-for-bit.
+# This is the "observability costs nothing when off" guarantee.
+tmp3=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
+dune exec bench/main.exe -- fig4 --quick --json="$tmp3" > /dev/null
+for x in 2 8; do
+  got=$(row "$tmp3" $x)
+  want=$(row BENCH_PR4.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: fig4 with obs off diverges from BENCH_PR4.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4 obs-off determinism gate PASS (matches BENCH_PR4.json at exec=2,8 / CC=1,4)"
+
+# Trace-schema gate: a small observed BOHM run must export Chrome
+# trace-event JSON in which every event line carries the required keys
+# and B/E span events balance per track (tid) — never closing below
+# zero, nothing left open at end of trace.
+tmp4=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
+dune build bin/bohm_cli.exe
+dune exec bin/bohm_cli.exe -- run -e bohm -t 6 -n 1500 --theta 0.4 \
+  --trace "$tmp4" > /dev/null
+awk '
+  !/"ph":/ { next }
+  { events++ }
+  !(/"ts":/ && /"pid":/ && /"tid":/ && /"name":/) {
+    print "FAIL: trace event missing a required key: " $0; bad = 1; exit 1
+  }
+  {
+    match($0, /"tid": [0-9]+/); tid = substr($0, RSTART + 7, RLENGTH - 7)
+    match($0, /"ph": "[A-Za-z]"/); ph = substr($0, RSTART + 7, 1)
+  }
+  ph == "B" { depth[tid]++ }
+  ph == "E" {
+    if (--depth[tid] < 0) {
+      print "FAIL: trace E below zero on tid " tid; bad = 1; exit 1
+    }
+  }
+  END {
+    if (bad) exit 1
+    if (events == 0) { print "FAIL: empty trace"; exit 1 }
+    for (t in depth) if (depth[t] != 0) {
+      print "FAIL: unclosed span on tid " t; exit 1
+    }
+    print "trace schema gate PASS (" events " events, all tracks balanced)"
+  }' "$tmp4"
+
 exec dune exec bench/main.exe -- smoke "$@"

@@ -121,9 +121,26 @@ let run_cmd =
             "Disable fill-triggered dependency wakeups (blocked transactions \
              are retry-polled instead of parked on waiter lists).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Record pipeline phase spans and write a Chrome trace-event \
+             JSON file to $(docv) (loadable in Perfetto / chrome://tracing).")
+  in
+  let latency =
+    Arg.(
+      value & flag
+      & info [ "latency" ]
+          ~doc:
+            "Record per-transaction latency histograms and print per-phase \
+             p50/p95/p99 (cycles on the simulator).")
+  in
   let action engine workload threads theta rows count seed cc_fraction batch
       no_gc no_annotation preprocess no_probe_memo no_cc_routing
-      no_exec_wakeup =
+      no_exec_wakeup trace latency =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -153,6 +170,7 @@ let run_cmd =
             },
             Smallbank.generate ~customers:rows ~count ~seed ~spin:4_000 () )
     in
+    let obs_on = trace <> None || latency in
     let bohm =
       {
         Runner.cc_fraction;
@@ -163,9 +181,11 @@ let run_cmd =
         probe_memo = not no_probe_memo;
         cc_routing = not no_cc_routing;
         exec_wakeup = not no_exec_wakeup;
+        obs = obs_on;
       }
     in
-    let name, stats =
+    let recorder = if obs_on then Some (Bohm_obs.Recorder.create ()) else None in
+    let run_once () =
       match engine with
       | Std e -> (Runner.name e, Runner.run_sim ~bohm e ~threads spec txns)
       | Mvto ->
@@ -176,6 +196,11 @@ let run_cmd =
                     spec.Runner.init
                 in
                 Mvto_sim.run db txns) )
+    in
+    let name, stats =
+      match recorder with
+      | None -> run_once ()
+      | Some r -> Bohm_obs.Recorder.with_recorder r run_once
     in
     Report.header ~title:(Printf.sprintf "%s / %d threads" name threads);
     Report.print_kv
@@ -189,13 +214,36 @@ let run_cmd =
        ]
       @ List.map
           (fun (k, v) -> (k, Report.float_to_string v))
-          stats.Stats.extra)
+          stats.Stats.extra);
+    if latency then begin
+      print_newline ();
+      Report.print_series ~x_label:"phase"
+        ~columns:[ "p50"; "p95"; "p99"; "mean"; "count" ]
+        ~rows:
+          (List.map
+             (fun (phase, h) ->
+               let s = Bohm_util.Histogram.to_summary h in
+               ( phase,
+                 [
+                   Some (float_of_int s.Bohm_util.Histogram.s_p50);
+                   Some (float_of_int s.Bohm_util.Histogram.s_p95);
+                   Some (float_of_int s.Bohm_util.Histogram.s_p99);
+                   Some s.Bohm_util.Histogram.s_mean;
+                   Some (float_of_int s.Bohm_util.Histogram.s_count);
+                 ] ))
+             stats.Stats.latency)
+    end;
+    match (trace, recorder) with
+    | Some path, Some r ->
+        Bohm_obs.Chrome.write ~path r;
+        Printf.printf "\ntrace: %s\n" path
+    | _ -> ()
   in
   let term =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
       $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
-      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup)
+      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup $ trace $ latency)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 

@@ -8,11 +8,12 @@ type t = {
   probe_memo : bool;
   cc_routing : bool;
   exec_wakeup : bool;
+  obs : bool;
 }
 
 let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
     ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true)
-    ?(cc_routing = true) ?(exec_wakeup = true) () =
+    ?(cc_routing = true) ?(exec_wakeup = true) ?(obs = false) () =
   if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
   if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
   if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
@@ -26,10 +27,12 @@ let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
     probe_memo;
     cc_routing;
     exec_wakeup;
+    obs;
   }
 
 let pp fmt t =
   Format.fprintf fmt
-    "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b route=%b wake=%b"
+    "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b route=%b wake=%b \
+     obs=%b"
     t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess
-    t.probe_memo t.cc_routing t.exec_wakeup
+    t.probe_memo t.cc_routing t.exec_wakeup t.obs

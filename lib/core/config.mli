@@ -47,6 +47,16 @@ type t = private {
           dependency instead of once per retry-list sweep. Off retraces
           the retry-list code paths exactly (the [fig4-nowakeup]
           determinism anchor and the [ablation-exec-wakeup] bench). *)
+  obs : bool;
+      (** Observability ([Bohm_obs]): when set {e and} a
+          [Bohm_obs.Recorder] is installed, the engine emits pipeline
+          phase spans and instant events onto per-thread tracks and
+          records per-transaction latency histograms into
+          [Stats.latency]. Recording is host-side only — it reads the
+          runtime's uncharged [now_ns] clock and never touches a
+          [Cell] — so an observed simulation reproduces the unobserved
+          virtual-clock schedule bit-for-bit. Off (the default): no
+          timestamps are read and no events recorded. *)
 }
 
 val make :
@@ -59,11 +69,12 @@ val make :
   ?probe_memo:bool ->
   ?cc_routing:bool ->
   ?exec_wakeup:bool ->
+  ?obs:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
     read annotation on, preprocessing off, probe memoization on, batch
-    routing on, fill-triggered wakeup on. Raises [Invalid_argument] on
-    non-positive thread counts or batch size. *)
+    routing on, fill-triggered wakeup on, observability off. Raises
+    [Invalid_argument] on non-positive thread counts or batch size. *)
 
 val pp : Format.formatter -> t -> unit

@@ -28,6 +28,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   module Store = Bohm_storage.Store.Make (R)
   module V = Version.Make (R)
   module Sync = Bohm_runtime.Sync.Make (R)
+  module Obs = Bohm_obs
 
   type wrapped = {
     txn : Txn.t;
@@ -85,6 +86,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        update only costs a (charged) re-read. *)
     mutable inputs : wrapped V.t option array;
     mutable input_frontier : int;
+    (* Observability only: [now_ns] of the first claimed execution
+       attempt, [min_int] until then — the anchor separating queue-wait
+       from dependency-stall in the latency profile. Plain host field:
+       written only while the wrapper is exclusively claimed. *)
+    mutable obs_first : int;
   }
 
   type t = {
@@ -191,6 +197,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       owned_keys = [||];
       inputs = [||];
       input_frontier = 0;
+      obs_first = min_int;
     }
 
   (* Index of [k] in a sorted key array, or -1. *)
@@ -243,6 +250,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        it and only this thread's inserts drain it. *)
     mutable pool : wrapped V.t list;
     mutable recycled : int;
+    (* Observability: this thread's event track ([None] when the run is
+       unobserved) and, on partition 0 only, the shared per-batch CC
+       publication timestamps ([cc_obs_pub.(b)] is stamped just before
+       [cc_done] publishes [b], so the watermark's release/acquire edge
+       publishes the host write to the execution threads too). *)
+    cc_obs : Obs.Buf.t option;
+    cc_obs_pub : int array;
   }
 
   (* Annotate read-set entry [i] of [w] with the version it must read.
@@ -268,6 +282,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
              had finished executing before truncation unlinked it. *)
           stat.pool <- rest;
           stat.recycled <- stat.recycled + 1;
+          (match stat.cc_obs with
+          | Some buf ->
+              Obs.Buf.instant buf ~name:"recycle"
+                ~batch:(w.seq / t.config.Config.batch_size)
+                ~ts:(R.now_ns ())
+          | None -> ());
           R.work !Bohm_runtime.Costs.cc_insert_recycled;
           V.recycle r ~ts:w.ts ~producer:w ~prev
       | [] ->
@@ -283,14 +303,25 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
          low-watermark batch boundary has finished executing, so versions
          invalidated at or before that timestamp are invisible forever. *)
       let gc_ts = R.Cell.get low_watermark * t.config.Config.batch_size in
-      if gc_ts > 0 then
-        if recycling_on t then begin
-          let dropped = V.truncate_collect v ~gc_ts in
-          stat.gc_collected <- stat.gc_collected + List.length dropped;
-          stat.pool <- List.rev_append dropped stat.pool
-        end
-        else
-          stat.gc_collected <- stat.gc_collected + V.truncate_older_than v ~gc_ts
+      if gc_ts > 0 then begin
+        (match stat.cc_obs with
+        | Some buf ->
+            Obs.Buf.begin_span buf ~phase:"gc"
+              ~batch:(w.seq / t.config.Config.batch_size)
+              ~ts:(R.now_ns ())
+        | None -> ());
+        (if recycling_on t then begin
+           let dropped = V.truncate_collect v ~gc_ts in
+           stat.gc_collected <- stat.gc_collected + List.length dropped;
+           stat.pool <- List.rev_append dropped stat.pool
+         end
+         else
+           stat.gc_collected <-
+             stat.gc_collected + V.truncate_older_than v ~gc_ts);
+        match stat.cc_obs with
+        | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+        | None -> ()
+      end
     end
 
   (* A transaction the CC layer reached before preprocessing stamped it:
@@ -375,13 +406,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      to the next batch while CC works on this one. With routing, the sweep
      additionally feeds the per-partition routing buffers. *)
   let preprocess_loop t wrapped me workers pre_barrier pre_done timing routes
-      n_batches =
+      obs_buf n_batches =
     let m = t.config.Config.cc_threads in
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
     let scratch = Array.make m [] in
     let seg_lists = Array.make m [] in
     for b = 0 to n_batches - 1 do
+      (match obs_buf with
+      | Some buf ->
+          Obs.Buf.begin_span buf ~phase:"preprocess" ~batch:b ~ts:(R.now_ns ())
+      | None -> ());
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       let idx = ref (lo + me) in
       while !idx <= hi do
@@ -427,6 +462,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             seg_lists.(p) <- []
           done
       | None -> ());
+      (match obs_buf with
+      | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+      | None -> ());
       Sync.Barrier.await pre_barrier;
       if me = 0 then begin
         Sync.Watermark.publish pre_done b;
@@ -444,6 +482,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       if t.config.Config.preprocess then
         Sync.Watermark.await pre_done ~at_least:b;
       if b = 0 && my_partition = 0 then timing.cc_batch0_start <- R.now ();
+      (match stat.cc_obs with
+      | Some buf -> Obs.Buf.begin_span buf ~phase:"cc" ~batch:b ~ts:(R.now_ns ())
+      | None -> ());
       (match routed with
       | Some segs ->
           (* Merge this partition's per-preprocessor segments into the
@@ -482,11 +523,32 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             cc_process_txn t my_partition stat low_watermark ~batch:b ~idx
               wrapped.(idx)
           done);
+      (match stat.cc_obs with
+      | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+      | None -> ());
       Sync.Barrier.await barrier;
-      if my_partition = 0 then Sync.Watermark.publish cc_done b
+      if my_partition = 0 then begin
+        (* Stamp before publishing: the watermark's release/acquire edge
+           carries this host write to the execution threads, which read
+           it only for batches whose [cc_done] they have observed. *)
+        if Array.length stat.cc_obs_pub > 0 then
+          stat.cc_obs_pub.(b) <- R.now_ns ();
+        Sync.Watermark.publish cc_done b
+      end
     done
 
   (* --- Execution phase (§3.3) --- *)
+
+  (* Observability context of one execution thread: its event track, its
+     latency recorder, the shared CC publication stamps (written by CC
+     partition 0, read here through the [cc_done] edge) and the run-start
+     anchor. *)
+  type exec_obs = {
+    ob_buf : Obs.Buf.t;
+    ob_lat : Obs.Latency.t;
+    ob_cc_pub : int array;
+    ob_run_start : int;
+  }
 
   type exec_stat = {
     mutable committed : int;
@@ -498,6 +560,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     mutable retry_scans : int;
     (* Wakeups this thread pushed as a filler. *)
     mutable wakeups : int;
+    exec_obs : exec_obs option;
   }
 
   let resolve_version t w k =
@@ -771,6 +834,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                           Sync.Mpsc.push wk.wk_queues.(wt.V.w_owner)
                             wt.V.w_index;
                           stat.wakeups <- stat.wakeups + 1;
+                          (match stat.exec_obs with
+                          | Some ob ->
+                              Obs.Buf.instant ob.ob_buf ~name:"wakeup"
+                                ~batch:wt.V.w_batch ~ts:(R.now_ns ())
+                          | None -> ());
                           woken := wt.V.w_index :: !woken
                         end)
                       (V.seal_waiters v)
@@ -788,6 +856,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      re-run from scratch on retry, so it must be a pure function of its
      reads. *)
   and attempt t stat local wake ~depth w =
+    let obs_t0 =
+      match stat.exec_obs with
+      | None -> 0
+      | Some _ ->
+          let ts = R.now_ns () in
+          if w.obs_first = min_int then w.obs_first <- ts;
+          ts
+    in
     try
       Local_writes.clear local;
       R.work exec_dispatch_work;
@@ -814,6 +890,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Txn.Commit -> stat.committed <- stat.committed + 1
       | Txn.Abort -> stat.logic_aborts <- stat.logic_aborts + 1);
       R.Cell.set w.state st_complete;
+      (match stat.exec_obs with
+      | None -> ()
+      | Some ob ->
+          (* The four-phase decomposition of this transaction's life:
+             run start → CC published its batch (cc_wait) → first claimed
+             attempt (queue_wait) → this attempt (dep_stall) → complete
+             (exec). *)
+          let t1 = R.now_ns () in
+          let b = w.seq / t.config.Config.batch_size in
+          let cc_pub = ob.ob_cc_pub.(b) in
+          Obs.Latency.add ob.ob_lat Obs.Latency.Exec (t1 - obs_t0);
+          Obs.Latency.add ob.ob_lat Obs.Latency.Dep_stall
+            (obs_t0 - w.obs_first);
+          Obs.Latency.add ob.ob_lat Obs.Latency.Queue_wait
+            (w.obs_first - cc_pub);
+          Obs.Latency.add ob.ob_lat Obs.Latency.Cc_wait
+            (cc_pub - ob.ob_run_start));
       wake_waiters t stat local wake ~depth w;
       None
     with Blocked_on (bk, bv, dep) ->
@@ -843,7 +936,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             if claim w then begin
               match attempt t stat local wake ~depth w with
               | None ->
-                  if not mine then stat.steals <- stat.steals + 1;
+                  if not mine then begin
+                    stat.steals <- stat.steals + 1;
+                    match stat.exec_obs with
+                    | Some ob ->
+                        Obs.Buf.instant ob.ob_buf ~name:"steal"
+                          ~batch:(w.seq / t.config.Config.batch_size)
+                          ~ts:(R.now_ns ())
+                    | None -> ()
+                  end;
                   Done
               | Some blocked ->
                   release w;
@@ -906,6 +1007,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     for b = 0 to n_batches - 1 do
       Sync.Watermark.await cc_done ~at_least:b;
+      (match stat.exec_obs with
+      | Some ob ->
+          Obs.Buf.begin_span ob.ob_buf ~phase:"exec" ~batch:b ~ts:(R.now_ns ())
+      | None -> ());
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       (* Work stealing across assignments (§3.3.1: "other threads are
          allowed to execute transactions assigned to i"): pick up any
@@ -983,6 +1088,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
              blocked. *)
           let sweep ~force =
             stat.retry_scans <- stat.retry_scans + 1;
+            (match stat.exec_obs with
+            | Some ob ->
+                Obs.Buf.instant ob.ob_buf ~name:"retry_scan" ~batch:b
+                  ~ts:(R.now_ns ())
+            | None -> ());
             let progressed = ref false in
             pending :=
               List.filter_map
@@ -1122,6 +1232,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             | [] -> false
             | entries ->
                 stat.retry_scans <- stat.retry_scans + 1;
+                (match stat.exec_obs with
+                | Some ob ->
+                    Obs.Buf.instant ob.ob_buf ~name:"retry_scan" ~batch:b
+                      ~ts:(R.now_ns ())
+                | None -> ());
                 busy := [];
                 List.iter drive (List.rev entries);
                 List.length !busy < List.length entries
@@ -1149,6 +1264,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             else Sync.Backoff.once backoff
           done);
       ignore (steal_pass ~bounded:false);
+      (match stat.exec_obs with
+      | Some ob -> Obs.Buf.end_span ob.ob_buf ~ts:(R.now_ns ())
+      | None -> ());
       R.Cell.set exec_progress.(me) (b + 1);
       if me = 0 then begin
         (* RCU-style low watermark: the minimum batch every execution
@@ -1167,11 +1285,36 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let run t txns =
     let n = Array.length txns in
-    let wrapped = Array.mapi (wrap t) txns in
-    t.next_ts <- t.next_ts + n;
     let bs = t.config.Config.batch_size in
     let n_batches = (n + bs - 1) / bs in
     let m = t.config.Config.cc_threads and k = t.config.Config.exec_threads in
+    (* Observability. All tracks are created here, on the driver thread,
+       before any worker spawns — the registry is unsynchronized — and
+       every emission below is host-side (uncharged [now_ns] samples into
+       plain buffers), so an observed run replays the unobserved schedule
+       bit-for-bit. *)
+    let recorder =
+      if t.config.Config.obs then Obs.Recorder.current () else None
+    in
+    let obs_run_start = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    let obs_cc_pub =
+      match recorder with
+      | None -> [||]
+      | Some _ -> Array.make (max 1 n_batches) 0
+    in
+    let driver_buf =
+      match recorder with
+      | None -> None
+      | Some r -> Some (Obs.Recorder.track r ~name:"driver")
+    in
+    (match driver_buf with
+    | Some buf -> Obs.Buf.begin_span buf ~phase:"sequence" ~ts:(R.now_ns ())
+    | None -> ());
+    let wrapped = Array.mapi (wrap t) txns in
+    t.next_ts <- t.next_ts + n;
+    (match driver_buf with
+    | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+    | None -> ());
     let barrier = Sync.Barrier.create ~parties:m in
     let pre_done = Sync.Watermark.create (-1) in
     let cc_done = Sync.Watermark.create (-1) in
@@ -1205,11 +1348,37 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                Array.init (m + k) (fun _ -> Array.make m [||])))
     in
     let cc_stats =
-      Array.init m (fun _ ->
-          { gc_collected = 0; inserted = 0; pool = []; recycled = 0 })
+      Array.init m (fun j ->
+          let cc_obs =
+            match recorder with
+            | None -> None
+            | Some r ->
+                Some (Obs.Recorder.track r ~name:(Printf.sprintf "cc-%d" j))
+          in
+          {
+            gc_collected = 0;
+            inserted = 0;
+            pool = [];
+            recycled = 0;
+            cc_obs;
+            cc_obs_pub = (if j = 0 then obs_cc_pub else [||]);
+          })
     in
     let exec_stats =
-      Array.init k (fun _ ->
+      Array.init k (fun e ->
+          let exec_obs =
+            match recorder with
+            | None -> None
+            | Some r ->
+                Some
+                  {
+                    ob_buf =
+                      Obs.Recorder.track r ~name:(Printf.sprintf "exec-%d" e);
+                    ob_lat = Obs.Latency.create ();
+                    ob_cc_pub = obs_cc_pub;
+                    ob_run_start = obs_run_start;
+                  }
+          in
           {
             committed = 0;
             logic_aborts = 0;
@@ -1217,6 +1386,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             steals = 0;
             retry_scans = 0;
             wakeups = 0;
+            exec_obs;
           })
     in
     (* Fill-triggered wakeup infrastructure: one MPSC ready queue per
@@ -1257,11 +1427,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       if not t.config.Config.preprocess then []
       else begin
         let workers = m + k in
+        let pre_bufs =
+          Array.init workers (fun me ->
+              match recorder with
+              | None -> None
+              | Some r ->
+                  Some (Obs.Recorder.track r ~name:(Printf.sprintf "pre-%d" me)))
+        in
         let pre_barrier = Sync.Barrier.create ~parties:workers in
         List.init workers (fun me ->
             R.spawn (fun () ->
                 preprocess_loop t wrapped me workers pre_barrier pre_done
-                  timing routes n_batches))
+                  timing routes pre_bufs.(me) n_batches))
       end
     in
     let cc_threads =
@@ -1285,7 +1462,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       Array.fold_left (fun acc s -> acc + s.logic_aborts) 0 exec_stats
     in
     let sum f arr = Array.fold_left (fun acc s -> acc + f s) 0 arr in
-    Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed
+    let latency =
+      match recorder with
+      | None -> []
+      | Some _ ->
+          Obs.Latency.merge_all
+            (Array.to_list exec_stats
+            |> List.filter_map (fun s ->
+                   Option.map (fun o -> o.ob_lat) s.exec_obs))
+    in
+    Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
       ~extra:
         [
           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));

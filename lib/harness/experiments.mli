@@ -66,6 +66,12 @@ val ablation_probe_memo : ?scale:float -> ?quick:bool -> unit -> series list
     the pipelined preprocessing stage: the storage-index probes the
     memoized hot path removes from the CC layer's critical path. *)
 
+val latency_profile : ?scale:float -> ?quick:bool -> unit -> series list
+(** Per-phase latency percentiles (p50/p95/p99/mean, virtual cycles) for
+    all six engines under an observed run ({!Runner.run_sim_obs}): where a
+    transaction's life goes — queue wait, concurrency control, dependency
+    or retry stalls, execution. *)
+
 val extension_mvto : ?scale:float -> ?quick:bool -> unit -> series list
 (** BOHM against classic multiversion timestamp ordering (Reed): the
     "Track Reads" costs of §2.2, quantified. *)

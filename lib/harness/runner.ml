@@ -36,6 +36,7 @@ type bohm_opts = {
   probe_memo : bool;
   cc_routing : bool;
   exec_wakeup : bool;
+  obs : bool;
 }
 
 let default_bohm_opts =
@@ -48,6 +49,7 @@ let default_bohm_opts =
     probe_memo = true;
     cc_routing = true;
     exec_wakeup = true;
+    obs = false;
   }
 
 let split_threads opts threads =
@@ -87,7 +89,7 @@ let run_engine ?report ~bohm engine ~threads spec txns =
               ~batch_size:bohm.batch_size ~gc:bohm.gc
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
               ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing
-              ~exec_wakeup:bohm.exec_wakeup ()
+              ~exec_wakeup:bohm.exec_wakeup ~obs:bohm.obs ()
           in
           let db = Bohm_sim.create config ~tables:spec.tables spec.init in
           check Bohm_sim.check_chains db (Bohm_sim.run db txns))
@@ -120,6 +122,15 @@ let run_engine ?report ~bohm engine ~threads spec txns =
 
 let run_sim ?(bohm = default_bohm_opts) engine ~threads spec txns =
   run_engine ~bohm engine ~threads spec txns
+
+let run_sim_obs ?(bohm = default_bohm_opts) engine ~threads spec txns =
+  let recorder = Bohm_obs.Recorder.create () in
+  let bohm = { bohm with obs = true } in
+  let stats =
+    Bohm_obs.Recorder.with_recorder recorder (fun () ->
+        run_engine ~bohm engine ~threads spec txns)
+  in
+  (stats, recorder)
 
 let run_sim_sanitized ?(bohm = default_bohm_opts) engine ~threads spec txns =
   let report = Report.create () in

@@ -32,17 +32,38 @@ type bohm_opts = {
   exec_wakeup : bool;
       (** Fill-triggered dependency wakeup in the execution layer; off
           replays the retry-polling paths. *)
+  obs : bool;
+      (** [Config.obs]: lets BOHM emit into an installed
+          {!Bohm_obs.Recorder}. {!run_sim_obs} forces it on. *)
 }
 
 val default_bohm_opts : bohm_opts
 (** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
-    off, probe memoization on, batch routing on, wakeup on. *)
+    off, probe memoization on, batch routing on, wakeup on,
+    observability off. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t
 (** One complete simulated run: fresh database, all transactions, stats.
     Deterministic. *)
+
+val run_sim_obs :
+  ?bohm:bohm_opts ->
+  engine ->
+  threads:int ->
+  spec ->
+  Bohm_txn.Txn.t array ->
+  Bohm_txn.Stats.t * Bohm_obs.Recorder.t
+(** {!run_sim} with the observability layer on: installs a fresh
+    {!Bohm_obs.Recorder} for the duration of the run (and forces
+    [bohm.obs]), so every engine emits phase spans, instant events and
+    per-transaction latency histograms. Returns the stats — whose
+    [latency] field is now populated — together with the recorder holding
+    the per-thread tracks, ready for {!Bohm_obs.Chrome} export. The
+    simulated schedule, virtual clock and stats are identical to the
+    unobserved run: recording is host-side and reads only the uncharged
+    [now_ns] clock. *)
 
 val run_sim_sanitized :
   ?bohm:bohm_opts ->

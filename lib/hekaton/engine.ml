@@ -16,6 +16,7 @@ type mode = Hekaton | Snapshot
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   module Store = Bohm_storage.Store.Make (R)
   module Sync = Bohm_runtime.Sync.Make (R)
+  module Obs = Bohm_obs
 
   (* Transaction descriptor states. *)
   let st_active = 0
@@ -65,6 +66,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   type conflict_reason = Ww | Validation | Dep
   exception Conflict of conflict_reason
+
+  let conflict_name = function
+    | Ww -> "ww_abort"
+    | Validation -> "validation_abort"
+    | Dep -> "dep_abort"
 
   type worker_stat = {
     mutable committed : int;
@@ -258,7 +264,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       att.writes;
     resolve_dependents att.self true
 
-  let run_attempt t stat txn =
+  (* [ob] is this worker's observability bundle ([None] when unobserved);
+     [first] anchors dependency-stall: the [now_ns] at which the worker
+     first dispatched this transaction (retries keep the original). All
+     recording is host-side and uncharged. *)
+  let run_attempt t stat ob ~first txn =
     let self =
       {
         state = sync (R.Cell.make st_active);
@@ -276,6 +286,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        and validation for it — the standard optimization; update
        transactions validate every read. *)
     let track_reads = t.mode = Hekaton && not (Txn.is_read_only txn) in
+    let obs_depth =
+      match ob with None -> 0 | Some o -> Obs.Buf.depth o.Obs.Worker.buf
+    in
+    let att_ts =
+      match ob with
+      | None -> 0
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          ts
+    in
     try
       R.work dispatch_work;
       let ctx =
@@ -297,12 +318,42 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       in
       match txn.Txn.logic ctx with
       | Txn.Commit ->
+          let commit_ts =
+            match ob with
+            | None -> 0
+            | Some o ->
+                let ts = R.now_ns () in
+                Obs.Buf.end_span o.Obs.Worker.buf ~ts;
+                Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~ts;
+                ts
+          in
           commit t stat att;
           stat.committed <- stat.committed + 1;
+          (match ob with
+          | None -> ()
+          | Some o ->
+              let tend = R.now_ns () in
+              Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+              let lat = o.Obs.Worker.lat in
+              Obs.Latency.add lat Obs.Latency.Exec (commit_ts - att_ts);
+              Obs.Latency.add lat Obs.Latency.Cc_wait (tend - commit_ts);
+              Obs.Latency.add lat Obs.Latency.Dep_stall (att_ts - first);
+              Obs.Latency.add lat Obs.Latency.Queue_wait
+                (first - o.Obs.Worker.start_ns));
           true
       | Txn.Abort ->
           rollback att;
           stat.logic_aborts <- stat.logic_aborts + 1;
+          (match ob with
+          | None -> ()
+          | Some o ->
+              let tend = R.now_ns () in
+              Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+              let lat = o.Obs.Worker.lat in
+              Obs.Latency.add lat Obs.Latency.Exec (tend - att_ts);
+              Obs.Latency.add lat Obs.Latency.Dep_stall (att_ts - first);
+              Obs.Latency.add lat Obs.Latency.Queue_wait
+                (first - o.Obs.Worker.start_ns));
           true
     with Conflict reason ->
       rollback att;
@@ -310,14 +361,27 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Ww -> stat.ww_aborts <- stat.ww_aborts + 1
       | Validation -> stat.validation_aborts <- stat.validation_aborts + 1
       | Dep -> stat.dep_aborts <- stat.dep_aborts + 1);
+      (match ob with
+      | None -> ()
+      | Some o ->
+          (* The conflict may have unwound past an open exec (and commit)
+             span; close back to the attempt's entry depth so B/E pairs
+             stay balanced, then mark the abort on the timeline. *)
+          let ts = R.now_ns () in
+          let buf = o.Obs.Worker.buf in
+          while Obs.Buf.depth buf > obs_depth do
+            Obs.Buf.end_span buf ~ts
+          done;
+          Obs.Buf.instant buf ~name:(conflict_name reason) ~ts);
       false
 
-  let worker_loop t me stat txns =
+  let worker_loop t me stat ob txns =
     let n = Array.length txns in
     let idx = ref me in
     while !idx < n do
+      let first = match ob with None -> 0 | Some _ -> R.now_ns () in
       let backoff = ref 1 in
-      while not (run_attempt t stat txns.(!idx)) do
+      while not (run_attempt t stat ob ~first txns.(!idx)) do
         (* Retry after back-off, like the paper's optimistic baselines. *)
         for _ = 1 to !backoff do
           R.relax ()
@@ -340,13 +404,35 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             version_steps = 0;
           })
     in
+    (* Observability: tracks are created on the driver thread before the
+       spawns; recording is host-side and uncharged. *)
+    let recorder = Obs.Recorder.current () in
+    let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    let track_prefix = match t.mode with Hekaton -> "hekaton" | Snapshot -> "si" in
+    let obs =
+      Array.init t.workers (fun me ->
+          match recorder with
+          | None -> None
+          | Some r ->
+              Some
+                (Obs.Worker.make
+                   ~buf:
+                     (Obs.Recorder.track r
+                        ~name:(Printf.sprintf "%s-%d" track_prefix me))
+                   ~lat:(Obs.Latency.create ()) ~start_ns))
+    in
     let start = R.now () in
     let threads =
       List.init t.workers (fun me ->
-          R.spawn (fun () -> worker_loop t me stats.(me) txns))
+          R.spawn (fun () -> worker_loop t me stats.(me) obs.(me) txns))
     in
     List.iter R.join threads;
     let elapsed = R.now () -. start in
+    let latency =
+      Obs.Latency.merge_all
+        (Array.to_list obs
+        |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
+    in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
     let committed = sum (fun s -> s.committed) in
     let logic_aborts = sum (fun s -> s.logic_aborts) in
@@ -354,7 +440,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let vald = sum (fun s -> s.validation_aborts) in
     let dep = sum (fun s -> s.dep_aborts) in
     Stats.make ~txns:(Array.length txns) ~committed ~logic_aborts
-      ~cc_aborts:(ww + vald + dep) ~elapsed
+      ~cc_aborts:(ww + vald + dep) ~elapsed ~latency
       ~extra:
         [
           ("counter_faa", float_of_int (sum (fun s -> s.faa)));

@@ -11,6 +11,7 @@ let max_backoff = 8192
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   module Store = Bohm_storage.Store.Make (R)
   module Sync = Bohm_runtime.Sync.Make (R)
+  module Obs = Bohm_obs
 
   let st_active = 0
   let st_committed = 1
@@ -234,7 +235,30 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         unlock_record r)
       writes
 
-  let run_attempt t stat txn =
+  (* [ob]/[first]: host-side observability context, as in the other
+     engines — [first] anchors this transaction's first dispatch so retry
+     attempts accumulate into the dependency-stall phase. *)
+  let run_attempt t stat ob ~first txn =
+    let att_ts =
+      match ob with
+      | None -> 0
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          ts
+    in
+    let record_done () =
+      match ob with
+      | None -> ()
+      | Some o ->
+          let tend = R.now_ns () in
+          Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+          let lat = o.Obs.Worker.lat in
+          Obs.Latency.add lat Obs.Latency.Exec (tend - att_ts);
+          Obs.Latency.add lat Obs.Latency.Dep_stall (att_ts - first);
+          Obs.Latency.add lat Obs.Latency.Queue_wait
+            (first - o.Obs.Worker.start_ns)
+    in
     let self = { state = sync (R.Cell.make st_active) } in
     let ts = R.Cell.faa t.counter 1 in
     stat.faa <- stat.faa + 1;
@@ -262,11 +286,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Txn.Commit ->
           R.Cell.set self.state st_committed;
           stat.committed <- stat.committed + 1;
+          record_done ();
           true
       | Txn.Abort ->
           R.Cell.set self.state st_aborted;
           unlink t self !writes;
           stat.logic_aborts <- stat.logic_aborts + 1;
+          record_done ();
           true
     with Conflict reason ->
       R.Cell.set self.state st_aborted;
@@ -274,14 +300,26 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       (match reason with
       | `Reader_induced -> stat.reader_induced <- stat.reader_induced + 1
       | `Wait -> stat.wait_aborts <- stat.wait_aborts + 1);
+      (match ob with
+      | None -> ()
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.end_span o.Obs.Worker.buf ~ts;
+          let name =
+            match reason with
+            | `Reader_induced -> "reader_abort"
+            | `Wait -> "wait_abort"
+          in
+          Obs.Buf.instant o.Obs.Worker.buf ~name ~ts);
       false
 
-  let worker_loop t me stat txns =
+  let worker_loop t me stat ob txns =
     let n = Array.length txns in
     let idx = ref me in
     while !idx < n do
+      let first = match ob with None -> 0 | Some _ -> R.now_ns () in
       let backoff = ref 1 in
-      while not (run_attempt t stat txns.(!idx)) do
+      while not (run_attempt t stat ob ~first txns.(!idx)) do
         for _ = 1 to !backoff do
           R.relax ()
         done;
@@ -302,19 +340,37 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             read_stamps = 0;
           })
     in
+    let recorder = Obs.Recorder.current () in
+    let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    let obs =
+      Array.init t.workers (fun me ->
+          match recorder with
+          | None -> None
+          | Some r ->
+              Some
+                (Obs.Worker.make
+                   ~buf:
+                     (Obs.Recorder.track r ~name:(Printf.sprintf "mvto-%d" me))
+                   ~lat:(Obs.Latency.create ()) ~start_ns))
+    in
     let start = R.now () in
     let threads =
       List.init t.workers (fun me ->
-          R.spawn (fun () -> worker_loop t me stats.(me) txns))
+          R.spawn (fun () -> worker_loop t me stats.(me) obs.(me) txns))
     in
     List.iter R.join threads;
     let elapsed = R.now () -. start in
+    let latency =
+      Obs.Latency.merge_all
+        (Array.to_list obs
+        |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
+    in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
       ~cc_aborts:(sum (fun s -> s.reader_induced) + sum (fun s -> s.wait_aborts))
-      ~elapsed
+      ~elapsed ~latency
       ~extra:
         [
           ("counter_faa", float_of_int (sum (fun s -> s.faa)));

@@ -1,0 +1,41 @@
+type event =
+  | Begin of { name : string; batch : int; ts : int }
+  | End of { name : string; ts : int }
+  | Instant of { name : string; batch : int; value : int; ts : int }
+
+type t = {
+  buf_tid : int;
+  buf_name : string;
+  mutable rev_events : event list; (* newest first *)
+  mutable open_spans : string list;
+  mutable n : int;
+}
+
+let make ~tid ~name =
+  { buf_tid = tid; buf_name = name; rev_events = []; open_spans = []; n = 0 }
+
+let tid t = t.buf_tid
+let name t = t.buf_name
+
+let push t e =
+  t.rev_events <- e :: t.rev_events;
+  t.n <- t.n + 1
+
+let begin_span ?(batch = -1) t ~phase ~ts =
+  t.open_spans <- phase :: t.open_spans;
+  push t (Begin { name = phase; batch; ts })
+
+let end_span t ~ts =
+  match t.open_spans with
+  | [] -> invalid_arg "Buf.end_span: no open span"
+  | name :: rest ->
+      t.open_spans <- rest;
+      push t (End { name; ts })
+
+let depth t = List.length t.open_spans
+
+let instant ?(batch = -1) ?(value = 0) t ~name ~ts =
+  push t (Instant { name; batch; value; ts })
+
+let events t = List.rev t.rev_events
+let length t = t.n

@@ -1,0 +1,161 @@
+(* Timestamps arrive in the runtime's [now_ns] unit and the trace-event
+   format wants microseconds; three decimal places keep full integer
+   nanosecond (or cycle) resolution. *)
+let us ts = Printf.sprintf "%.3f" (float_of_int ts /. 1000.)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let event_line ~tid e =
+  match e with
+  | Buf.Begin { name; batch; ts } ->
+      let args = if batch >= 0 then Printf.sprintf ", \"args\": {\"batch\": %d}" batch else "" in
+      Printf.sprintf
+        "{\"ph\": \"B\", \"ts\": %s, \"pid\": 0, \"tid\": %d, \"name\": \"%s\"%s}"
+        (us ts) tid (escape name) args
+  | Buf.End { name; ts } ->
+      Printf.sprintf
+        "{\"ph\": \"E\", \"ts\": %s, \"pid\": 0, \"tid\": %d, \"name\": \"%s\"}"
+        (us ts) tid (escape name)
+  | Buf.Instant { name; batch; value; ts } ->
+      let args =
+        if batch >= 0 then
+          Printf.sprintf ", \"args\": {\"batch\": %d, \"value\": %d}" batch value
+        else Printf.sprintf ", \"args\": {\"value\": %d}" value
+      in
+      Printf.sprintf
+        "{\"ph\": \"i\", \"ts\": %s, \"pid\": 0, \"tid\": %d, \"name\": \"%s\", \
+         \"s\": \"t\"%s}"
+        (us ts) tid (escape name) args
+
+let to_string recorder =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b line
+  in
+  List.iter
+    (fun buf ->
+      let tid = Buf.tid buf in
+      emit
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"ts\": 0, \"pid\": 0, \"tid\": %d, \"name\": \
+            \"thread_name\", \"args\": {\"name\": \"%s\"}}"
+           tid
+           (escape (Buf.name buf)));
+      List.iter (fun e -> emit (event_line ~tid e)) (Buf.events buf))
+    (Recorder.tracks recorder);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write ~path recorder =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string recorder))
+
+(* --- validation ------------------------------------------------------- *)
+
+(* [find_int line key] extracts the integer following ["key": ] — enough
+   structure for documents we emitted ourselves (one event per line). *)
+let find_int line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < llen && line.[!j] = ' ' do incr j done;
+      let start = !j in
+      let neg = !j < llen && line.[!j] = '-' in
+      if neg then incr j;
+      while !j < llen && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+      if !j > start + (if neg then 1 else 0) then
+        Some (int_of_string (String.sub line start (!j - start)))
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let has_key line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen > llen then false
+    else String.sub line i plen = pat || search (i + 1)
+  in
+  search 0
+
+let ph_of line =
+  let pat = "\"ph\": \"" in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen >= llen then None
+    else if String.sub line i plen = pat then Some line.[i + plen]
+    else search (i + 1)
+  in
+  search 0
+
+let validate doc =
+  let lines = String.split_on_char '\n' doc in
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  let seen_events = ref 0 in
+  List.iteri
+    (fun lineno line ->
+      if !error = None && has_key line "ph" then begin
+        incr seen_events;
+        List.iter
+          (fun key ->
+            if not (has_key line key) then
+              fail
+                (Printf.sprintf "line %d: event missing required key %S"
+                   (lineno + 1) key))
+          [ "ts"; "pid"; "tid"; "name" ];
+        match find_int line "tid" with
+        | None -> fail (Printf.sprintf "line %d: unparseable tid" (lineno + 1))
+        | Some tid -> (
+            match ph_of line with
+            | Some 'B' ->
+                Hashtbl.replace depth tid
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt depth tid))
+            | Some 'E' ->
+                let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+                if d <= 0 then
+                  fail
+                    (Printf.sprintf
+                       "line %d: E event closes below zero on tid %d"
+                       (lineno + 1) tid)
+                else Hashtbl.replace depth tid (d - 1)
+            | Some ('i' | 'M') -> ()
+            | Some c ->
+                fail (Printf.sprintf "line %d: unknown ph %C" (lineno + 1) c)
+            | None ->
+                fail (Printf.sprintf "line %d: unparseable ph" (lineno + 1)))
+      end)
+    lines;
+  (match !error with
+  | None ->
+      if !seen_events = 0 then fail "no events found";
+      Hashtbl.iter
+        (fun tid d ->
+          if d <> 0 then
+            fail (Printf.sprintf "tid %d ends with %d unclosed span(s)" tid d))
+        depth
+  | Some _ -> ());
+  match !error with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,24 @@
+(** Chrome trace-event JSON export (the format Perfetto and
+    [chrome://tracing] load).
+
+    One track (tid) per recorded thread under a single pid 0. Each track
+    opens with a ["thread_name"] metadata event, followed by the track's
+    events in append order: ["B"]/["E"] duration events for spans,
+    ["i"] instant events for point occurrences (steals, wakeups,
+    recycles, aborts). Timestamps are the recorded [now_ns] values
+    converted to the format's microseconds (so under Sim, 1 "µs" is
+    1000 simulated cycles).
+
+    The document is hand-rolled JSON, one event object per line — both so
+    the repo keeps its no-JSON-dependency rule and so shell tooling
+    ([bench/smoke.sh]) can validate the schema line-wise. *)
+
+val to_string : Recorder.t -> string
+
+val write : path:string -> Recorder.t -> unit
+
+val validate : string -> (unit, string) result
+(** Structural check of an exported document: every event line carries
+    the required ["ph"]/["ts"]/["pid"]/["tid"]/["name"] keys, and B/E
+    events balance (never closing below zero, all spans closed at
+    end-of-trace) independently per tid. *)

@@ -1,0 +1,48 @@
+module Histogram = Bohm_util.Histogram
+
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec
+
+let phase_name = function
+  | Queue_wait -> "queue_wait"
+  | Cc_wait -> "cc_wait"
+  | Dep_stall -> "dep_stall"
+  | Exec -> "exec"
+
+let phases = [ Queue_wait; Cc_wait; Dep_stall; Exec ]
+let phase_names = List.map phase_name phases
+
+type t = {
+  queue : Histogram.t;
+  cc : Histogram.t;
+  stall : Histogram.t;
+  exec : Histogram.t;
+}
+
+let create () =
+  {
+    queue = Histogram.create ();
+    cc = Histogram.create ();
+    stall = Histogram.create ();
+    exec = Histogram.create ();
+  }
+
+let histogram t = function
+  | Queue_wait -> t.queue
+  | Cc_wait -> t.cc
+  | Dep_stall -> t.stall
+  | Exec -> t.exec
+
+let add t phase v = Histogram.add (histogram t phase) v
+
+let merge_all ts =
+  match ts with
+  | [] -> []
+  | _ ->
+      List.map
+        (fun phase ->
+          let merged = Histogram.create () in
+          List.iter
+            (fun t -> Histogram.merge ~into:merged (histogram t phase))
+            ts;
+          (phase_name phase, merged))
+        phases

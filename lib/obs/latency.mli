@@ -1,0 +1,40 @@
+(** Per-thread latency recorder: one {!Bohm_util.Histogram} per pipeline
+    phase, merged across threads at run end into the
+    [Stats.latency] association list.
+
+    The four phases, per committed transaction:
+    - [Queue_wait] — versions installed, waiting to be picked up by an
+      execution/worker thread (first dispatch − CC publication);
+    - [Cc_wait] — sequencing + CC layer occupancy (CC publication of the
+      transaction's batch − run start; for single-layer engines, the
+      validation/commit section instead);
+    - [Dep_stall] — time between the first dispatch and the start of the
+      attempt that completed (blocked on unfilled dependencies, or
+      abort-and-retry time in the optimistic engines);
+    - [Exec] — duration of the completing attempt's logic.
+
+    Durations are in the runtime's [now_ns] unit: cycles under Sim, wall
+    nanoseconds under Real. Like everything in [Bohm_obs], recording is
+    host-side only and charges nothing. *)
+
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec
+
+val phase_name : phase -> string
+(** ["queue_wait"], ["cc_wait"], ["dep_stall"], ["exec"]. *)
+
+val phase_names : string list
+(** All four, in pipeline order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> phase -> int -> unit
+(** Negative durations (clock skew on the real runtime) clamp to 0. *)
+
+val histogram : t -> phase -> Bohm_util.Histogram.t
+
+val merge_all : t list -> (string * Bohm_util.Histogram.t) list
+(** Fresh merged histograms, one entry per phase in pipeline order
+    (phases no thread recorded appear with an empty histogram). Returns
+    [[]] on an empty list. *)

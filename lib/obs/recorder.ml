@@ -1,0 +1,21 @@
+type t = { mutable rev_tracks : Buf.t list; mutable next_tid : int }
+
+let create () = { rev_tracks = []; next_tid = 0 }
+
+let track t ~name =
+  let buf = Buf.make ~tid:t.next_tid ~name in
+  t.next_tid <- t.next_tid + 1;
+  t.rev_tracks <- buf :: t.rev_tracks;
+  buf
+
+let tracks t = List.rev t.rev_tracks
+
+let installed : t option ref = ref None
+
+let current () = !installed
+
+let with_recorder t f =
+  if !installed <> None then
+    invalid_arg "Recorder.with_recorder: a recorder is already installed";
+  installed := Some t;
+  Fun.protect ~finally:(fun () -> installed := None) f

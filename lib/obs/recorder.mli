@@ -1,0 +1,28 @@
+(** Registry of per-thread buffers for one observed run, and the global
+    installation point the engines consult.
+
+    Mirrors the {!Bohm_runtime.Trace} sink discipline: a recorder is
+    installed around a run with {!with_recorder}; engines sample
+    {!current} once at run start and emit events only when one is
+    installed (and, for BOHM, when [Config.obs] is also set). Nothing is
+    installed by default, so benches and tests that do not opt in record
+    nothing and pay nothing.
+
+    [track] must be called by the driver thread before workers spawn —
+    the registry is not synchronized. *)
+
+type t
+
+val create : unit -> t
+
+val track : t -> name:string -> Buf.t
+(** Allocate the next track (tid assigned sequentially from 0). *)
+
+val tracks : t -> Buf.t list
+(** In creation order. *)
+
+val current : unit -> t option
+
+val with_recorder : t -> (unit -> 'a) -> 'a
+(** Install [t] for the duration of the callback. Nesting is rejected
+    with [Invalid_argument] — one observed run at a time. *)

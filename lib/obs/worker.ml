@@ -1,0 +1,3 @@
+type t = { buf : Buf.t; lat : Latency.t; start_ns : int }
+
+let make ~buf ~lat ~start_ns = { buf; lat; start_ns }

@@ -1,0 +1,13 @@
+(** Per-worker observability bundle for the single-layer engines
+    (Hekaton, SI, Silo-OCC, 2PL, MVTO): the worker's event track, its
+    latency recorder, and the run-start timestamp that anchors
+    queue-wait. BOHM's two-layer pipeline carries a richer context of its
+    own inside [lib/core/engine.ml]. *)
+
+type t = {
+  buf : Buf.t;
+  lat : Latency.t;
+  start_ns : int;  (** Run start in the runtime's [now_ns] unit. *)
+}
+
+val make : buf:Buf.t -> lat:Latency.t -> start_ns:int -> t

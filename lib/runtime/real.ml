@@ -39,4 +39,5 @@ let work n =
 let copy ~bytes = work (bytes / 8)
 let relax () = Domain.cpu_relax ()
 let now () = Unix.gettimeofday ()
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 let without_cost f = f ()

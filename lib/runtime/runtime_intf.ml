@@ -98,6 +98,15 @@ module type S = sig
       Ratios of durations are meaningful; absolute values are not
       comparable across runtimes. *)
 
+  val now_ns : unit -> int
+  (** Integer timestamp for the observability layer ({!Bohm_obs}):
+      the calling thread's virtual clock in cycles on the simulator,
+      monotonic wall-clock nanoseconds on the real runtime. Reading it
+      charges nothing and never yields — a run that samples it is
+      schedule-identical to one that does not (same discipline as
+      {!Trace}). Like {!now}, only ratios of durations are comparable
+      across runtimes. *)
+
   val without_cost : (unit -> 'a) -> 'a
   (** Run a setup phase (bulk-loading tables, building indexes) without
       charging the virtual clock. Identity on the real runtime. Must not

@@ -247,6 +247,14 @@ let now () =
   | None -> !last_makespan
   | Some s -> float_of_int (current s).clock /. Costs.cycles_per_second
 
+(* Uncharged, yield-free clock sample for the observability layer: the
+   thread's virtual clock in cycles. Outside a simulation, the last
+   makespan (so post-run exports see a consistent end-of-run stamp). *)
+let now_ns () =
+  match !state with
+  | None -> int_of_float (!last_makespan *. Costs.cycles_per_second)
+  | Some s -> (current s).clock
+
 let virtual_time = now
 let steps () = match !state with None -> !last_steps | Some s -> s.step_count
 

@@ -14,6 +14,7 @@ let max_backoff = 32_768
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   module Store = Bohm_storage.Store.Make (R)
   module Sync = Bohm_runtime.Sync.Make (R)
+  module Obs = Bohm_obs
 
   (* The TID word: bit 0 is the lock bit, the rest is the sequence
      number. *)
@@ -80,7 +81,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     go ()
 
-  let run_attempt t me stat txn =
+  (* [ob]/[first]: host-side observability context, as in the other
+     engines — [first] is the [now_ns] of this transaction's first
+     dispatch (retries keep it), anchoring the dependency-stall phase. *)
+  let run_attempt t me stat ob ~first txn =
+    let att_ts =
+      match ob with
+      | None -> 0
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          ts
+    in
     let reads : (record * int) list ref = ref [] in
     let buffer = Local_writes.create () in
     R.work dispatch_work;
@@ -109,8 +121,27 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     match txn.Txn.logic ctx with
     | Txn.Abort ->
         stat.logic_aborts <- stat.logic_aborts + 1;
+        (match ob with
+        | None -> ()
+        | Some o ->
+            let tend = R.now_ns () in
+            Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+            let lat = o.Obs.Worker.lat in
+            Obs.Latency.add lat Obs.Latency.Exec (tend - att_ts);
+            Obs.Latency.add lat Obs.Latency.Dep_stall (att_ts - first);
+            Obs.Latency.add lat Obs.Latency.Queue_wait
+              (first - o.Obs.Worker.start_ns));
         true
     | Txn.Commit -> (
+        let commit_ts =
+          match ob with
+          | None -> 0
+          | Some o ->
+              let ts = R.now_ns () in
+              Obs.Buf.end_span o.Obs.Worker.buf ~ts;
+              Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~ts;
+              ts
+        in
         (* Phase 1: lock written records in sorted key order (the declared
            write-set array is sorted; skip keys the logic never wrote). *)
         let lock_list = ref [] in
@@ -156,13 +187,30 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               R.Cell.set r.tid commit_tid)
             !lock_list;
           stat.committed <- stat.committed + 1;
+          (match ob with
+          | None -> ()
+          | Some o ->
+              let tend = R.now_ns () in
+              Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+              let lat = o.Obs.Worker.lat in
+              Obs.Latency.add lat Obs.Latency.Exec (commit_ts - att_ts);
+              Obs.Latency.add lat Obs.Latency.Cc_wait (tend - commit_ts);
+              Obs.Latency.add lat Obs.Latency.Dep_stall (att_ts - first);
+              Obs.Latency.add lat Obs.Latency.Queue_wait
+                (first - o.Obs.Worker.start_ns));
           true
         with Conflict ->
           unlock_all ~restore:true;
           stat.validation_aborts <- stat.validation_aborts + 1;
+          (match ob with
+          | None -> ()
+          | Some o ->
+              let ts = R.now_ns () in
+              Obs.Buf.end_span o.Obs.Worker.buf ~ts;
+              Obs.Buf.instant o.Obs.Worker.buf ~name:"validation_abort" ~ts);
           false)
 
-  let worker_loop t me stat txns =
+  let worker_loop t me stat ob txns =
     let n = Array.length txns in
     let idx = ref me in
     (* Adaptive back-off carried across transactions: doubled on abort,
@@ -171,7 +219,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        where Hekaton and SI collapse (§4.2.1). *)
     let backoff = ref 1 in
     while !idx < n do
-      while not (run_attempt t me stat txns.(!idx)) do
+      let first = match ob with None -> 0 | Some _ -> R.now_ns () in
+      while not (run_attempt t me stat ob ~first txns.(!idx)) do
         for _ = 1 to !backoff do
           R.relax ()
         done;
@@ -186,19 +235,36 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       Array.init t.workers (fun _ ->
           { committed = 0; logic_aborts = 0; validation_aborts = 0; read_retries = 0 })
     in
+    let recorder = Obs.Recorder.current () in
+    let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    let obs =
+      Array.init t.workers (fun me ->
+          match recorder with
+          | None -> None
+          | Some r ->
+              Some
+                (Obs.Worker.make
+                   ~buf:(Obs.Recorder.track r ~name:(Printf.sprintf "occ-%d" me))
+                   ~lat:(Obs.Latency.create ()) ~start_ns))
+    in
     let start = R.now () in
     let threads =
       List.init t.workers (fun me ->
-          R.spawn (fun () -> worker_loop t me stats.(me) txns))
+          R.spawn (fun () -> worker_loop t me stats.(me) obs.(me) txns))
     in
     List.iter R.join threads;
     let elapsed = R.now () -. start in
+    let latency =
+      Obs.Latency.merge_all
+        (Array.to_list obs
+        |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
+    in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
       ~cc_aborts:(sum (fun s -> s.validation_aborts))
-      ~elapsed
+      ~elapsed ~latency
       ~extra:
         [
           ("read_validation_aborts", float_of_int (sum (fun s -> s.validation_aborts)));

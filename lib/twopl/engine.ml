@@ -11,6 +11,7 @@ let read_resolve_work = 10
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   module Store = Bohm_storage.Store.Make (R)
   module Locks = Lock_table.Make (R)
+  module Obs = Bohm_obs
 
   type t = {
     workers : int;
@@ -34,8 +35,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let mode_for txn k = if Txn.writes txn k then Locks.Write else Locks.Read
 
-  let run_one t stat txn =
+  (* [ob]: host-side observability context (see [Bohm_obs]). 2PL never
+     aborts on conflicts — it waits — so lock acquisition is its whole
+     concurrency-control cost and maps onto the [Cc_wait] phase. *)
+  let run_one t stat ob txn =
     let footprint = Txn.footprint txn in
+    let t0 =
+      match ob with
+      | None -> 0
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"lock" ~ts;
+          ts
+    in
     (* Growing phase: whole footprint, ascending key order — deadlock-free
        (§4: "acquire locks in lexicographic order"). *)
     Array.iter
@@ -43,6 +55,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         Locks.acquire t.locks k (mode_for txn k);
         stat.locks_acquired <- stat.locks_acquired + 1)
       footprint;
+    let t1 =
+      match ob with
+      | None -> 0
+      | Some o ->
+          let ts = R.now_ns () in
+          Obs.Buf.end_span o.Obs.Worker.buf ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          ts
+    in
     let buffer = Local_writes.create () in
     R.work dispatch_work;
     let ctx =
@@ -69,13 +90,22 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         stat.committed <- stat.committed + 1
     | Txn.Abort -> stat.logic_aborts <- stat.logic_aborts + 1);
     (* Shrinking phase. *)
-    Array.iter (fun k -> Locks.release t.locks k (mode_for txn k)) footprint
+    Array.iter (fun k -> Locks.release t.locks k (mode_for txn k)) footprint;
+    match ob with
+    | None -> ()
+    | Some o ->
+        let tend = R.now_ns () in
+        Obs.Buf.end_span o.Obs.Worker.buf ~ts:tend;
+        let lat = o.Obs.Worker.lat in
+        Obs.Latency.add lat Obs.Latency.Cc_wait (t1 - t0);
+        Obs.Latency.add lat Obs.Latency.Exec (tend - t1);
+        Obs.Latency.add lat Obs.Latency.Queue_wait (t0 - o.Obs.Worker.start_ns)
 
-  let worker_loop t me stat txns =
+  let worker_loop t me stat ob txns =
     let n = Array.length txns in
     let idx = ref me in
     while !idx < n do
-      run_one t stat txns.(!idx);
+      run_one t stat ob txns.(!idx);
       idx := !idx + t.workers
     done
 
@@ -84,18 +114,35 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       Array.init t.workers (fun _ ->
           { committed = 0; logic_aborts = 0; locks_acquired = 0 })
     in
+    let recorder = Obs.Recorder.current () in
+    let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    let obs =
+      Array.init t.workers (fun me ->
+          match recorder with
+          | None -> None
+          | Some r ->
+              Some
+                (Obs.Worker.make
+                   ~buf:(Obs.Recorder.track r ~name:(Printf.sprintf "2pl-%d" me))
+                   ~lat:(Obs.Latency.create ()) ~start_ns))
+    in
     let start = R.now () in
     let threads =
       List.init t.workers (fun me ->
-          R.spawn (fun () -> worker_loop t me stats.(me) txns))
+          R.spawn (fun () -> worker_loop t me stats.(me) obs.(me) txns))
     in
     List.iter R.join threads;
     let elapsed = R.now () -. start in
+    let latency =
+      Obs.Latency.merge_all
+        (Array.to_list obs
+        |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
+    in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
-      ~cc_aborts:0 ~elapsed
+      ~cc_aborts:0 ~elapsed ~latency
       ~extra:[ ("locks_acquired", float_of_int (sum (fun s -> s.locks_acquired))) ]
       ()
 

@@ -5,10 +5,31 @@ type t = {
   cc_aborts : int;
   elapsed : float;
   extra : (string * float) list;
+  latency : (string * Bohm_util.Histogram.t) list;
 }
 
-let make ~txns ~committed ~logic_aborts ~cc_aborts ~elapsed ?(extra = []) () =
-  { txns; committed; logic_aborts; cc_aborts; elapsed; extra }
+(* Extras arrive in thread-merge order, which varies with the thread
+   count; normalize so equal runs print and serialize identically:
+   sorted by key, duplicate keys collapsed to the last occurrence. *)
+let normalize_extra extra =
+  let deduped =
+    List.fold_left
+      (fun acc (k, v) -> (k, v) :: List.remove_assoc k acc)
+      [] extra
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) deduped
+
+let make ~txns ~committed ~logic_aborts ~cc_aborts ~elapsed ?(extra = [])
+    ?(latency = []) () =
+  {
+    txns;
+    committed;
+    logic_aborts;
+    cc_aborts;
+    elapsed;
+    extra = normalize_extra extra;
+    latency;
+  }
 
 let throughput t = if t.elapsed <= 0. then 0. else float_of_int t.txns /. t.elapsed
 
@@ -17,6 +38,7 @@ let abort_rate t =
   if attempts = 0 then 0. else float_of_int t.cc_aborts /. float_of_int attempts
 
 let extra t name = List.assoc_opt name t.extra
+let latency t phase = List.assoc_opt phase t.latency
 
 let pp fmt t =
   Format.fprintf fmt

@@ -15,7 +15,14 @@ type t = {
   elapsed : float;  (** Seconds of (virtual or wall) time for the run. *)
   extra : (string * float) list;
       (** Engine-specific counters (GC reclamations, chain steps,
-          barrier rounds, …). *)
+          barrier rounds, …). Normalized by {!make}: sorted by key,
+          duplicate keys last-wins — so equal runs serialize
+          identically regardless of thread-merge order. *)
+  latency : (string * Bohm_util.Histogram.t) list;
+      (** Per-phase latency distributions (keys are
+          [Bohm_obs.Latency.phase_names]), merged across threads.
+          Empty unless the run was observed ([Config.obs] / an
+          installed [Bohm_obs.Recorder]). *)
 }
 
 val make :
@@ -25,6 +32,7 @@ val make :
   cc_aborts:int ->
   elapsed:float ->
   ?extra:(string * float) list ->
+  ?latency:(string * Bohm_util.Histogram.t) list ->
   unit ->
   t
 
@@ -36,4 +44,5 @@ val abort_rate : t -> float
     wasted on concurrency-control aborts. *)
 
 val extra : t -> string -> float option
+val latency : t -> string -> Bohm_util.Histogram.t option
 val pp : Format.formatter -> t -> unit

@@ -11,6 +11,7 @@ type t = {
   log : int array; (* log_ranges * sub_buckets *)
   mutable count : int;
   mutable sum : float;
+  mutable sumsq : float;
   mutable min_v : int;
   mutable max_v : int;
 }
@@ -21,6 +22,7 @@ let create () =
     log = Array.make (log_ranges * sub_buckets) 0;
     count = 0;
     sum = 0.;
+    sumsq = 0.;
     min_v = max_int;
     max_v = 0;
   }
@@ -50,6 +52,7 @@ let add t v =
   let v = if v < 0 then 0 else v in
   t.count <- t.count + 1;
   t.sum <- t.sum +. float_of_int v;
+  t.sumsq <- t.sumsq +. (float_of_int v *. float_of_int v);
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v;
   if v < linear_max then t.linear.(v) <- t.linear.(v) + 1
@@ -67,6 +70,7 @@ let merge ~into src =
   done;
   into.count <- into.count + src.count;
   into.sum <- into.sum +. src.sum;
+  into.sumsq <- into.sumsq +. src.sumsq;
   if src.count > 0 then begin
     if src.min_v < into.min_v then into.min_v <- src.min_v;
     if src.max_v > into.max_v then into.max_v <- src.max_v
@@ -74,6 +78,18 @@ let merge ~into src =
 
 let count t = t.count
 let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+(* Population variance from the running moments; clamped at 0 against
+   floating-point cancellation when all samples are equal and large. *)
+let variance t =
+  if t.count = 0 then 0.
+  else
+    let n = float_of_int t.count in
+    let m = t.sum /. n in
+    let v = (t.sumsq /. n) -. (m *. m) in
+    if v < 0. then 0. else v
+
+let stddev t = sqrt (variance t)
 
 let max_value t =
   if t.count = 0 then invalid_arg "Histogram.max_value: empty";
@@ -109,6 +125,28 @@ let percentile t p =
      done
    with Exit -> ());
   match !result with Some v -> v | None -> t.max_v
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;
+  s_p95 : int;
+  s_p99 : int;
+  s_max : int;
+}
+
+let to_summary t =
+  if t.count = 0 then
+    { s_count = 0; s_mean = 0.; s_p50 = 0; s_p95 = 0; s_p99 = 0; s_max = 0 }
+  else
+    {
+      s_count = t.count;
+      s_mean = mean t;
+      s_p50 = percentile t 50.;
+      s_p95 = percentile t 95.;
+      s_p99 = percentile t 99.;
+      s_max = t.max_v;
+    }
 
 let pp fmt t =
   if t.count = 0 then Format.fprintf fmt "(empty)"

@@ -15,6 +15,13 @@ val merge : into:t -> t -> unit
 
 val count : t -> int
 val mean : t -> float
+
+val variance : t -> float
+(** Population variance, from running moments; [0.] when empty. *)
+
+val stddev : t -> float
+(** Square root of {!variance}. *)
+
 val max_value : t -> int
 val min_value : t -> int
 (** [min_value]/[max_value] raise [Invalid_argument] on an empty histogram. *)
@@ -22,6 +29,22 @@ val min_value : t -> int
 val percentile : t -> float -> int
 (** [percentile t p] with [p] in [\[0, 100\]]; approximate above the linear
     range. Raises [Invalid_argument] if empty or [p] out of range. *)
+
+type summary = {
+  s_count : int;
+  s_mean : float;
+  s_p50 : int;
+  s_p95 : int;
+  s_p99 : int;
+  s_max : int;
+}
+(** Fixed snapshot of the distribution for reporting layers. *)
+
+val to_summary : t -> summary
+(** All-zero summary on an empty histogram (never raises). Percentiles
+    carry the documented bucketing error: above the linear range a
+    reported quantile [q] satisfies [exact <= q <= exact * (1 + 1/64) + 1]
+    (and never exceeds the true maximum). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: count/mean/p50/p99/max. *)

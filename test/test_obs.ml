@@ -1,0 +1,335 @@
+(* Tests for the Bohm_obs observability layer: buffer/span discipline,
+   recorder installation, latency bookkeeping, Chrome trace export — and
+   the layer's core guarantee, trace neutrality: an observed simulated
+   run reproduces the unobserved run's schedule, stats and final state
+   bit-for-bit, because recording is host-side and charges nothing. *)
+
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+module Stats = Bohm_txn.Stats
+module Table = Bohm_storage.Table
+module Rng = Bohm_util.Rng
+module Histogram = Bohm_util.Histogram
+module Sim = Bohm_runtime.Sim
+module Real = Bohm_runtime.Real
+module Config = Bohm_core.Config
+module Buf = Bohm_obs.Buf
+module Recorder = Bohm_obs.Recorder
+module Latency = Bohm_obs.Latency
+module Chrome = Bohm_obs.Chrome
+module Runner = Bohm_harness.Runner
+
+module Sim_engine = Bohm_core.Engine.Make (Sim)
+module Real_engine = Bohm_core.Engine.Make (Real)
+
+(* --- Buf --- *)
+
+let test_buf_spans () =
+  let b = Buf.make ~tid:3 ~name:"worker" in
+  Alcotest.(check int) "tid" 3 (Buf.tid b);
+  Alcotest.(check string) "name" "worker" (Buf.name b);
+  Alcotest.(check int) "initially closed" 0 (Buf.depth b);
+  Buf.begin_span b ~phase:"outer" ~ts:10;
+  Buf.begin_span ~batch:2 b ~phase:"inner" ~ts:20;
+  Alcotest.(check int) "nested" 2 (Buf.depth b);
+  Buf.instant ~value:7 b ~name:"tick" ~ts:25;
+  Buf.end_span b ~ts:30;
+  Buf.end_span b ~ts:40;
+  Alcotest.(check int) "closed" 0 (Buf.depth b);
+  match Buf.events b with
+  | [
+   Buf.Begin { name = "outer"; batch = -1; ts = 10 };
+   Buf.Begin { name = "inner"; batch = 2; ts = 20 };
+   Buf.Instant { name = "tick"; batch = -1; value = 7; ts = 25 };
+   Buf.End { name = "inner"; ts = 30 };
+   Buf.End { name = "outer"; ts = 40 };
+  ] ->
+      Alcotest.(check int) "length" 5 (Buf.length b)
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+let test_buf_unbalanced_end () =
+  let b = Buf.make ~tid:0 ~name:"t" in
+  Alcotest.check_raises "end with no open span"
+    (Invalid_argument "Buf.end_span: no open span") (fun () ->
+      Buf.end_span b ~ts:1)
+
+(* --- Recorder --- *)
+
+let test_recorder_tracks () =
+  let r = Recorder.create () in
+  let a = Recorder.track r ~name:"a" in
+  let b = Recorder.track r ~name:"b" in
+  Alcotest.(check int) "sequential tids" 0 (Buf.tid a);
+  Alcotest.(check int) "sequential tids" 1 (Buf.tid b);
+  Alcotest.(check (list string))
+    "creation order" [ "a"; "b" ]
+    (List.map Buf.name (Recorder.tracks r))
+
+let test_recorder_install () =
+  Alcotest.(check bool) "nothing installed" true (Recorder.current () = None);
+  let r = Recorder.create () in
+  let seen =
+    Recorder.with_recorder r (fun () -> Recorder.current () = Some r)
+  in
+  Alcotest.(check bool) "installed inside" true seen;
+  Alcotest.(check bool) "uninstalled after" true (Recorder.current () = None);
+  Alcotest.check_raises "nesting rejected"
+    (Invalid_argument "Recorder.with_recorder: a recorder is already installed")
+    (fun () ->
+      Recorder.with_recorder r (fun () ->
+          Recorder.with_recorder (Recorder.create ()) (fun () -> ())));
+  (* Fun.protect: uninstalled even when the body raises. *)
+  (try Recorder.with_recorder r (fun () -> failwith "boom") with _ -> ());
+  Alcotest.(check bool) "uninstalled after raise" true
+    (Recorder.current () = None)
+
+(* --- Latency --- *)
+
+let test_latency_merge () =
+  Alcotest.(check bool) "empty input" true (Latency.merge_all [] = []);
+  let a = Latency.create () and b = Latency.create () in
+  Latency.add a Latency.Exec 100;
+  Latency.add b Latency.Exec 300;
+  Latency.add b Latency.Queue_wait 5;
+  let merged = Latency.merge_all [ a; b ] in
+  Alcotest.(check (list string))
+    "phases in pipeline order" Latency.phase_names (List.map fst merged);
+  let h = List.assoc "exec" merged in
+  Alcotest.(check int) "exec count" 2 (Histogram.count h);
+  Alcotest.(check int) "exec max" 300 (Histogram.max_value h);
+  Alcotest.(check int) "unrecorded phase empty" 0
+    (Histogram.count (List.assoc "dep_stall" merged));
+  (* Negative durations (real-runtime clock skew) clamp rather than
+     poison the histogram. *)
+  Latency.add a Latency.Cc_wait (-42);
+  Alcotest.(check int) "negative clamped" 0
+    (Histogram.max_value (Latency.histogram a Latency.Cc_wait))
+
+(* --- Chrome export --- *)
+
+let test_chrome_roundtrip () =
+  let r = Recorder.create () in
+  let t0 = Recorder.track r ~name:"alpha" in
+  let t1 = Recorder.track r ~name:"beta" in
+  Buf.begin_span ~batch:0 t0 ~phase:"cc" ~ts:1_000;
+  Buf.begin_span t0 ~phase:"gc" ~ts:2_000;
+  Buf.end_span t0 ~ts:3_000;
+  Buf.end_span t0 ~ts:4_000;
+  Buf.instant ~batch:1 ~value:3 t1 ~name:"steal" ~ts:2_500;
+  Buf.begin_span t1 ~phase:"exec \"quoted\"\\" ~ts:5_000;
+  Buf.end_span t1 ~ts:6_000;
+  let doc = Chrome.to_string r in
+  (match Chrome.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid doc rejected: %s" e);
+  (* Spot-check the shape: one metadata line per track, escaping, the
+     ns -> us conversion. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "thread_name alpha" true
+    (contains doc "\"name\": \"thread_name\", \"args\": {\"name\": \"alpha\"}");
+  Alcotest.(check bool) "us conversion" true (contains doc "\"ts\": 1.000");
+  Alcotest.(check bool) "escaped quote" true (contains doc "\\\"quoted\\\"");
+  Alcotest.(check bool) "batch arg" true (contains doc "\"batch\": 1")
+
+let test_chrome_validate_rejects () =
+  let reject doc =
+    match Chrome.validate doc with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty doc" true (reject "{\"traceEvents\": [\n]}");
+  let stray_end =
+    "{\"traceEvents\": [\n\
+     {\"ph\": \"E\", \"ts\": 1.000, \"pid\": 0, \"tid\": 0, \"name\": \"x\"}\n\
+     ]}"
+  in
+  Alcotest.(check bool) "E below zero" true (reject stray_end);
+  let unclosed =
+    "{\"traceEvents\": [\n\
+     {\"ph\": \"B\", \"ts\": 1.000, \"pid\": 0, \"tid\": 0, \"name\": \"x\"}\n\
+     ]}"
+  in
+  Alcotest.(check bool) "unclosed span" true (reject unclosed);
+  let missing_key =
+    "{\"traceEvents\": [\n\
+     {\"ph\": \"i\", \"ts\": 1.000, \"pid\": 0, \"name\": \"x\"}\n\
+     ]}"
+  in
+  Alcotest.(check bool) "missing tid" true (reject missing_key)
+
+(* --- trace neutrality on the simulator --- *)
+
+let table = Table.make ~tid:0 ~name:"t" ~rows:64 ~record_bytes:8
+let tables = [| table |]
+let key row = Key.make ~table:0 ~row
+let init_zero _ = Value.zero
+
+let random_rmw_txn rng id =
+  let n_keys = 1 + Rng.int rng 4 in
+  let keys = List.init n_keys (fun _ -> key (Rng.int rng 64)) in
+  Txn.make ~id ~read_set:keys ~write_set:keys (fun ctx ->
+      List.iter
+        (fun k -> ctx.Txn.write k (Value.add (ctx.Txn.read k) (1 + (id mod 7))))
+        keys;
+      Txn.Commit)
+
+(* Everything the schedule determines: commits, stats extras, virtual
+   makespan, final values, chain lengths, scheduler resume count. *)
+let bohm_fingerprint ~obs ~seed txns =
+  let config =
+    Config.make ~cc_threads:3 ~exec_threads:3 ~batch_size:16 ~preprocess:true
+      ~obs ()
+  in
+  let body () =
+    Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+        let db = Sim_engine.create config ~tables init_zero in
+        let stats = Sim_engine.run db txns in
+        let values =
+          Array.init 64 (fun i -> Value.to_int (Sim_engine.read_latest db (key i)))
+        in
+        let chains =
+          Array.init 64 (fun i -> Sim_engine.chain_length db (key i))
+        in
+        (stats, values, chains))
+  in
+  let stats, values, chains =
+    if obs then Recorder.with_recorder (Recorder.create ()) body else body ()
+  in
+  let sched =
+    ( stats.Stats.committed,
+      stats.Stats.elapsed,
+      stats.Stats.extra,
+      values,
+      chains,
+      Sim.steps () )
+  in
+  (sched, stats.Stats.latency)
+
+let prop_bohm_trace_neutral =
+  QCheck.Test.make ~count:10
+    ~name:"observed BOHM sim run is schedule-identical to unobserved"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+      let plain, lat_off = bohm_fingerprint ~obs:false ~seed:(seed + 3) txns in
+      let observed, lat_on = bohm_fingerprint ~obs:true ~seed:(seed + 3) txns in
+      plain = observed && lat_off = [] && lat_on <> [])
+
+(* The same neutrality for a single-layer baseline (no Config gate there:
+   an installed recorder is the only switch). *)
+let prop_baseline_trace_neutral =
+  QCheck.Test.make ~count:6
+    ~name:"observed Hekaton sim run is schedule-identical to unobserved"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 120 (fun i -> random_rmw_txn rng i) in
+      let spec = { Runner.tables; init = init_zero } in
+      let fingerprint stats =
+        ( stats.Stats.committed,
+          stats.Stats.cc_aborts,
+          stats.Stats.elapsed,
+          stats.Stats.extra )
+      in
+      let plain = Runner.run_sim Runner.Hekaton ~threads:4 spec txns in
+      let observed, recorder =
+        Runner.run_sim_obs Runner.Hekaton ~threads:4 spec txns
+      in
+      fingerprint plain = fingerprint observed
+      && plain.Stats.latency = []
+      && observed.Stats.latency <> []
+      && Recorder.tracks recorder <> [])
+
+(* An observed run through the harness exports a valid Chrome trace with
+   one track per pipeline thread. *)
+let test_sim_trace_exports () =
+  let rng = Rng.create ~seed:4242 in
+  let txns = Array.init 200 (fun i -> random_rmw_txn rng i) in
+  let spec = { Runner.tables; init = init_zero } in
+  let bohm =
+    { Runner.default_bohm_opts with Runner.batch_size = 32; preprocess = true }
+  in
+  let stats, recorder =
+    Runner.run_sim_obs ~bohm Runner.Bohm ~threads:6 spec txns
+  in
+  Alcotest.(check int) "all committed" 200 stats.Stats.committed;
+  (match Chrome.validate (Chrome.to_string recorder) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid trace: %s" e);
+  let names = List.map Buf.name (Recorder.tracks recorder) in
+  (* threads=6 at the default cc_fraction 0.25 -> 2 CC + 4 exec, plus the
+     driver track and one preprocessing track per pipeline thread. *)
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "missing track %s (have: %s)" expected
+          (String.concat ", " names))
+    [ "driver"; "cc-0"; "cc-1"; "exec-0"; "exec-3"; "pre-0" ];
+  List.iter
+    (fun phase ->
+      match Stats.latency stats phase with
+      | Some h -> Alcotest.(check int) (phase ^ " count") 200 (Histogram.count h)
+      | None -> Alcotest.failf "phase %s missing" phase)
+    Latency.phase_names
+
+(* --- real runtime smoke --- *)
+
+(* Spans still balance and the export still validates when timestamps come
+   from the wall clock and threads are real domains. *)
+let test_real_trace_smoke () =
+  let rng = Rng.create ~seed:77 in
+  let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+  let recorder = Recorder.create () in
+  let config =
+    Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:32 ~obs:true ()
+  in
+  let stats =
+    Recorder.with_recorder recorder (fun () ->
+        let db = Real_engine.create config ~tables init_zero in
+        Real_engine.run db txns)
+  in
+  Alcotest.(check int) "all committed" 150 stats.Stats.committed;
+  (match Chrome.validate (Chrome.to_string recorder) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid real-runtime trace: %s" e);
+  List.iter
+    (fun b ->
+      Alcotest.(check int) (Buf.name b ^ " spans closed") 0 (Buf.depth b))
+    (Recorder.tracks recorder);
+  match Stats.latency stats "exec" with
+  | Some h -> Alcotest.(check int) "exec samples" 150 (Histogram.count h)
+  | None -> Alcotest.fail "latency missing on real runtime"
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "buf",
+      [
+        Alcotest.test_case "span nesting and events" `Quick test_buf_spans;
+        Alcotest.test_case "unbalanced end rejected" `Quick
+          test_buf_unbalanced_end;
+      ] );
+    ( "recorder",
+      [
+        Alcotest.test_case "tracks" `Quick test_recorder_tracks;
+        Alcotest.test_case "install/uninstall" `Quick test_recorder_install;
+      ] );
+    ("latency", [ Alcotest.test_case "merge" `Quick test_latency_merge ]);
+    ( "chrome",
+      [
+        Alcotest.test_case "roundtrip validates" `Quick test_chrome_roundtrip;
+        Alcotest.test_case "corrupt docs rejected" `Quick
+          test_chrome_validate_rejects;
+      ] );
+    ( "neutrality",
+      [ Alcotest.test_case "sim trace exports" `Quick test_sim_trace_exports ]
+      @ qcheck [ prop_bohm_trace_neutral; prop_baseline_trace_neutral ] );
+    ("real", [ Alcotest.test_case "trace smoke" `Quick test_real_trace_smoke ]);
+  ]
+
+let () = Alcotest.run "bohm_obs" suite

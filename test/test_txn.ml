@@ -179,6 +179,34 @@ let test_stats_extra () =
   Alcotest.(check bool) "present" true (Stats.extra s "gc" = Some 42.);
   Alcotest.(check bool) "absent" true (Stats.extra s "nope" = None)
 
+(* [make] normalizes extras so equal runs serialize identically whatever
+   order the per-thread counters merged in: sorted by key, duplicate keys
+   collapsed to the last occurrence. *)
+let test_stats_extra_normalized () =
+  let s =
+    Stats.make ~txns:1 ~committed:1 ~logic_aborts:0 ~cc_aborts:0 ~elapsed:1.
+      ~extra:[ ("b", 1.); ("a", 2.); ("b", 3.) ] ()
+  in
+  Alcotest.(check bool)
+    "sorted, last wins" true
+    (s.Stats.extra = [ ("a", 2.); ("b", 3.) ]);
+  Alcotest.(check bool) "lookup sees winner" true (Stats.extra s "b" = Some 3.)
+
+let test_stats_latency () =
+  let s = Stats.make ~txns:1 ~committed:1 ~logic_aborts:0 ~cc_aborts:0 ~elapsed:1. () in
+  Alcotest.(check bool) "default empty" true (s.Stats.latency = []);
+  let h = Bohm_util.Histogram.create () in
+  Bohm_util.Histogram.add h 7;
+  let s =
+    Stats.make ~txns:1 ~committed:1 ~logic_aborts:0 ~cc_aborts:0 ~elapsed:1.
+      ~latency:[ ("exec", h) ] ()
+  in
+  (match Stats.latency s "exec" with
+  | Some h' ->
+      Alcotest.(check int) "histogram kept" 7 (Bohm_util.Histogram.max_value h')
+  | None -> Alcotest.fail "exec phase missing");
+  Alcotest.(check bool) "absent phase" true (Stats.latency s "gc" = None)
+
 (* --- properties --- *)
 
 let key_gen =
@@ -280,6 +308,8 @@ let suite =
         Alcotest.test_case "zero elapsed" `Quick test_stats_zero_elapsed;
         Alcotest.test_case "abort rate" `Quick test_stats_abort_rate;
         Alcotest.test_case "extra" `Quick test_stats_extra;
+        Alcotest.test_case "extra normalized" `Quick test_stats_extra_normalized;
+        Alcotest.test_case "latency" `Quick test_stats_latency;
       ] );
   ]
 

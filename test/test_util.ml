@@ -256,6 +256,67 @@ let test_histogram_negative_clamped () =
   Histogram.add h (-5);
   Alcotest.(check int) "clamped to 0" 0 (Histogram.max_value h)
 
+let test_histogram_variance () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty variance" 0. (Histogram.variance h);
+  Alcotest.(check (float 0.)) "empty stddev" 0. (Histogram.stddev h);
+  (* 2, 4, 4, 4, 5, 5, 7, 9: the classic example with mean 5, population
+     variance 4. *)
+  List.iter (Histogram.add h) [ 2; 4; 4; 4; 5; 5; 7; 9 ];
+  Alcotest.(check (float 1e-9)) "variance" 4. (Histogram.variance h);
+  Alcotest.(check (float 1e-9)) "stddev" 2. (Histogram.stddev h);
+  let c = Histogram.create () in
+  Histogram.add c 42;
+  Alcotest.(check (float 1e-9)) "single sample" 0. (Histogram.variance c)
+
+let test_histogram_variance_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  let whole = Histogram.create () in
+  for i = 1 to 50 do
+    Histogram.add a i;
+    Histogram.add whole i
+  done;
+  for i = 51 to 100 do
+    Histogram.add b (i * 3);
+    Histogram.add whole (i * 3)
+  done;
+  Histogram.merge ~into:a b;
+  Alcotest.(check (float 1e-6))
+    "merged variance = whole variance" (Histogram.variance whole)
+    (Histogram.variance a)
+
+let test_histogram_summary () =
+  let empty = Histogram.to_summary (Histogram.create ()) in
+  Alcotest.(check int) "empty count" 0 empty.Histogram.s_count;
+  Alcotest.(check int) "empty p99" 0 empty.Histogram.s_p99;
+  Alcotest.(check (float 0.)) "empty mean" 0. empty.Histogram.s_mean;
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h i
+  done;
+  let s = Histogram.to_summary h in
+  Alcotest.(check int) "count" 100 s.Histogram.s_count;
+  Alcotest.(check int) "p50" 50 s.Histogram.s_p50;
+  Alcotest.(check int) "p95" 95 s.Histogram.s_p95;
+  Alcotest.(check int) "p99" 99 s.Histogram.s_p99;
+  Alcotest.(check int) "max" 100 s.Histogram.s_max;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Histogram.s_mean
+
+(* Merging must not let a bucket representative exceed the true maximum —
+   the max of [into] must cap the merged percentiles just as a local max
+   caps local ones. *)
+let test_histogram_merge_max_caps_percentile () =
+  let a = Histogram.create () and b = Histogram.create () in
+  (* 1_500 lands in a log bucket whose upper bound overshoots; the
+     histogram caps representatives at the recorded max. *)
+  Histogram.add a 1_500;
+  for _ = 1 to 9 do
+    Histogram.add b 10
+  done;
+  Histogram.merge ~into:a b;
+  Alcotest.(check int) "p100 = true max" 1_500 (Histogram.percentile a 100.);
+  Alcotest.(check int) "min survives merge" 10 (Histogram.min_value a)
+
 (* Property tests. *)
 
 let prop_heap_sorts =
@@ -268,6 +329,33 @@ let prop_heap_sorts =
         match Heap.pop h with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
       in
       drain [] = List.sort compare l)
+
+(* The documented accuracy contract of the log-bucketed quantiles
+   (histogram.mli): against the exact quantile of the sorted sample —
+   [sorted.(max 1 (ceil (p/100 * n)) - 1)] — a reported quantile [q]
+   satisfies [exact <= q <= exact * (1 + 1/sub_buckets) + 1], and never
+   exceeds the true maximum. Exercises both the exact linear range and
+   the approximate log range (samples up to ~5M). *)
+let prop_histogram_percentile_vs_exact =
+  QCheck.Test.make ~count:300 ~name:"histogram percentile matches exact quantile"
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 300) (int_bound 5_000_000))
+        (int_bound 100))
+    (fun (l, p_int) ->
+      let p = float_of_int p_int in
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) l;
+      let sorted = List.sort compare l in
+      let n = List.length l in
+      let target =
+        max 1 (int_of_float (ceil (p /. 100. *. float_of_int n)))
+      in
+      let exact = List.nth sorted (target - 1) in
+      let q = Histogram.percentile h p in
+      exact <= q
+      && float_of_int q <= (float_of_int exact *. (1. +. (1. /. 64.))) +. 1.
+      && q <= Histogram.max_value h)
 
 let prop_histogram_percentile_monotone =
   QCheck.Test.make ~count:100 ~name:"histogram percentiles are monotone"
@@ -345,8 +433,18 @@ let suite =
         Alcotest.test_case "merge" `Quick test_histogram_merge;
         Alcotest.test_case "empty errors" `Quick test_histogram_empty_errors;
         Alcotest.test_case "negative clamped" `Quick test_histogram_negative_clamped;
+        Alcotest.test_case "variance and stddev" `Quick test_histogram_variance;
+        Alcotest.test_case "variance across merge" `Quick
+          test_histogram_variance_merge;
+        Alcotest.test_case "summary" `Quick test_histogram_summary;
+        Alcotest.test_case "merge max caps percentile" `Quick
+          test_histogram_merge_max_caps_percentile;
       ]
-      @ qcheck [ prop_histogram_percentile_monotone ] );
+      @ qcheck
+          [
+            prop_histogram_percentile_monotone;
+            prop_histogram_percentile_vs_exact;
+          ] );
   ]
 
 let () = Alcotest.run "bohm_util" suite

@@ -3,10 +3,11 @@
    With no arguments, regenerates every table and figure of the paper's
    evaluation on the simulated multicore machine, runs the ablation
    benches, and finishes with the Bechamel component micro-benchmarks.
-   Pass experiment names (fig4 fig4-noroute fig4-nowakeup fig5 fig6 fig7
-   fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc
-   ablation-cc-split ablation-preprocess ablation-probe-memo
-   ablation-cc-routing ablation-exec-wakeup latency-profile micro smoke)
+   Pass experiment names (fig4 fig4-noroute fig4-nowakeup fig4-noslabs
+   fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch ablation-annotation
+   ablation-gc ablation-cc-split ablation-preprocess ablation-probe-memo
+   ablation-cc-routing ablation-exec-wakeup ablation-version-slabs
+   latency-profile micro micro-slabs smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
    the run (with per-column throughput ceilings) as one JSON document. *)
@@ -28,6 +29,8 @@ let usage () =
     (fun (name, _) -> prerr_endline ("  " ^ name))
     Experiments.experiments;
   prerr_endline "  micro";
+  prerr_endline
+    "  micro-slabs (version-store chain-walk micro-benches only; fast)";
   prerr_endline "  smoke   (fig4-config correctness gate; non-zero exit on loss)";
   prerr_endline
     "  sanitize (every engine under the full sanitizer suite; non-zero exit \
@@ -76,13 +79,15 @@ let sanitize ~scale ~quick =
      the preprocessing stage on: the routed run exercises the dense
      dispatch, freelist recycling and steal-cursor paths, the wakeup runs
      exercise the waiter-registration/seal/ready-queue protocol (and the
-     dangling-waiter audit), and the scan/retry runs pin the off
-     baselines — all under the full checker suite. These runs use 12
+     dangling-waiter audit), the slabs-off run pins the heap-record/
+     freelist store, and the scan/retry runs pin the off baselines — all
+     under the full checker suite (the default runs above already cover
+     the slab store and its cross-slab chain audit). These runs use 12
      threads at cc_fraction 1/3 (cc=4/exec=8): parking engages only at 8+
      execution threads, so a smaller pool would sanitize the wakeup flag
      without ever tracing the waiter protocol. *)
   List.iter
-    (fun (label, cc_routing, exec_wakeup) ->
+    (fun (label, cc_routing, exec_wakeup, version_slabs) ->
       let bohm =
         {
           Runner.default_bohm_opts with
@@ -90,6 +95,7 @@ let sanitize ~scale ~quick =
           preprocess = true;
           cc_routing;
           exec_wakeup;
+          version_slabs;
         }
       in
       let stats, report =
@@ -105,10 +111,11 @@ let sanitize ~scale ~quick =
         incr failures
       end)
     [
-      ("Bohm+rt", true, true);
-      ("Bohm-rt", false, true);
-      ("Bohm+rt-wk", true, false);
-      ("Bohm-rt-wk", false, false);
+      ("Bohm+rt", true, true, true);
+      ("Bohm-rt", false, true, true);
+      ("Bohm+rt-wk", true, false, true);
+      ("Bohm-rt-wk", false, false, true);
+      ("Bohm+rt-slab", true, true, false);
     ];
   if !failures > 0 then begin
     Printf.eprintf "sanitize: %d engine(s) produced diagnostics\n" !failures;
@@ -150,17 +157,20 @@ let smoke ~scale ~sanitized =
   (* With --sanitize the same configurations run under the full checker
      suite (cc=4/exec=8 expressed as 12 threads at cc_fraction 1/3 — the
      identical split). *)
-  let run ?(wakeup = true) ~preprocess ~probe_memo ~routing () =
+  let run ?(wakeup = true) ?(slabs = true) ~preprocess ~probe_memo ~routing
+      () =
     if sanitized then
       let bohm =
         { Runner.default_bohm_opts with cc_fraction = 1. /. 3.; preprocess;
-          probe_memo; cc_routing = routing; exec_wakeup = wakeup }
+          probe_memo; cc_routing = routing; exec_wakeup = wakeup;
+          version_slabs = slabs }
       in
       let stats, r = Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec txns in
       (stats, Some r)
     else
       ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~preprocess ~probe_memo
-          ~cc_routing:routing ~exec_wakeup:wakeup spec txns,
+          ~cc_routing:routing ~exec_wakeup:wakeup ~version_slabs:slabs spec
+          txns,
         None )
   in
   let suffix = if sanitized then " sanitized" else "" in
@@ -170,6 +180,8 @@ let smoke ~scale ~sanitized =
     (run ~preprocess:false ~probe_memo:true ~routing:false ());
   check ("bohm cc=4 exec=8 no-wakeup" ^ suffix)
     (run ~wakeup:false ~preprocess:false ~probe_memo:true ~routing:true ());
+  check ("bohm cc=4 exec=8 no-slabs" ^ suffix)
+    (run ~slabs:false ~preprocess:false ~probe_memo:true ~routing:true ());
   check ("bohm cc=4 exec=8 preprocess routed" ^ suffix)
     (run ~preprocess:true ~probe_memo:true ~routing:true ());
   check ("bohm cc=4 exec=8 preprocess scan-dispatch" ^ suffix)
@@ -211,6 +223,7 @@ let () =
   let t0 = Unix.gettimeofday () in
   let run_one name =
     if name = "micro" then Micro.run ()
+    else if name = "micro-slabs" then Micro.run_version_store ()
     else if name = "smoke" then smoke ~scale:!scale ~sanitized:!sanitized
     else if name = "sanitize" then sanitize ~scale:!scale ~quick:!quick
     else

@@ -52,18 +52,56 @@ let local_writes_bench =
          Array.iter (fun k -> ignore (Local_writes.find buf k)) keys))
 
 (* Version-chain traversal: the §4.2.3 overhead BOHM's read annotation
-   skips. One chain of 64 versions, reader wants the oldest. *)
-let chain_walk_bench =
+   skips. One chain of 64 versions, reader wants the oldest — measured
+   over the three stores a chain can be built from: freshly allocated
+   heap records (cells scattered by whatever the GC did between
+   allocations), heap records drawn from a Condition-3 freelist (the
+   recycled store), and slab entries whose begin/prev columns pack eight
+   versions per cache line. The slab walk touching 8x fewer lines is the
+   effect the [version_slabs] flag exists to buy. *)
+let heap_chain_head () =
   let base = Version.initial Value.zero in
   let producer = () in
+  let rec extend v ts =
+    if ts > 64 then v
+    else extend (Version.placeholder ~ts ~producer ~prev:v) (ts + 1)
+  in
+  extend base 1
+
+let chain_walk_bench =
+  let head = heap_chain_head () in
+  Test.make ~name:"chain-walk(64 versions)"
+    (Staged.stage (fun () -> Version.visible_at head ~ts:0))
+
+let chain_walk_recycled_bench =
+  (* Harvest 64 Condition-3 records from a donor chain, then rebuild a
+     64-version chain out of them — the freelist store's memory. *)
+  let donor = heap_chain_head () in
+  let records = Version.truncate_collect donor ~gc_ts:1000 in
+  let base = Version.initial Value.zero in
+  let head =
+    List.fold_left
+      (fun (v, ts) r -> (Version.recycle r ~ts ~producer:() ~prev:v, ts + 1))
+      (base, 1) records
+    |> fst
+  in
+  Test.make ~name:"chain-walk-recycled(64 versions)"
+    (Staged.stage (fun () -> Version.visible_at head ~ts:0))
+
+let chain_walk_slab_bench =
+  let al = Version.alloc_make ~owner:0 in
+  let base = Version.initial Value.zero in
   let head =
     let rec extend v ts =
       if ts > 64 then v
-      else extend (Version.placeholder ~ts ~producer ~prev:v) (ts + 1)
+      else
+        extend
+          (Version.slab_placeholder al ~batch:0 ~ts ~producer:() ~prev:v)
+          (ts + 1)
     in
     extend base 1
   in
-  Test.make ~name:"chain-walk(64 versions)"
+  Test.make ~name:"chain-walk-slab(64 versions)"
     (Staged.stage (fun () -> Version.visible_at head ~ts:0))
 
 let chain_annotated_bench =
@@ -109,6 +147,8 @@ let tests =
       heap_bench;
       local_writes_bench;
       chain_walk_bench;
+      chain_walk_recycled_bench;
+      chain_walk_slab_bench;
       chain_annotated_bench;
       counter_faa_bench;
       store_lookup_bench;
@@ -116,14 +156,14 @@ let tests =
       txn_normalize_bench;
     ]
 
-let run () =
-  Bohm_harness.Report.header ~title:"Component micro-benchmarks (real runtime, ns/op)";
+let run_tests ~title ~quota tests =
+  Bohm_harness.Report.header ~title;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -139,6 +179,19 @@ let run () =
     results;
   let rows = List.sort compare !rows in
   List.iter
-    (fun (name, ns) -> Printf.printf "  %-32s %10.1f ns/op\n" name ns)
+    (fun (name, ns) -> Printf.printf "  %-36s %10.1f ns/op\n" name ns)
     rows;
   print_newline ()
+
+let run () =
+  run_tests ~title:"Component micro-benchmarks (real runtime, ns/op)"
+    ~quota:0.5 tests
+
+(* Fast tier-1 variant: just the version-store walks, short quota — a
+   regression canary for the slab layout that rides along with
+   `dune build @bench-smoke`. *)
+let run_version_store () =
+  run_tests ~title:"Version-store micro-benchmarks (real runtime, ns/op)"
+    ~quota:0.1
+    (Test.make_grouped ~name:"micro" ~fmt:"%s/%s"
+       [ chain_walk_bench; chain_walk_recycled_bench; chain_walk_slab_bench ])

@@ -64,24 +64,32 @@ echo "fig4-nowakeup determinism gate PASS (matches BENCH_PR3.json at exec=2,8 / 
 dune exec bench/main.exe -- ablation-exec-wakeup --quick > /dev/null \
   && echo "ablation-exec-wakeup smoke PASS"
 
-# Third determinism gate: with Config.obs off (the default) the engine
-# must not read the observability clock at all, so the --quick fig4 sweep
-# must reproduce the corresponding BENCH_PR4.json fig4 cells bit-for-bit.
-# This is the "observability costs nothing when off" guarantee.
+# Slab-store ablation smoke: slab arena vs heap/freelist store, shrunk.
+# Arena corruption shows up as chain-audit diagnostics or lost commits in
+# the slab engine tests; here the check is that the sweep completes (the
+# full-scale table lives in EXPERIMENTS.md / BENCH_PR6.json).
+dune exec bench/main.exe -- ablation-version-slabs --quick > /dev/null \
+  && echo "ablation-version-slabs smoke PASS"
+
+# Third determinism gate: with version_slabs off the engine must retrace
+# the PR 4 heap-record/freelist code paths instruction for instruction
+# (and, obs being off by default, never read the observability clock), so
+# the --quick fig4-noslabs sweep must reproduce the corresponding
+# BENCH_PR4.json fig4 cells bit-for-bit.
 tmp3=$(mktemp)
 trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
-dune exec bench/main.exe -- fig4 --quick --json="$tmp3" > /dev/null
+dune exec bench/main.exe -- fig4-noslabs --quick --json="$tmp3" > /dev/null
 for x in 2 8; do
   got=$(row "$tmp3" $x)
   want=$(row BENCH_PR4.json $x | awk -F', ' '{print $1 ", " $3}')
   if [ -z "$got" ] || [ "$got" != "$want" ]; then
-    echo "FAIL: fig4 with obs off diverges from BENCH_PR4.json at exec=$x"
+    echo "FAIL: fig4 with version_slabs off diverges from BENCH_PR4.json at exec=$x"
     echo "  got:  [$got]"
     echo "  want: [$want]"
     exit 1
   fi
 done
-echo "fig4 obs-off determinism gate PASS (matches BENCH_PR4.json at exec=2,8 / CC=1,4)"
+echo "fig4-noslabs determinism gate PASS (matches BENCH_PR4.json at exec=2,8 / CC=1,4)"
 
 # Trace-schema gate: a small observed BOHM run must export Chrome
 # trace-event JSON in which every event line carries the required keys

@@ -121,6 +121,15 @@ let run_cmd =
             "Disable fill-triggered dependency wakeups (blocked transactions \
              are retry-polled instead of parked on waiter lists).")
   in
+  let no_version_slabs =
+    Arg.(
+      value & flag
+      & info [ "no-version-slabs" ]
+          ~doc:
+            "Disable the slab-arena version store (cache-conscious SoA \
+             chains, whole-slab GC); versions fall back to heap records \
+             and the Condition-3 freelists.")
+  in
   let trace =
     Arg.(
       value
@@ -140,7 +149,7 @@ let run_cmd =
   in
   let action engine workload threads theta rows count seed cc_fraction batch
       no_gc no_annotation preprocess no_probe_memo no_cc_routing
-      no_exec_wakeup trace latency =
+      no_exec_wakeup no_version_slabs trace latency =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -181,6 +190,7 @@ let run_cmd =
         probe_memo = not no_probe_memo;
         cc_routing = not no_cc_routing;
         exec_wakeup = not no_exec_wakeup;
+        version_slabs = not no_version_slabs;
         obs = obs_on;
       }
     in
@@ -243,7 +253,8 @@ let run_cmd =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
       $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
-      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup $ trace $ latency)
+      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup $ no_version_slabs
+      $ trace $ latency)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 
@@ -294,7 +305,7 @@ let tune_cmd =
 
 let bench_cmd =
   let names =
-    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all). One of fig4 fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc ablation-cc-split.")
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run (default: all). One of fig4 fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch ablation-annotation ablation-gc ablation-cc-split ablation-preprocess ablation-probe-memo ablation-cc-routing ablation-exec-wakeup ablation-version-slabs fig4-noroute fig4-nowakeup fig4-noslabs latency-profile mvto.")
   in
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps for a smoke run.") in
   let scale =

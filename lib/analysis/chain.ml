@@ -5,16 +5,50 @@ type entry = {
   end_ts : int option;
   filled : bool;
   dangling_waiters : int;
+  slab : (int * int * int) option;
 }
 
 let infinity_ts = max_int
 
-let entry ?(dangling_waiters = 0) ~begin_ts ~end_ts ~filled () =
-  { begin_ts; end_ts; filled; dangling_waiters }
+let entry ?(dangling_waiters = 0) ?slab ~begin_ts ~end_ts ~filled () =
+  { begin_ts; end_ts; filled; dangling_waiters; slab }
+
+(* Slab-arena discipline between a version and its predecessor, when both
+   are slab-allocated: one key's versions all come from its partition's
+   owning CC thread, allocation order follows chain order, so along a
+   chain the slab sequence numbers never increase toward older versions
+   and entry indices strictly decrease within one slab. A violation is a
+   corrupt prev link (stale or miscomputed slab index), and the timestamp
+   checks are skipped for that pair — the stamps read through a bogus
+   link describe some other chain's version, so reporting them would just
+   shadow the root cause. *)
+let cross_slab_violation newer older =
+  match (newer.slab, older.slab) with
+  | Some (n_owner, n_seq, n_idx), Some (o_owner, o_seq, o_idx) ->
+      if o_owner <> n_owner then
+        Some
+          (Printf.sprintf
+             "prev link crosses arenas: slab (owner %d, seq %d, idx %d) -> \
+              (owner %d, seq %d, idx %d)"
+             n_owner n_seq n_idx o_owner o_seq o_idx)
+      else if o_seq > n_seq then
+        Some
+          (Printf.sprintf
+             "prev link points into a newer slab: seq %d idx %d -> seq %d \
+              idx %d (owner %d)"
+             n_seq n_idx o_seq o_idx n_owner)
+      else if o_seq = n_seq && o_idx >= n_idx then
+        Some
+          (Printf.sprintf
+             "prev link runs against the bump order: idx %d -> idx %d in \
+              slab (owner %d, seq %d)"
+             n_idx o_idx n_owner n_seq)
+      else None
+  | _ -> None
 
 let check_key report ?(newest_end = infinity_ts) k entries =
   let add kind detail = Report.add report ~key:k kind detail in
-  let rec go newer_begin = function
+  let rec go newer = function
     | [] -> ()
     | e :: rest ->
         if not e.filled then
@@ -25,24 +59,37 @@ let check_key report ?(newest_end = infinity_ts) k entries =
             (Printf.sprintf
                "version ts %d still holds %d unclaimed waiter record(s)"
                e.begin_ts e.dangling_waiters);
-        (match newer_begin with
-        | Some nb when e.begin_ts >= nb ->
-            add Report.Chain_out_of_order
-              (Printf.sprintf "version ts %d not older than successor ts %d"
-                 e.begin_ts nb)
-        | _ -> ());
-        (match (e.end_ts, newer_begin) with
-        | Some e_end, Some nb when e_end <> nb ->
-            (* Invalidated by the successor: the end stamp must be exactly
-               the successor's begin stamp. *)
-            add Report.Chain_end_mismatch
-              (Printf.sprintf "version ts %d ends at %d but successor begins at %d"
-                 e.begin_ts e_end nb)
-        | Some e_end, None when e_end <> newest_end ->
-            add Report.Chain_end_mismatch
-              (Printf.sprintf "head version ts %d ends at %d, expected %d"
-                 e.begin_ts e_end newest_end)
-        | _ -> ());
-        go (Some e.begin_ts) rest
+        let corrupt_link =
+          match newer with
+          | None -> false
+          | Some n -> (
+              match cross_slab_violation n e with
+              | Some detail ->
+                  add Report.Chain_cross_slab detail;
+                  true
+              | None -> false)
+        in
+        if not corrupt_link then begin
+          (match newer with
+          | Some n when e.begin_ts >= n.begin_ts ->
+              add Report.Chain_out_of_order
+                (Printf.sprintf "version ts %d not older than successor ts %d"
+                   e.begin_ts n.begin_ts)
+          | _ -> ());
+          match (e.end_ts, newer) with
+          | Some e_end, Some n when e_end <> n.begin_ts ->
+              (* Invalidated by the successor: the end stamp must be exactly
+                 the successor's begin stamp. *)
+              add Report.Chain_end_mismatch
+                (Printf.sprintf
+                   "version ts %d ends at %d but successor begins at %d"
+                   e.begin_ts e_end n.begin_ts)
+          | Some e_end, None when e_end <> newest_end ->
+              add Report.Chain_end_mismatch
+                (Printf.sprintf "head version ts %d ends at %d, expected %d"
+                   e.begin_ts e_end newest_end)
+          | _ -> ()
+        end;
+        go (Some e) rest
   in
   go None entries

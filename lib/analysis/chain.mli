@@ -14,7 +14,16 @@
       i.e. BOHM and Hekaton): a version's end timestamp equals its
       successor's begin timestamp, and the head's equals [newest_end]
       (timestamp infinity). Entries with [end_ts = None] skip this
-      check (MVTO stamps no end times).
+      check (MVTO stamps no end times);
+    - {b slab-arena discipline} (entries carrying a [slab] coordinate,
+      i.e. BOHM with [Config.version_slabs]): along a chain all slab
+      entries belong to one owning CC thread, slab sequence numbers never
+      increase toward older versions, and entry indices strictly decrease
+      within one slab — prev links violating any of these are arena
+      corruption ([Chain_cross_slab]). A pair joined by such a corrupt
+      link skips the two timestamp checks: the stamps read through a
+      bogus link belong to some other chain's version and would only
+      shadow the root cause.
 
     Run it post-quiescence — after the engine's [run] has joined its
     threads — via each engine's [check_chains]. *)
@@ -29,6 +38,10 @@ type entry = {
           quiescence (BOHM's fill-triggered wakeup protocol): each one is
           a parked transaction whose wakeup was never pushed. 0 for
           engines without waiter lists. *)
+  slab : (int * int * int) option;
+      (** [(owner, slab sequence, entry index)] for slab-allocated
+          versions; [None] for heap records (bulk-loaded tails, the
+          slabs-off store, other engines). *)
 }
 
 val infinity_ts : int
@@ -36,13 +49,14 @@ val infinity_ts : int
 
 val entry :
   ?dangling_waiters:int ->
+  ?slab:int * int * int ->
   begin_ts:int ->
   end_ts:int option ->
   filled:bool ->
   unit ->
   entry
 (** Convenience constructor; [dangling_waiters] defaults to 0 for engines
-    without waiter lists. *)
+    without waiter lists, [slab] to [None] for heap-allocated versions. *)
 
 val check_key :
   Report.t -> ?newest_end:int -> Bohm_txn.Key.t -> entry list -> unit

@@ -11,12 +11,13 @@ type kind =
   | Chain_end_mismatch
   | Chain_dangling_lock
   | Chain_dangling_waiter
+  | Chain_cross_slab
   | Data_race
 
 let checker_of_kind = function
   | Undeclared_read | Undeclared_write | Late_write -> Footprint
   | Chain_out_of_order | Chain_unfilled | Chain_end_mismatch
-  | Chain_dangling_lock | Chain_dangling_waiter ->
+  | Chain_dangling_lock | Chain_dangling_waiter | Chain_cross_slab ->
       Chain
   | Data_race -> Race
 
@@ -34,6 +35,7 @@ let kind_name = function
   | Chain_end_mismatch -> "end-ts-mismatch"
   | Chain_dangling_lock -> "dangling-lock"
   | Chain_dangling_waiter -> "dangling-waiter"
+  | Chain_cross_slab -> "cross-slab-prev"
   | Data_race -> "data-race"
 
 type diag = {

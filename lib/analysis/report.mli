@@ -37,6 +37,12 @@ type kind =
           waiter list after quiescence (BOHM fill-triggered wakeup): a
           parked transaction whose wakeup was never pushed — a lost
           wakeup. *)
+  | Chain_cross_slab
+      (** A slab-allocated version's prev link violates the arena
+          discipline (BOHM's slab version store): it crosses into another
+          CC thread's slabs, points at a {e newer} slab of its own
+          thread, or runs against the bump order inside one slab — a
+          stale or miscomputed slab index, i.e. arena corruption. *)
   | Data_race
       (** Conflicting cell accesses with no happens-before edge. *)
 

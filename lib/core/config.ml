@@ -8,12 +8,14 @@ type t = {
   probe_memo : bool;
   cc_routing : bool;
   exec_wakeup : bool;
+  version_slabs : bool;
   obs : bool;
 }
 
 let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
     ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true)
-    ?(cc_routing = true) ?(exec_wakeup = true) ?(obs = false) () =
+    ?(cc_routing = true) ?(exec_wakeup = true) ?(version_slabs = true)
+    ?(obs = false) () =
   if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
   if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
   if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
@@ -27,12 +29,13 @@ let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
     probe_memo;
     cc_routing;
     exec_wakeup;
+    version_slabs;
     obs;
   }
 
 let pp fmt t =
   Format.fprintf fmt
     "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b route=%b wake=%b \
-     obs=%b"
+     slabs=%b obs=%b"
     t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess
-    t.probe_memo t.cc_routing t.exec_wakeup t.obs
+    t.probe_memo t.cc_routing t.exec_wakeup t.version_slabs t.obs

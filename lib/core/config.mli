@@ -47,6 +47,20 @@ type t = private {
           dependency instead of once per retry-list sweep. Off retraces
           the retry-list code paths exactly (the [fig4-nowakeup]
           determinism anchor and the [ablation-exec-wakeup] bench). *)
+  version_slabs : bool;
+      (** Slab-arena version store. Placeholder versions are bump-allocated
+          into per-(CC-thread, batch) arena slabs: the hot fields the CC
+          insert loop and the execution chain-walk touch (begin/end
+          timestamps, the slab-relative prev index) live in
+          struct-of-arrays columns packed eight entries per cache line, so
+          [visible_at] scans sequential lines instead of dereferencing
+          heap records; cold fields (data, producer, waiters) stay in a
+          parallel payload column. Condition-3 GC retires whole slabs —
+          one live-count decrement per dropped version, the slab freed
+          when the count reaches zero — instead of consing per-version
+          freelists. Off replays the PR3 heap-record/freelist store
+          bit-for-bit (the [fig4-noslabs] determinism anchor and the
+          [ablation-version-slabs] bench). *)
   obs : bool;
       (** Observability ([Bohm_obs]): when set {e and} a
           [Bohm_obs.Recorder] is installed, the engine emits pipeline
@@ -69,12 +83,14 @@ val make :
   ?probe_memo:bool ->
   ?cc_routing:bool ->
   ?exec_wakeup:bool ->
+  ?version_slabs:bool ->
   ?obs:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
     read annotation on, preprocessing off, probe memoization on, batch
-    routing on, fill-triggered wakeup on, observability off. Raises
-    [Invalid_argument] on non-positive thread counts or batch size. *)
+    routing on, fill-triggered wakeup on, version slabs on, observability
+    off. Raises [Invalid_argument] on non-positive thread counts or batch
+    size. *)
 
 val pp : Format.formatter -> t -> unit

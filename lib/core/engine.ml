@@ -128,6 +128,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      by Condition-3 truncation; only the steal cursor stands alone. *)
   let routing_on t = t.config.Config.cc_routing && t.config.Config.preprocess
   let recycling_on t = t.config.Config.cc_routing && t.config.Config.gc
+  let slabs_on t = t.config.Config.version_slabs
 
   let partition_of cc_threads k = Key.hash k mod cc_threads
 
@@ -250,6 +251,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        it and only this thread's inserts drain it. *)
     mutable pool : wrapped V.t list;
     mutable recycled : int;
+    (* Slab-arena allocator ([Config.version_slabs]): the partition's open
+       slab plus retirement counters. Owner-thread state like [pool]; the
+       freelist and the arena are mutually exclusive per run. *)
+    alloc : wrapped V.alloc;
     (* Observability: this thread's event track ([None] when the run is
        unobserved) and, on partition 0 only, the shared per-batch CC
        publication timestamps ([cc_obs_pub.(b)] is stamped just before
@@ -275,27 +280,37 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let slot = slot_for t w (Array.length w.txn.Txn.read_set + i) k in
     let prev = R.Cell.get slot in
     let v =
-      match stat.pool with
-      | r :: rest ->
-          (* Recycle a Condition-3 casualty instead of allocating: sound
-             because every transaction that could see the old incarnation
-             had finished executing before truncation unlinked it. *)
-          stat.pool <- rest;
-          stat.recycled <- stat.recycled + 1;
-          (match stat.cc_obs with
-          | Some buf ->
-              Obs.Buf.instant buf ~name:"recycle"
-                ~batch:(w.seq / t.config.Config.batch_size)
-                ~ts:(R.now_ns ())
-          | None -> ());
-          R.work !Bohm_runtime.Costs.cc_insert_recycled;
-          V.recycle r ~ts:w.ts ~producer:w ~prev
-      | [] ->
-          R.work cc_insert_work;
-          V.placeholder ~ts:w.ts ~producer:w ~prev
+      if slabs_on t then begin
+        (* Bump-allocate into the partition's current arena slab: no
+           allocator visit, no freelist, the hot columns written with two
+           line stores (charged inside [slab_placeholder]). *)
+        R.work !Bohm_runtime.Costs.cc_insert_slab;
+        V.slab_placeholder stat.alloc
+          ~batch:(w.seq / t.config.Config.batch_size)
+          ~ts:w.ts ~producer:w ~prev
+      end
+      else
+        match stat.pool with
+        | r :: rest ->
+            (* Recycle a Condition-3 casualty instead of allocating: sound
+               because every transaction that could see the old incarnation
+               had finished executing before truncation unlinked it. *)
+            stat.pool <- rest;
+            stat.recycled <- stat.recycled + 1;
+            (match stat.cc_obs with
+            | Some buf ->
+                Obs.Buf.instant buf ~name:"recycle"
+                  ~batch:(w.seq / t.config.Config.batch_size)
+                  ~ts:(R.now_ns ())
+            | None -> ());
+            R.work !Bohm_runtime.Costs.cc_insert_recycled;
+            V.recycle r ~ts:w.ts ~producer:w ~prev
+        | [] ->
+            R.work cc_insert_work;
+            V.placeholder ~ts:w.ts ~producer:w ~prev
     in
     R.Cell.set w.write_refs.(i) (Some v);
-    R.Cell.set prev.V.end_ts w.ts;
+    V.set_end_ts prev w.ts;
     R.Cell.set slot v;
     stat.inserted <- stat.inserted + 1;
     if t.config.Config.gc && stat.inserted land 31 = 0 then begin
@@ -310,7 +325,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               ~batch:(w.seq / t.config.Config.batch_size)
               ~ts:(R.now_ns ())
         | None -> ());
-        (if recycling_on t then begin
+        (if slabs_on t then begin
+           (* Whole-slab shape: one live-count decrement per dropped
+              version, the slab freed when its count reaches zero —
+              nothing is consed and nothing is recycled record-by-record. *)
+           let dropped, _retired = V.truncate_retire stat.alloc v ~gc_ts in
+           stat.gc_collected <- stat.gc_collected + dropped
+         end
+         else if recycling_on t then begin
            let dropped = V.truncate_collect v ~gc_ts in
            stat.gc_collected <- stat.gc_collected + List.length dropped;
            stat.pool <- List.rev_append dropped stat.pool
@@ -577,7 +599,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     | enc when enc >= n_rs -> (
         match R.Cell.get w.write_refs.(enc - n_rs) with
         | Some mine -> (
-            match R.Cell.get mine.V.prev with
+            match V.prev mine with
             | Some prev -> prev
             | None -> assert false (* placeholders always have a prev *))
         | None -> assert false (* CC finished this batch before exec began *))
@@ -594,12 +616,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               "Bohm: version visible to transaction was garbage collected")
 
   let read_version_data t k v =
-    match R.Cell.get v.V.data with
+    match R.Cell.get (V.data_cell v) with
     | Some value ->
         R.copy ~bytes:(Store.record_bytes t.store k);
         value
     | None -> (
-        match v.V.producer with
+        match V.producer v with
         | Some producer -> raise (Blocked_on (k, v, producer))
         | None -> assert false (* bulk-loaded versions carry data *))
 
@@ -656,12 +678,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               w.inputs.(i) <- Some v;
               v
         in
-        if R.Cell.get v.V.data <> None then begin
+        if R.Cell.get (V.data_cell v) <> None then begin
           if w.input_frontier < i + 1 then w.input_frontier <- i + 1;
           scan (i + 1)
         end
         else
-          match v.V.producer with
+          match V.producer v with
           | Some producer -> Some (key_at i, v, producer)
           | None -> assert false (* bulk-loaded versions carry data *)
       end
@@ -688,12 +710,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           match chosen with
           | Some value -> value
           | None -> (
-              match R.Cell.get v.V.prev with
+              match V.prev v with
               | Some prev -> read_version_data t k prev
               | None -> assert false)
         in
         R.copy ~bytes:(Store.record_bytes t.store k);
-        R.Cell.set v.V.data (Some value))
+        R.Cell.set (V.data_cell v) (Some value))
       w.txn.Txn.write_set
 
   let claim w = R.Cell.cas w.state st_unprocessed st_executing
@@ -742,7 +764,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     match V.register_waiter bv wt with
     | `Sealed -> false
     | `Registered ->
-        if R.Cell.get bv.V.data = None then begin
+        if R.Cell.get (V.data_cell bv) = None then begin
           R.work !Bohm_runtime.Costs.exec_park;
           wk.wk_parked <- (w.seq, wt, bv) :: wk.wk_parked;
           true
@@ -1213,7 +1235,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                          claim-protected), or is mid-drive ([drive]
                          files it on the busy list). *)
                       ready := idx :: !ready
-                    else if R.Cell.get bv.V.data = None then
+                    else if R.Cell.get (V.data_cell bv) = None then
                       kept := entry :: !kept
                     else begin
                       (* Fill observed before any wakeup: race the filler
@@ -1360,6 +1382,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             inserted = 0;
             pool = [];
             recycled = 0;
+            alloc = V.alloc_make ~owner:j;
             cc_obs;
             cc_obs_pub = (if j = 0 then obs_cc_pub else [||]);
           })
@@ -1476,6 +1499,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         [
           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
           ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
+          ( "slabs_opened",
+            float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
+          ( "slabs_retired",
+            float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
           ( "exec_retry_scans",
@@ -1500,12 +1527,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         Store.iter t.store (fun k slot ->
             let rec entries v acc =
               let e =
-                Bohm_analysis.Chain.entry ~begin_ts:v.V.begin_ts
-                  ~end_ts:(Some (R.Cell.get v.V.end_ts))
-                  ~filled:(R.Cell.get v.V.data <> None)
-                  ~dangling_waiters:(V.unclaimed_waiters v) ()
+                Bohm_analysis.Chain.entry ~begin_ts:(V.begin_ts v)
+                  ~end_ts:(Some (V.get_end_ts v))
+                  ~filled:(R.Cell.get (V.data_cell v) <> None)
+                  ~dangling_waiters:(V.unclaimed_waiters v)
+                  ?slab:(V.slab_coord v) ()
               in
-              match R.Cell.get v.V.prev with
+              match V.prev v with
               | None -> List.rev (e :: acc)
               | Some older -> entries older (e :: acc)
             in
@@ -1520,7 +1548,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      catch. Never called outside tests. *)
   let inject_lost_fill t k =
     R.without_cost (fun () ->
-        R.Cell.set (R.Cell.get (Store.get t.store k)).V.data None)
+        R.Cell.set (V.data_cell (R.Cell.get (Store.get t.store k))) None)
+
+  (* Fault injection for the sanitizer's mutation tests: rewire the newest
+     version of [k]'s prev link to the newest version of [donor] — a
+     cross-partition (hence cross-owner, cross-slab) pointer the
+     bump-allocation discipline makes impossible, modelling arena
+     corruption (a stale or miscomputed slab index). Only the slab-aware
+     chain audit can see it. Never called outside tests. *)
+  let inject_cross_slab_prev t k ~donor =
+    R.without_cost (fun () ->
+        let v = R.Cell.get (Store.get t.store k) in
+        let d = R.Cell.get (Store.get t.store donor) in
+        V.unsafe_set_prev v (Some d))
 
   (* Fault injection for the sanitizer's mutation tests: register a waiter
      record on the newest version of [k] and never wake it, simulating a
@@ -1539,10 +1579,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let read_latest t k =
     let head = R.Cell.get (Store.get t.store k) in
     let rec newest v =
-      match R.Cell.get v.V.data with
+      match R.Cell.get (V.data_cell v) with
       | Some value -> value
       | None -> (
-          match R.Cell.get v.V.prev with
+          match V.prev v with
           | Some prev -> newest prev
           | None -> raise Not_found)
     in

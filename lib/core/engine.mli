@@ -102,9 +102,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   (** Audit every key's version chain against the {!Bohm_analysis.Chain}
       invariants: strict begin-timestamp descent, end stamp equal to the
       successor's begin (head at timestamp infinity), no unfilled
-      placeholder, and no dangling waiter record (a registered,
-      unclaimed waiter surviving quiescence is a lost wakeup). Call after
-      {!run} returns (quiescence); charges nothing. *)
+      placeholder, no dangling waiter record (a registered, unclaimed
+      waiter surviving quiescence is a lost wakeup), and — for
+      slab-allocated versions — the arena discipline on every prev link
+      (one owning thread per chain, no link into a newer slab, bump order
+      within a slab). Call after {!run} returns (quiescence); charges
+      nothing. *)
 
   val inject_lost_fill : t -> Bohm_txn.Key.t -> unit
   (** Fault injection for the sanitizer's mutation tests: clears the
@@ -112,6 +115,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       that claimed the producer but never installed its write. The next
       {!check_chains} must flag it as an unfilled placeholder. Test-only:
       breaks {!read_latest} for the key's newest version by design. *)
+
+  val inject_cross_slab_prev : t -> Bohm_txn.Key.t -> donor:Bohm_txn.Key.t -> unit
+  (** Fault injection for the sanitizer's mutation tests: rewires the
+      newest version of the key's prev link to the newest version of
+      [donor] — with [donor] in another CC partition, a cross-arena
+      pointer the bump-allocation discipline makes impossible, modelling
+      a stale or miscomputed slab index. The next {!check_chains} must
+      flag it as [Chain_cross_slab]. Test-only: corrupts the key's chain
+      by design. *)
 
   val inject_dangling_waiter : t -> Bohm_txn.Key.t -> unit
   (** Fault injection for the sanitizer's mutation tests: registers a

@@ -1,7 +1,4 @@
 module Make (R : Bohm_runtime.Runtime_intf.S) = struct
-  (* Fields are mutable so GC'd records can be recycled as fresh
-     placeholders ({!recycle}); outside the freelist path every field is
-     written once, at creation, by the owning CC thread. *)
   type waiter = {
     w_owner : int;
     w_batch : int;
@@ -11,16 +8,84 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   type waitq = Waiting of waiter list | Sealed
 
-  type 'txn t = {
-    mutable begin_ts : int;
-    mutable end_ts : int R.Cell.t;
-    mutable data : Bohm_txn.Value.t option R.Cell.t;
-    mutable producer : 'txn option;
-    mutable prev : 'txn t option R.Cell.t;
-    mutable waiters : waitq R.Cell.t;
+  let infinity_ts = max_int
+
+  (* --- Slab geometry ---
+
+     A slab is a per-(CC-thread, batch) arena of [slab_capacity] version
+     entries. The fields the CC insert loop and the execution chain walk
+     touch — begin/end timestamps and the prev link — live in
+     struct-of-arrays columns packed [lane_width] entries per cache line,
+     so touching one entry's slot warms the line for its seven
+     neighbours: consecutive bump-allocations by the owning thread and
+     the execution-side walks over them amortize one miss across the
+     lane instead of paying one miss per version record. *)
+
+  let lane_width = 8 (* 8-byte slots per 64-byte line *)
+  let slab_capacity = 128
+  let lane_count = slab_capacity / lane_width
+
+  (* Prev-slot encoding in the prev column: a non-negative value is a
+     same-slab entry index, [prev_none] a cut/absent link, [prev_far] a
+     link that leaves the slab (an older slab or a bulk-loaded heap
+     record; in C the column slot would hold the far pointer itself). *)
+  let prev_none = -1
+  let prev_far = -2
+
+  (* Versions come in two representations. [Heap] is the PR3 store: one
+     record per version, each shared field its own cell — kept intact as
+     the [Config.version_slabs]-off fallback and the determinism anchor,
+     so every operation below must charge exactly what it charged before
+     slabs existed when it runs on this arm. [Slab] is an (arena, index)
+     handle into the columns described above. A handle is boxed exactly
+     once, at allocation; every chain link stores that one value, so
+     physical equality on versions keeps working. *)
+  type 'txn t = Heap of 'txn heap | Slab of 'txn slab * int
+
+  and 'txn heap = {
+    mutable h_begin : int;
+    mutable h_end : int R.Cell.t;
+    mutable h_data : Bohm_txn.Value.t option R.Cell.t;
+    mutable h_producer : 'txn option;
+    mutable h_prev : 'txn t option R.Cell.t;
+    mutable h_waiters : waitq R.Cell.t;
   }
 
-  let infinity_ts = max_int
+  and 'txn slab = {
+    s_owner : int; (* CC thread that bump-allocates here *)
+    s_seq : int; (* per-owner allocation sequence number *)
+    s_batch : int; (* batch the slab serves *)
+    (* Hot columns: one line cell per [lane_width] entries. The raw
+       arrays are the cells' own payloads, kept alongside so the
+       single-writer owner updates a slot with one charged line store
+       (mutate the slot, then [Cell.set] the same array — a release on
+       the real runtime) instead of a read-modify pair. *)
+    s_begin_raw : int array array;
+    s_begin : int array R.Cell.t array;
+    s_end_raw : int array array;
+    s_end : int array R.Cell.t array;
+    s_prev_raw : int array array;
+    s_prev : int array R.Cell.t array;
+    (* Host mirror of the prev column: the actual handles. Uncharged —
+       the charged prev-line read above is the model of loading the
+       pointer; this array only rematerializes it as an OCaml value.
+       Written by the owning CC thread before the column-line release,
+       or behind the cc_done watermark. *)
+    s_prev_ref : 'txn t option array;
+    (* Cold payload column: per-entry cells, exactly the shape of the
+       heap arm's fields. Data stays one cell per entry deliberately —
+       packing execution-thread fill stores eight to a line would buy
+       false sharing, the opposite of what the layout is for. *)
+    s_data : Bohm_txn.Value.t option R.Cell.t array;
+    s_producer : 'txn option array;
+    s_waiters : waitq R.Cell.t array;
+    (* Owner-only bookkeeping (single-writer chains, §3.3.2): never read
+       off-thread, so plain fields. *)
+    mutable s_fill : int;
+    mutable s_live : int;
+    mutable s_closed : bool;
+    mutable s_retired : bool;
+  }
 
   (* Waiter lists carry the fill-triggered wakeup protocol: the list CAS
      and the per-record claim CAS are synchronization by nature (and their
@@ -36,17 +101,21 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     R.Cell.mark_sync claimed;
     { w_owner = owner; w_batch = batch; w_index = index; w_claimed = claimed }
 
-  (* Push [w] onto the version's waiter list. [`Sealed] means the fill
+  let waitq_cell = function
+    | Heap h -> h.h_waiters
+    | Slab (s, i) -> s.s_waiters.(i)
+
+  (* Push [w] onto the version's waiter list. [`Sealed`] means the fill
      path already sealed the list — the data is filled (sealing happens
      strictly after the data store), so the caller retries inline instead
      of parking. *)
   let register_waiter v w =
+    let c = waitq_cell v in
     let rec go () =
-      match R.Cell.get v.waiters with
+      match R.Cell.get c with
       | Sealed -> `Sealed
       | Waiting ws as cur ->
-          if R.Cell.cas v.waiters cur (Waiting (w :: ws)) then `Registered
-          else go ()
+          if R.Cell.cas c cur (Waiting (w :: ws)) then `Registered else go ()
     in
     go ()
 
@@ -56,11 +125,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      later would-be registrant can read the data instead. Idempotent:
      a second call returns []. *)
   let seal_waiters v =
+    let c = waitq_cell v in
     let rec go () =
-      match R.Cell.get v.waiters with
+      match R.Cell.get c with
       | Sealed -> []
       | Waiting ws as cur ->
-          if R.Cell.cas v.waiters cur Sealed then List.rev ws else go ()
+          if R.Cell.cas c cur Sealed then List.rev ws else go ()
     in
     go ()
 
@@ -69,17 +139,77 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      registration racing the fill), so the filler pays one read instead of
      an RMW on the common waiterless version. *)
   let has_waiters v =
-    match R.Cell.get v.waiters with
+    match R.Cell.get (waitq_cell v) with
     | Sealed | Waiting [] -> false
     | Waiting _ -> true
 
   (* Quiescence audit hook: waiter records still on an unsealed list whose
      wakeup was neither pushed nor self-served. Uncharged use only. *)
   let unclaimed_waiters v =
-    match R.Cell.get v.waiters with
+    match R.Cell.get (waitq_cell v) with
     | Sealed -> 0
     | Waiting ws ->
         List.length (List.filter (fun w -> R.Cell.get w.w_claimed = 0) ws)
+
+  (* --- Field access, dual representation ---
+
+     The heap arm reproduces the pre-slab charge sequences exactly:
+     [begin_ts] is a free record-field read (the record load is what the
+     chain link's cell read already paid for), the others one cell
+     operation. The slab arm charges one line access per touched column
+     slot — the first touch of a lane misses, its seven neighbours hit. *)
+
+  let line_get cells i = (R.Cell.get cells.(i / lane_width)).(i mod lane_width)
+
+  let line_set raw cells i x =
+    raw.(i / lane_width).(i mod lane_width) <- x;
+    R.Cell.set cells.(i / lane_width) raw.(i / lane_width)
+
+  let begin_ts = function
+    | Heap h -> h.h_begin
+    | Slab (s, i) -> line_get s.s_begin i
+
+  let get_end_ts = function
+    | Heap h -> R.Cell.get h.h_end
+    | Slab (s, i) -> line_get s.s_end i
+
+  let set_end_ts v ts =
+    match v with
+    | Heap h -> R.Cell.set h.h_end ts
+    | Slab (s, i) -> line_set s.s_end_raw s.s_end i ts
+
+  let data_cell = function Heap h -> h.h_data | Slab (s, i) -> s.s_data.(i)
+
+  let producer = function
+    | Heap h -> h.h_producer
+    | Slab (s, i) -> s.s_producer.(i)
+
+  let prev = function
+    | Heap h -> R.Cell.get h.h_prev
+    | Slab (s, i) ->
+        if line_get s.s_prev i = prev_none then None else s.s_prev_ref.(i)
+
+  let cut_prev = function
+    | Heap h -> R.Cell.set h.h_prev None
+    | Slab (s, i) ->
+        s.s_prev_ref.(i) <- None;
+        line_set s.s_prev_raw s.s_prev i prev_none
+
+  let prev_code_of s p =
+    match p with
+    | None -> prev_none
+    | Some (Slab (ps, pi)) when ps == s -> pi
+    | Some _ -> prev_far
+
+  (* Fault-injection hook for the chain-audit mutants; uncharged use
+     only. Bypasses the allocation discipline that makes real prev links
+     point at same-owner, no-newer slabs. *)
+  let unsafe_set_prev v p =
+    match v with
+    | Heap h -> R.Cell.set h.h_prev p
+    | Slab (s, i) ->
+        s.s_prev_ref.(i) <- p;
+        line_set s.s_prev_raw s.s_prev i (prev_code_of s p)
 
   (* [data] is the publication point between a version's producer and its
      readers: a reader that finds it filled must see everything the
@@ -91,58 +221,63 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let initial value =
     let data = R.Cell.make (Some value) in
     R.Cell.mark_sync data;
-    {
-      begin_ts = 0;
-      end_ts = R.Cell.make infinity_ts;
-      data;
-      producer = None;
-      prev = R.Cell.make None;
-      (* Born filled, so born sealed: a registration attempt (which can
-         only race a fill) observes the seal and reads the data. *)
-      waiters = make_waitq Sealed;
-    }
+    Heap
+      {
+        h_begin = 0;
+        h_end = R.Cell.make infinity_ts;
+        h_data = data;
+        h_producer = None;
+        h_prev = R.Cell.make None;
+        (* Born filled, so born sealed: a registration attempt (which can
+           only race a fill) observes the seal and reads the data. *)
+        h_waiters = make_waitq Sealed;
+      }
 
   let placeholder ~ts ~producer ~prev =
     let data = R.Cell.make None in
     R.Cell.mark_sync data;
-    {
-      begin_ts = ts;
-      end_ts = R.Cell.make infinity_ts;
-      data;
-      producer = Some producer;
-      prev = R.Cell.make (Some prev);
-      waiters = make_waitq (Waiting []);
-    }
+    Heap
+      {
+        h_begin = ts;
+        h_end = R.Cell.make infinity_ts;
+        h_data = data;
+        h_producer = Some producer;
+        h_prev = R.Cell.make (Some prev);
+        h_waiters = make_waitq (Waiting []);
+      }
 
-  (* Reinitialize a reclaimed record as [placeholder] would build it. The
-     cells are made fresh rather than reset: [Cell.make] is free in the
-     cost model ("allocation is not modelled") whereas resetting a cell
-     another core last touched would charge an ownership transfer the real
-     machine does not pay at allocation time — and fresh cells carry no
-     stale access history into the race tracer. What recycling saves is
+  (* Reinitialize a reclaimed heap record as [placeholder] would build it.
+     The cells are made fresh rather than reset: [Cell.make] is free in
+     the cost model ("allocation is not modelled") whereas resetting a
+     cell another core last touched would charge an ownership transfer the
+     real machine does not pay at allocation time — and fresh cells carry
+     no stale access history into the race tracer. What recycling saves is
      the allocator/GC pressure on the record itself, charged by the engine
      as [Costs.cc_insert_recycled] versus a fresh insert's work. *)
   let recycle v ~ts ~producer ~prev =
-    let data = R.Cell.make None in
-    R.Cell.mark_sync data;
-    v.begin_ts <- ts;
-    v.end_ts <- R.Cell.make infinity_ts;
-    v.data <- data;
-    v.producer <- Some producer;
-    v.prev <- R.Cell.make (Some prev);
-    v.waiters <- make_waitq (Waiting []);
-    v
+    match v with
+    | Slab _ ->
+        (* Slab entries die with their slab (truncate_retire), never one
+           by one through a freelist. *)
+        invalid_arg "Version.recycle: slab-allocated version"
+    | Heap h ->
+        let data = R.Cell.make None in
+        R.Cell.mark_sync data;
+        h.h_begin <- ts;
+        h.h_end <- R.Cell.make infinity_ts;
+        h.h_data <- data;
+        h.h_producer <- Some producer;
+        h.h_prev <- R.Cell.make (Some prev);
+        h.h_waiters <- make_waitq (Waiting []);
+        v
 
   let rec visible_at v ~ts =
-    if v.begin_ts <= ts then Some v
-    else
-      match R.Cell.get v.prev with
-      | None -> None
-      | Some older -> visible_at older ~ts
+    if begin_ts v <= ts then Some v
+    else match prev v with None -> None | Some older -> visible_at older ~ts
 
   let chain_length v =
     let rec go v acc =
-      match R.Cell.get v.prev with None -> acc | Some older -> go older (acc + 1)
+      match prev v with None -> acc | Some older -> go older (acc + 1)
     in
     go v 1
 
@@ -150,18 +285,167 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     match visible_at v ~ts:gc_ts with
     | None -> []
     | Some keep -> (
-        match R.Cell.get keep.prev with
+        match prev keep with
         | None -> []
         | Some older ->
             let rec collect v acc =
               let acc = v :: acc in
-              match R.Cell.get v.prev with
-              | None -> acc
-              | Some p -> collect p acc
+              match prev v with None -> acc | Some p -> collect p acc
             in
             let dropped = collect older [] in
-            R.Cell.set keep.prev None;
+            cut_prev keep;
             dropped)
 
-  let truncate_older_than v ~gc_ts = List.length (truncate_collect v ~gc_ts)
+  (* Same walk and cut as [truncate_collect] — the identical charge
+     sequence — but counting instead of consing: the dropped records are
+     not wanted, so no list is built just to measure it. *)
+  let truncate_older_than v ~gc_ts =
+    match visible_at v ~ts:gc_ts with
+    | None -> 0
+    | Some keep -> (
+        match prev keep with
+        | None -> 0
+        | Some older ->
+            let rec count v n =
+              let n = n + 1 in
+              match prev v with None -> n | Some p -> count p n
+            in
+            let n = count older 0 in
+            cut_prev keep;
+            n)
+
+  (* --- Slab allocation and whole-slab GC --- *)
+
+  type 'txn alloc = {
+    al_owner : int;
+    mutable al_seq : int;
+    mutable al_cur : 'txn slab option;
+    mutable al_opened : int;
+    mutable al_retired : int;
+  }
+
+  let alloc_make ~owner =
+    { al_owner = owner; al_seq = 0; al_cur = None; al_opened = 0; al_retired = 0 }
+
+  let slabs_opened al = al.al_opened
+  let slabs_retired al = al.al_retired
+
+  (* Retirement is the whole point of the shape change: Condition-3 GC
+     pays one owner-local counter decrement per dropped version and one
+     [Costs.slab_retire] charge per emptied slab, instead of consing
+     every dropped record onto a freelist. Only closed slabs retire —
+     the open slab's entries all sit above the watermark (their begin
+     timestamps are in the current batch), so it can never drain. *)
+  let retire_if_dead al s =
+    if s.s_closed && (not s.s_retired) && s.s_live = 0 then begin
+      s.s_retired <- true;
+      al.al_retired <- al.al_retired + 1;
+      R.work !Bohm_runtime.Costs.slab_retire
+    end
+
+  let close_current al =
+    match al.al_cur with
+    | None -> ()
+    | Some s ->
+        s.s_closed <- true;
+        al.al_cur <- None;
+        retire_if_dead al s
+
+  let make_slab ~owner ~seq ~batch =
+    let mk_col init =
+      let raw = Array.init lane_count (fun _ -> Array.make lane_width init) in
+      (raw, Array.map R.Cell.make raw)
+    in
+    let begin_raw, begin_c = mk_col 0 in
+    (* End slots are born at infinity by the arena (allocation is not
+       modelled), so an insert never writes its own end column. *)
+    let end_raw, end_c = mk_col infinity_ts in
+    let prev_raw, prev_c = mk_col prev_none in
+    (* A GC cut rewrites a prev slot while execution threads may be
+       walking neighbouring slots of the same line — racy by design,
+       ordered by the RCU argument of §3.3.2 (no reader above the
+       watermark reaches the cut region), like the chain-head cells. *)
+    Array.iter R.Cell.mark_sync prev_c;
+    {
+      s_owner = owner;
+      s_seq = seq;
+      s_batch = batch;
+      s_begin_raw = begin_raw;
+      s_begin = begin_c;
+      s_end_raw = end_raw;
+      s_end = end_c;
+      s_prev_raw = prev_raw;
+      s_prev = prev_c;
+      s_prev_ref = Array.make slab_capacity None;
+      s_data =
+        Array.init slab_capacity (fun _ ->
+            let c = R.Cell.make None in
+            R.Cell.mark_sync c;
+            c);
+      s_producer = Array.make slab_capacity None;
+      s_waiters = Array.init slab_capacity (fun _ -> make_waitq (Waiting []));
+      s_fill = 0;
+      s_live = 0;
+      s_closed = false;
+      s_retired = false;
+    }
+
+  (* Bump-allocate the next placeholder into the owner's current slab,
+     opening a fresh slab when the current one is full or served an older
+     batch (slabs never span batches — that is what makes whole-slab
+     retirement line up with the batch watermark). Charges the two hot
+     column-line stores; the caller charges [Costs.cc_insert_slab] for
+     the surrounding bookkeeping, mirroring the fresh/recycled paths. *)
+  let slab_placeholder al ~batch ~ts ~producer ~prev:p =
+    let s =
+      match al.al_cur with
+      | Some s when s.s_batch = batch && s.s_fill < slab_capacity -> s
+      | Some _ | None ->
+          close_current al;
+          let s = make_slab ~owner:al.al_owner ~seq:al.al_seq ~batch in
+          al.al_seq <- al.al_seq + 1;
+          al.al_opened <- al.al_opened + 1;
+          al.al_cur <- Some s;
+          s
+    in
+    let i = s.s_fill in
+    s.s_fill <- i + 1;
+    s.s_live <- s.s_live + 1;
+    s.s_producer.(i) <- Some producer;
+    s.s_prev_ref.(i) <- Some p;
+    line_set s.s_begin_raw s.s_begin i ts;
+    line_set s.s_prev_raw s.s_prev i (prev_code_of s (Some p));
+    Slab (s, i)
+
+  let slab_coord = function
+    | Heap _ -> None
+    | Slab (s, i) -> Some (s.s_owner, s.s_seq, i)
+
+  (* Slab-shaped Condition-3 truncation: the same chain walk and cut as
+     [truncate_collect], but each dropped slab entry decrements its
+     slab's live count (heap records met mid-chain — bulk-loaded tails —
+     are just counted), and a slab whose count reaches zero retires
+     whole. Returns (versions dropped, slabs retired by this call).
+     Single-writer contract as above: every slab on a key's chain belongs
+     to the partition's owning CC thread, which is the only caller. *)
+  let truncate_retire al v ~gc_ts =
+    match visible_at v ~ts:gc_ts with
+    | None -> (0, 0)
+    | Some keep -> (
+        match prev keep with
+        | None -> (0, 0)
+        | Some older ->
+            let before = al.al_retired in
+            let rec drop v n =
+              let n = n + 1 in
+              (match v with
+              | Heap _ -> ()
+              | Slab (s, _) ->
+                  s.s_live <- s.s_live - 1;
+                  retire_if_dead al s);
+              match prev v with None -> n | Some p -> drop p n
+            in
+            let n = drop older 0 in
+            cut_prev keep;
+            (n, al.al_retired - before))
 end

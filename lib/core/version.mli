@@ -7,6 +7,19 @@
     that producing transaction ("Txn Pointer"), and the previous version
     ("Prev Pointer", rewritten only when GC truncates the chain).
 
+    Versions come in two physical representations behind one abstract
+    type. The {e heap} store ({!placeholder}/{!recycle}) is one record per
+    version, each shared field its own cell — the [Config.version_slabs]-
+    off fallback, kept charge-identical to the pre-slab engine. The
+    {e slab} store ({!slab_placeholder}) bump-allocates entries into
+    per-(CC-thread, batch) arena slabs whose hot fields — begin/end
+    timestamps and the prev link — live in struct-of-arrays columns
+    packed {!lane_width} entries per cache line, so chain walks and the
+    CC insert loop amortize one miss across a lane instead of paying one
+    miss per record; cold fields (data, producer, waiters) stay in a
+    parallel per-entry payload column. Condition-3 GC retires whole slabs
+    ({!truncate_retire}) instead of consing freelists.
+
     The type is polymorphic in the producer so it can reference the
     engine's transaction wrapper without a circular dependency. *)
 
@@ -29,23 +42,60 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       (** [Sealed] is terminal and implies the version's data is filled:
           the fill path stores the data strictly before sealing. *)
 
-  type 'txn t = {
-    mutable begin_ts : int;
-    mutable end_ts : int R.Cell.t;  (** [infinity_ts] until invalidated. *)
-    mutable data : Bohm_txn.Value.t option R.Cell.t;
-        (** [None] = placeholder. *)
-    mutable producer : 'txn option;  (** [None] for bulk-loaded versions. *)
-    mutable prev : 'txn t option R.Cell.t;
-    mutable waiters : waitq R.Cell.t;
-        (** CAS-linked waiter list; [Sealed] from birth on bulk-loaded
-            versions. Untouched (beyond free creation) when the engine
-            runs with [Config.exec_wakeup] off. *)
-  }
-  (** Fields are mutable only so {!recycle} can reinitialize a GC'd record
-      in place; outside the freelist every field is written once, at
-      creation, by the owning CC thread. *)
+  type 'txn t
+  (** A version handle. Allocated exactly once per version — chain links
+      store the handle itself, so physical equality identifies a
+      version. *)
 
   val infinity_ts : int
+
+  val lane_width : int
+  (** Hot-column entries per cache line (8 × 8-byte slots). *)
+
+  val slab_capacity : int
+  (** Entries per arena slab. *)
+
+  (** {2 Field access}
+
+      On the heap representation each accessor charges exactly what the
+      pre-slab record field did: {!begin_ts} is a free record-field read
+      (the record load was already paid by the chain link's cell read),
+      the rest one cell operation. On the slab representation, accessing
+      a hot field charges one column-line access — the first touch of a
+      lane misses, its seven neighbours hit. *)
+
+  val begin_ts : 'txn t -> int
+  val get_end_ts : 'txn t -> int
+
+  val set_end_ts : 'txn t -> int -> unit
+  (** Invalidation: only the CC thread inserting the successor calls
+      this. *)
+
+  val data_cell : 'txn t -> Bohm_txn.Value.t option R.Cell.t
+  (** The per-version data cell ([None] = unfilled placeholder) in both
+      representations — the release/acquire publication point between the
+      producing execution thread and readers. Deliberately {e not} packed
+      into slab lines: fills come from many execution threads, and eight
+      fills to a line would be false sharing, the opposite of what the
+      slab layout buys. *)
+
+  val producer : 'txn t -> 'txn option
+  (** [None] for bulk-loaded versions. *)
+
+  val prev : 'txn t -> 'txn t option
+  (** One charged pointer load: the prev cell (heap) or the prev
+      column-line slot (slab). *)
+
+  val cut_prev : 'txn t -> unit
+  (** GC cut: sever the chain below this version. Owning CC thread
+      only. *)
+
+  val unsafe_set_prev : 'txn t -> 'txn t option -> unit
+  (** Rewire a prev link, bypassing the allocation discipline that makes
+      real links point at same-owner, no-newer slabs. For chain-audit
+      fault injection; uncharged use only. *)
+
+  (** {2 Waiter protocol} *)
 
   val make_waiter : owner:int -> batch:int -> index:int -> waiter
   (** A fresh, unclaimed waiter record. *)
@@ -80,14 +130,68 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       nor self-served — at quiescence any such record is a lost wakeup.
       For the chain audit; uncharged use only. *)
 
+  (** {2 Heap store (slabs-off fallback)} *)
+
   val initial : Bohm_txn.Value.t -> 'txn t
-  (** A bulk-loaded version: begin 0, end infinity, data present. *)
+  (** A bulk-loaded version: begin 0, end infinity, data present. Always
+      heap-allocated — bulk load predates any batch, so there is no slab
+      to own it. *)
 
   val placeholder : ts:int -> producer:'txn -> prev:'txn t -> 'txn t
-  (** The version the CC thread inserts for a write: data uninitialized,
-      end infinity, linked to [prev]. Does {e not} modify [prev]; the
-      caller invalidates it ([Cell.set prev.end_ts ts]) as a separate step
-      so tests can observe the intermediate state. *)
+  (** The heap version the CC thread inserts for a write: data
+      uninitialized, end infinity, linked to [prev]. Does {e not} modify
+      [prev]; the caller invalidates it ({!set_end_ts}) as a separate
+      step so tests can observe the intermediate state. *)
+
+  val recycle : 'txn t -> ts:int -> producer:'txn -> prev:'txn t -> 'txn t
+  (** Reinitialize a heap record reclaimed by {!truncate_collect} so it is
+      indistinguishable from a fresh {!placeholder} (returns the same
+      record, reinitialized). The cells are rebuilt fresh — allocation is
+      uncharged in the cost model and fresh cells carry no stale access
+      history into the race tracer; what recycling saves is the record
+      allocation itself, which the engine charges as
+      [Costs.cc_insert_recycled] instead of a fresh insert's work. Sound
+      only for records truncated under Condition 3: every transaction that
+      could see the old incarnation has finished executing. Raises
+      [Invalid_argument] on a slab entry — those die with their slab. *)
+
+  (** {2 Slab store} *)
+
+  type 'txn alloc
+  (** A CC thread's slab allocator: the open slab plus retirement
+      counters. Owner-thread state; never shared. *)
+
+  val alloc_make : owner:int -> 'txn alloc
+
+  val slab_placeholder :
+    'txn alloc -> batch:int -> ts:int -> producer:'txn -> prev:'txn t -> 'txn t
+  (** Bump-allocate the next placeholder into the owner's current slab,
+      opening a fresh slab when the current one is full or served an
+      older batch (slabs never span batches). Charges the begin- and
+      prev-column line stores; the caller charges [Costs.cc_insert_slab]
+      for the surrounding bookkeeping, mirroring the fresh/recycled
+      paths. *)
+
+  val truncate_retire : 'txn alloc -> 'txn t -> gc_ts:int -> int * int
+  (** Slab-shaped Condition-3 truncation: the same walk and cut as
+      {!truncate_collect}, but each dropped slab entry decrements its
+      slab's live count — one owner-local counter per version instead of
+      a freelist cons — and a closed slab whose count reaches zero
+      retires whole (one [Costs.slab_retire] charge). Returns (versions
+      dropped, slabs retired by this call). Same single-writer /
+      Condition-3 contract as {!truncate_older_than}. *)
+
+  val slabs_opened : 'txn alloc -> int
+  val slabs_retired : 'txn alloc -> int
+
+  val slab_coord : 'txn t -> (int * int * int) option
+  (** [(owner, slab sequence number, entry index)] for a slab entry,
+      [None] for a heap record. Allocation discipline guarantees, along
+      any chain: one owner per key, slab sequence numbers non-increasing
+      toward older versions, and strictly decreasing entry indices within
+      one slab — what the chain audit checks. *)
+
+  (** {2 Chain operations} *)
 
   val visible_at : 'txn t -> ts:int -> 'txn t option
   (** Walk the chain from the given (newest-first) version to the version
@@ -96,29 +200,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   val chain_length : 'txn t -> int
 
-  val recycle : 'txn t -> ts:int -> producer:'txn -> prev:'txn t -> 'txn t
-  (** Reinitialize a record reclaimed by {!truncate_collect} so it is
-      indistinguishable from a fresh {!placeholder} (returns the same
-      record, reinitialized). The cells are rebuilt fresh — allocation is
-      uncharged in the cost model and fresh cells carry no stale access
-      history into the race tracer; what recycling saves is the record
-      allocation itself, which the engine charges as
-      [Costs.cc_insert_recycled] instead of a fresh insert's work. Sound
-      only for records truncated under Condition 3: every transaction that
-      could see the old incarnation has finished executing. *)
-
   val truncate_older_than : 'txn t -> gc_ts:int -> int
   (** From [v], find the newest version with [begin_ts <= gc_ts] and cut
-      the chain below it; returns the number of versions unlinked. Only
-      the CC thread owning the record's partition may call this
-      (single-writer chains); concurrent readers at [ts > gc_ts] never
-      reach the cut region, which is the RCU argument of §3.3.2,
-      Condition 3. *)
+      the chain below it; returns the number of versions unlinked —
+      counted during the walk, no list is materialized. Only the CC
+      thread owning the record's partition may call this (single-writer
+      chains); concurrent readers at [ts > gc_ts] never reach the cut
+      region, which is the RCU argument of §3.3.2, Condition 3. *)
 
   val truncate_collect : 'txn t -> gc_ts:int -> 'txn t list
   (** Like {!truncate_older_than} but returns the unlinked records (in
       unspecified order) so the caller can feed a freelist and later
       {!recycle} them. Same single-writer / Condition-3 contract — and the
-      same charge sequence, so the two truncation entry points are
+      same charge sequence, so the truncation entry points are
       interchangeable in the cost model. *)
 end

@@ -53,7 +53,8 @@ let ycsb_spec ?(rows = ycsb_rows) ?(bytes = ycsb_bytes) () =
 
 (* --- Figure 4: CC / execution interaction --- *)
 
-let fig4_series ~cc_routing ~exec_wakeup ~title ~notes ~scale ~quick =
+let fig4_series ~cc_routing ~exec_wakeup ~version_slabs ~title ~notes ~scale
+    ~quick =
   let count = scaled scale 8_000 in
   let rows = ycsb_rows in
   (* Small records and uniform access put all the stress on the CC layer
@@ -69,7 +70,8 @@ let fig4_series ~cc_routing ~exec_wakeup ~title ~notes ~scale ~quick =
           List.map
             (fun cc ->
               let stats =
-                Runner.run_bohm_sim ~cc ~exec ~cc_routing ~exec_wakeup spec txns
+                Runner.run_bohm_sim ~cc ~exec ~cc_routing ~exec_wakeup
+                  ~version_slabs spec txns
               in
               Some (Stats.throughput stats))
             cc_counts ))
@@ -86,7 +88,7 @@ let fig4_series ~cc_routing ~exec_wakeup ~title ~notes ~scale ~quick =
   ]
 
 let fig4 ?(scale = 1.0) ?(quick = false) () =
-  fig4_series ~cc_routing:true ~exec_wakeup:true
+  fig4_series ~cc_routing:true ~exec_wakeup:true ~version_slabs:true
     ~title:"Figure 4: concurrency control / execution interaction (txns/s)"
     ~notes:
       [
@@ -101,7 +103,7 @@ let fig4 ?(scale = 1.0) ?(quick = false) () =
    stay bit-for-bit identical to the fig4 series of BENCH_PR1.json — the
    determinism gate bench/smoke.sh enforces on the --quick cells. *)
 let fig4_noroute ?(scale = 1.0) ?(quick = false) () =
-  fig4_series ~cc_routing:false ~exec_wakeup:false
+  fig4_series ~cc_routing:false ~exec_wakeup:false ~version_slabs:false
     ~title:
       "Figure 4 (cc_routing off): concurrency control / execution \
        interaction (txns/s)"
@@ -117,7 +119,7 @@ let fig4_noroute ?(scale = 1.0) ?(quick = false) () =
 (* Routing on, wakeups off: the exact PR 3 engine — the second determinism
    anchor (must reproduce BENCH_PR3.json's fig4 bit-for-bit). *)
 let fig4_nowakeup ?(scale = 1.0) ?(quick = false) () =
-  fig4_series ~cc_routing:true ~exec_wakeup:false
+  fig4_series ~cc_routing:true ~exec_wakeup:false ~version_slabs:false
     ~title:
       "Figure 4 (exec_wakeup off): concurrency control / execution \
        interaction (txns/s)"
@@ -127,6 +129,24 @@ let fig4_nowakeup ?(scale = 1.0) ?(quick = false) () =
         "thread's retry list and are polled — the exact PR 3 engine, kept";
         "as a determinism anchor (must reproduce BENCH_PR3.json's fig4";
         "bit-for-bit).";
+      ]
+    ~scale ~quick
+
+(* Routing and wakeups on, slab store off: the exact PR 4/5 engine —
+   heap-record versions drawn from the Condition-3 freelists — the third
+   determinism anchor (must reproduce BENCH_PR4.json's fig4
+   bit-for-bit). *)
+let fig4_noslabs ?(scale = 1.0) ?(quick = false) () =
+  fig4_series ~cc_routing:true ~exec_wakeup:true ~version_slabs:false
+    ~title:
+      "Figure 4 (version_slabs off): concurrency control / execution \
+       interaction (txns/s)"
+    ~notes:
+      [
+        "Slab-arena version store disabled: placeholders are heap records";
+        "drawn from the per-thread Condition-3 freelists and GC unlinks";
+        "version by version - the exact PR 4 engine, kept as a determinism";
+        "anchor (must reproduce BENCH_PR4.json's fig4 bit-for-bit).";
       ]
     ~scale ~quick
 
@@ -689,6 +709,68 @@ let ablation_exec_wakeup ?(scale = 1.0) ?(quick = false) () =
     };
   ]
 
+(* Slab arena against the heap-record/freelist store, on the fig4
+   workload at the execution-thread ceiling: with exec threads saturated,
+   throughput is set by per-version costs on both sides of the pipeline —
+   placeholder insertion and GC in the CC layer, chain walks in the
+   execution layer — which is exactly what the slab layout changes. *)
+let ablation_version_slabs ?(scale = 1.0) ?(quick = false) () =
+  let count = scaled scale 8_000 in
+  let spec = ycsb_spec ~bytes:8 () in
+  let txns =
+    Ycsb.generate ~rows:ycsb_rows ~theta:0.0 ~count ~seed:41
+      (Ycsb.rmw_profile 10)
+  in
+  let exec = if quick then 8 else 20 in
+  let cc_counts = if quick then [ 4 ] else [ 1; 2; 4; 8 ] in
+  let extra stats name =
+    match Stats.extra stats name with Some f -> f | None -> 0.
+  in
+  let rows_data =
+    List.map
+      (fun cc ->
+        let run version_slabs =
+          Runner.run_bohm_sim ~cc ~exec ~version_slabs spec txns
+        in
+        let freelist = run false in
+        let slabs = run true in
+        ( string_of_int cc,
+          [
+            Some (Stats.throughput freelist);
+            Some (Stats.throughput slabs);
+            Some (extra slabs "slabs_opened");
+            Some (extra slabs "slabs_retired");
+            Some (extra slabs "gc_collected");
+          ] ))
+      cc_counts
+  in
+  [
+    {
+      title =
+        Printf.sprintf
+          "Ablation: slab-arena version store, exec=%d (fig4 workload)" exec;
+      x_label = "cc threads";
+      columns =
+        [
+          "freelist (txns/s)";
+          "slabs (txns/s)";
+          "slabs_opened";
+          "slabs_retired";
+          "gc_collected";
+        ];
+      rows = rows_data;
+      notes =
+        [
+          "Both columns run batch-routed CC with wakeups on. The freelist";
+          "store allocates one heap record per version (recycled through";
+          "per-thread Condition-3 freelists); the slab store bump-allocates";
+          "into per-(thread, batch) arenas with begin/prev timestamp";
+          "columns packed eight per cache line, and GC retires drained";
+          "slabs whole instead of consing records onto a freelist.";
+        ];
+    };
+  ]
+
 (* --- latency profile (Bohm_obs) --- *)
 
 (* Per-phase latency percentiles across all six engines, from the
@@ -708,23 +790,36 @@ let latency_profile ?(scale = 1.0) ?(quick = false) () =
       (Ycsb.rmw_profile 10)
   in
   let threads = if quick then 8 else 16 in
+  let summarize label stats =
+    List.map
+      (fun (phase, h) ->
+        let s = Bohm_util.Histogram.to_summary h in
+        ( Printf.sprintf "%s %s" label phase,
+          [
+            Some (float_of_int s.Bohm_util.Histogram.s_p50);
+            Some (float_of_int s.Bohm_util.Histogram.s_p95);
+            Some (float_of_int s.Bohm_util.Histogram.s_p99);
+            Some s.Bohm_util.Histogram.s_mean;
+            Some (float_of_int s.Bohm_util.Histogram.s_count);
+          ] ))
+      stats.Stats.latency
+  in
   let rows_data =
     List.concat_map
       (fun engine ->
         let stats, _recorder = Runner.run_sim_obs engine ~threads spec txns in
-        List.map
-          (fun (phase, h) ->
-            let s = Bohm_util.Histogram.to_summary h in
-            ( Printf.sprintf "%s %s" (Runner.name engine) phase,
-              [
-                Some (float_of_int s.Bohm_util.Histogram.s_p50);
-                Some (float_of_int s.Bohm_util.Histogram.s_p95);
-                Some (float_of_int s.Bohm_util.Histogram.s_p99);
-                Some s.Bohm_util.Histogram.s_mean;
-                Some (float_of_int s.Bohm_util.Histogram.s_count);
-              ] ))
-          stats.Stats.latency)
+        summarize (Runner.name engine) stats)
       (Runner.all @ [ Runner.Mvto ])
+    (* BOHM once more with the slab store off: the heap-record/freelist
+       chains, for the before/after comparison in EXPERIMENTS.md. *)
+    @
+    let bohm =
+      { Runner.default_bohm_opts with Runner.version_slabs = false }
+    in
+    let stats, _recorder =
+      Runner.run_sim_obs ~bohm Runner.Bohm ~threads spec txns
+    in
+    summarize "Bohm(noslabs)" stats
   in
   [
     {
@@ -743,6 +838,8 @@ let latency_profile ?(scale = 1.0) ?(quick = false) () =
           "dependencies or abort-retry backoff), exec (transaction";
           "logic). Virtual cycles from the simulator clock; recording";
           "is host-side, so the observed schedule is the unobserved one.";
+          "Bohm(noslabs) is BOHM with the slab-arena version store";
+          "disabled (heap-record chains off the Condition-3 freelists).";
         ];
     };
   ]
@@ -823,8 +920,10 @@ let experiments =
     ("ablation-probe-memo", ablation_probe_memo);
     ("ablation-cc-routing", ablation_cc_routing);
     ("ablation-exec-wakeup", ablation_exec_wakeup);
+    ("ablation-version-slabs", ablation_version_slabs);
     ("fig4-noroute", fig4_noroute);
     ("fig4-nowakeup", fig4_nowakeup);
+    ("fig4-noslabs", fig4_noslabs);
     ("latency-profile", latency_profile);
     ("mvto", extension_mvto);
   ]

@@ -36,6 +36,7 @@ type bohm_opts = {
   probe_memo : bool;
   cc_routing : bool;
   exec_wakeup : bool;
+  version_slabs : bool;
   obs : bool;
 }
 
@@ -49,6 +50,7 @@ let default_bohm_opts =
     probe_memo = true;
     cc_routing = true;
     exec_wakeup = true;
+    version_slabs = true;
     obs = false;
   }
 
@@ -60,12 +62,12 @@ let split_threads opts threads =
 
 let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
     ?(preprocess = false) ?(probe_memo = true) ?(cc_routing = true)
-    ?(exec_wakeup = true) spec txns =
+    ?(exec_wakeup = true) ?(version_slabs = true) spec txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
           ~gc ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing
-          ~exec_wakeup ()
+          ~exec_wakeup ~version_slabs ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -89,7 +91,8 @@ let run_engine ?report ~bohm engine ~threads spec txns =
               ~batch_size:bohm.batch_size ~gc:bohm.gc
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
               ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing
-              ~exec_wakeup:bohm.exec_wakeup ~obs:bohm.obs ()
+              ~exec_wakeup:bohm.exec_wakeup ~version_slabs:bohm.version_slabs
+              ~obs:bohm.obs ()
           in
           let db = Bohm_sim.create config ~tables:spec.tables spec.init in
           check Bohm_sim.check_chains db (Bohm_sim.run db txns))

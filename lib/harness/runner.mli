@@ -32,6 +32,9 @@ type bohm_opts = {
   exec_wakeup : bool;
       (** Fill-triggered dependency wakeup in the execution layer; off
           replays the retry-polling paths. *)
+  version_slabs : bool;
+      (** Slab-arena version store (cache-conscious SoA chains,
+          whole-slab GC); off replays the heap-record/freelist store. *)
   obs : bool;
       (** [Config.obs]: lets BOHM emit into an installed
           {!Bohm_obs.Recorder}. {!run_sim_obs} forces it on. *)
@@ -39,8 +42,8 @@ type bohm_opts = {
 
 val default_bohm_opts : bohm_opts
 (** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
-    off, probe memoization on, batch routing on, wakeup on,
-    observability off. *)
+    off, probe memoization on, batch routing on, wakeup on, version
+    slabs on, observability off. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -89,6 +92,7 @@ val run_bohm_sim :
   ?probe_memo:bool ->
   ?cc_routing:bool ->
   ?exec_wakeup:bool ->
+  ?version_slabs:bool ->
   spec ->
   Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t

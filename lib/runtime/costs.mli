@@ -80,6 +80,33 @@ val cc_insert_recycled : int ref
     allocator work — cell initialization itself is uncharged on both
     paths, matching [Cell.make]'s "allocation is not modelled". *)
 
+(** {2 Slab-arena version store}
+
+    Work charges for the slab path ([Config.version_slabs] in the BOHM
+    engine). Versions live in per-(CC-thread, batch) arena slabs: a
+    placeholder is a bump-pointer append into the owning thread's current
+    slab, with the hot fields (begin/end timestamps, the slab-relative
+    prev index) packed eight entries per cache line in struct-of-arrays
+    columns. The line accesses themselves are charged by the runtime as
+    usual — one line-cell per eight entries, which is exactly the
+    amortization the layout buys — and these constants cover the
+    bookkeeping the cell model does not see. *)
+
+val cc_insert_slab : int ref
+(** Version-insert work when the placeholder is bump-allocated into the
+    CC thread's current slab: the fill-cursor increment and column
+    addressing, beyond the charged column-line writes. Cheaper than both
+    a fresh heap insert (the engine's [cc_insert_work], 40 cycles: no
+    allocator visit) and a recycled one ([cc_insert_recycled], 24 cycles:
+    no freelist pop, no record re-initialization). *)
+
+val slab_retire : int ref
+(** Per slab returned to the arena when Condition-3 GC drops its live
+    count to zero: unlinking the slab and making its storage reusable.
+    Paid once per slab — per {e batch} of versions — where the freelist
+    path pays per version; the GC walk itself charges one column-line
+    read per eight versions instead of one record read per version. *)
+
 (** {2 Fill-triggered dependency wakeup}
 
     Work charges for the execution layer's waiter protocol

@@ -97,8 +97,8 @@ let test_footprint_violations () =
 
 (* --- Chain checker on synthetic entries (newest first) --- *)
 
-let entry ?end_ts ?(filled = true) ?(dangling_waiters = 0) begin_ts =
-  { Chain.begin_ts; end_ts; filled; dangling_waiters }
+let entry ?end_ts ?(filled = true) ?(dangling_waiters = 0) ?slab begin_ts =
+  { Chain.begin_ts; end_ts; filled; dangling_waiters; slab }
 
 let test_chain_ok () =
   let r = Report.create () in
@@ -130,6 +130,45 @@ let test_chain_end_mismatch () =
   Chain.check_key r (k 1)
     [ entry 5 ~end_ts:Chain.infinity_ts; entry 0 ~end_ts:6 ];
   Alcotest.(check int) "flagged" 2
+    (Report.count_kind r Report.Chain_end_mismatch)
+
+let test_chain_slab_discipline () =
+  let r = Report.create () in
+  (* Clean arena chain: one owner, slab seq non-increasing toward older
+     versions, indices strictly decreasing within a slab, heap tail. *)
+  Chain.check_key r (k 0)
+    [
+      entry 9 ~end_ts:Chain.infinity_ts ~slab:(1, 2, 0);
+      entry 4 ~end_ts:9 ~slab:(1, 1, 7);
+      entry 2 ~end_ts:4 ~slab:(1, 1, 3);
+      entry 0 ~end_ts:2;
+    ];
+  Alcotest.(check bool) "clean" true (Report.is_clean r);
+  (* Each violation arm: foreign owner, newer slab, bump-order reversal. *)
+  let flags newer older =
+    let r = Report.create () in
+    Chain.check_key r (k 1)
+      [ entry 9 ~end_ts:Chain.infinity_ts ~slab:newer; entry 4 ~end_ts:9 ~slab:older ];
+    Report.count_kind r Report.Chain_cross_slab
+  in
+  Alcotest.(check int) "crosses arenas" 1 (flags (1, 2, 0) (0, 2, 1));
+  Alcotest.(check int) "newer slab" 1 (flags (1, 2, 0) (1, 3, 1));
+  Alcotest.(check int) "against bump order" 1 (flags (1, 2, 3) (1, 2, 3))
+
+let test_chain_cross_slab_shadows_timestamp_checks () =
+  (* A corrupt link's timestamps describe some other chain's version:
+     the pair reports only the arena violation, not the bogus ordering
+     it implies. *)
+  let r = Report.create () in
+  Chain.check_key r (k 0)
+    [
+      entry 3 ~end_ts:Chain.infinity_ts ~slab:(0, 1, 2);
+      entry 8 ~end_ts:5 ~slab:(1, 0, 4);
+    ];
+  Alcotest.(check int) "cross-slab" 1 (Report.count_kind r Report.Chain_cross_slab);
+  Alcotest.(check int) "order check skipped" 0
+    (Report.count_kind r Report.Chain_out_of_order);
+  Alcotest.(check int) "end check skipped" 0
     (Report.count_kind r Report.Chain_end_mismatch)
 
 (* --- Race detector on hand-built simulator schedules --- *)
@@ -292,6 +331,45 @@ let test_mutant_dangling_waiter () =
     (Report.count_kind r Report.Chain_dangling_waiter);
   check_counts "chain only" (0, 1, 0) r
 
+let test_mutant_cross_slab_prev () =
+  (* A prev link into another CC thread's arena cannot be produced through
+     the engine — each partition's versions come from its owning thread's
+     bump allocator — so the fault is injected after the run:
+     [inject_cross_slab_prev] rewires a head's prev to another partition's
+     head, modelling a stale or miscomputed slab index. Only the chain
+     audit's arena discipline can see it (both versions are filled and
+     timestamp checks are skipped across the corrupt link). *)
+  let module B = Bohm_core.Engine.Make (Sim) in
+  let cc = 2 in
+  let target = 5 in
+  let donor =
+    (* First row hashing to the other CC partition. *)
+    let p r = Key.hash (k r) mod cc in
+    let rec find r = if p r <> p target then r else find (r + 1) in
+    find 0
+  in
+  let r = Report.create () in
+  let txns =
+    Footprint.wrap_all r [| rmw_txn 1 target; rmw_txn 2 donor; rmw_txn 3 1 |]
+  in
+  Race.with_tracing r (fun () ->
+      Sim.run (fun () ->
+          let config =
+            Bohm_core.Config.make ~cc_threads:cc ~exec_threads:3 ~batch_size:8
+              ()
+          in
+          let db =
+            B.create config
+              ~tables:[| Table.make ~tid:0 ~name:"t" ~rows:16 ~record_bytes:8 |]
+              (fun _ -> Value.zero)
+          in
+          ignore (B.run db txns);
+          B.inject_cross_slab_prev db (k target) ~donor:(k donor);
+          B.check_chains db r));
+  Alcotest.(check int) "cross-slab prev" 1
+    (Report.count_kind r Report.Chain_cross_slab);
+  check_counts "chain only" (0, 1, 0) r
+
 let test_mutant_rogue_cell_race () =
   (* Logic mutates shared state behind the engine's back — a plain cell
      with no lock and no version chain. Invisible to the footprint shim
@@ -452,6 +530,9 @@ let suite =
         Alcotest.test_case "out of order" `Quick test_chain_out_of_order;
         Alcotest.test_case "unfilled" `Quick test_chain_unfilled;
         Alcotest.test_case "end mismatch" `Quick test_chain_end_mismatch;
+        Alcotest.test_case "slab discipline" `Quick test_chain_slab_discipline;
+        Alcotest.test_case "cross-slab shadows timestamps" `Quick
+          test_chain_cross_slab_shadows_timestamp_checks;
       ] );
     ( "race",
       [
@@ -465,6 +546,7 @@ let suite =
         Alcotest.test_case "undeclared read" `Quick test_mutant_undeclared_read;
         Alcotest.test_case "dropped write" `Quick test_mutant_dropped_write;
         Alcotest.test_case "dangling waiter" `Quick test_mutant_dangling_waiter;
+        Alcotest.test_case "cross-slab prev" `Quick test_mutant_cross_slab_prev;
         Alcotest.test_case "rogue cell race" `Quick test_mutant_rogue_cell_race;
       ] );
     ( "engines",

@@ -38,9 +38,11 @@ let transfer_txn id a b n =
       Txn.Commit)
 
 let default_config ?(cc = 2) ?(ex = 2) ?(batch = 16) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) ?(probe_memo = true) ?(routing = true) () =
+    ?(preprocess = false) ?(probe_memo = true) ?(routing = true)
+    ?(slabs = true) () =
   Config.make ~cc_threads:cc ~exec_threads:ex ~batch_size:batch ~gc
-    ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing:routing ()
+    ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing:routing
+    ~version_slabs:slabs ()
 
 let run_sim ?config txns =
   let config = match config with Some c -> c | None -> default_config () in
@@ -78,9 +80,9 @@ let test_config_validation () =
 let build_chain () =
   let v0 = Version.initial (vi 0) in
   let v1 = Version.placeholder ~ts:10 ~producer:1 ~prev:v0 in
-  Bohm_runtime.Real.Cell.set v0.Version.end_ts 10;
+  Version.set_end_ts v0 10;
   let v2 = Version.placeholder ~ts:20 ~producer:2 ~prev:v1 in
-  Bohm_runtime.Real.Cell.set v1.Version.end_ts 20;
+  Version.set_end_ts v1 20;
   (v0, v1, v2)
 
 let same_version a b = a == b
@@ -103,13 +105,14 @@ let test_version_visibility () =
 let test_version_placeholder_fields () =
   let v0, _, v2 = build_chain () in
   Alcotest.(check bool) "placeholder empty" true
-    (Bohm_runtime.Real.Cell.get v2.Version.data = None);
+    (Bohm_runtime.Real.Cell.get (Version.data_cell v2) = None);
   Alcotest.(check bool) "initial has data" true
-    (Bohm_runtime.Real.Cell.get v0.Version.data <> None);
+    (Bohm_runtime.Real.Cell.get (Version.data_cell v0) <> None);
   Alcotest.(check int) "end starts at infinity" Version.infinity_ts
-    (Bohm_runtime.Real.Cell.get v2.Version.end_ts);
-  Alcotest.(check bool) "producer recorded" true (v2.Version.producer = Some 2);
-  Alcotest.(check bool) "initial has no producer" true (v0.Version.producer = None)
+    (Version.get_end_ts v2);
+  Alcotest.(check bool) "producer recorded" true (Version.producer v2 = Some 2);
+  Alcotest.(check bool) "initial has no producer" true
+    (Version.producer v0 = None)
 
 let test_version_chain_length () =
   let _, _, v2 = build_chain () in
@@ -123,7 +126,7 @@ let test_version_truncate () =
   Alcotest.(check int) "dropped one" 1 dropped;
   Alcotest.(check int) "chain shortened" 2 (Version.chain_length v2);
   Alcotest.(check bool) "keeper cut its prev" true
-    (Bohm_runtime.Real.Cell.get v1.Version.prev = None);
+    (Version.prev v1 = None);
   (* Idempotent. *)
   Alcotest.(check int) "truncate again drops nothing" 0
     (Version.truncate_older_than v2 ~gc_ts:15)
@@ -658,7 +661,7 @@ let test_real_routed_equals_scan () =
 let test_truncate_collect_returns_unreachable () =
   let v0, v1, v2 = build_chain () in
   let v3 = Version.placeholder ~ts:30 ~producer:3 ~prev:v2 in
-  Bohm_runtime.Real.Cell.set v2.Version.end_ts 30;
+  Version.set_end_ts v2 30;
   (* gc_ts = 25: v2 (begin 20) is the keeper; v1 and v0 are unlinked. *)
   let dropped = Version.truncate_collect v3 ~gc_ts:25 in
   Alcotest.(check int) "two dropped" 2 (List.length dropped);
@@ -687,21 +690,19 @@ let test_recycle_reinitializes_record () =
   let r = List.hd dropped in
   let recycled = Version.recycle r ~ts:40 ~producer:4 ~prev:v2 in
   Alcotest.(check bool) "same record reused" true (recycled == r);
-  Alcotest.(check int) "begin stamped" 40 recycled.Version.begin_ts;
+  Alcotest.(check int) "begin stamped" 40 (Version.begin_ts recycled);
   Alcotest.(check int) "end at infinity" Version.infinity_ts
-    (Bohm_runtime.Real.Cell.get recycled.Version.end_ts);
+    (Version.get_end_ts recycled);
   Alcotest.(check bool) "data empty" true
-    (Bohm_runtime.Real.Cell.get recycled.Version.data = None);
+    (Bohm_runtime.Real.Cell.get (Version.data_cell recycled) = None);
   Alcotest.(check bool) "producer recorded" true
-    (recycled.Version.producer = Some 4);
+    (Version.producer recycled = Some 4);
   Alcotest.(check bool) "linked to prev" true
-    (match Bohm_runtime.Real.Cell.get recycled.Version.prev with
-    | Some p -> p == v2
-    | None -> false);
+    (match Version.prev recycled with Some p -> p == v2 | None -> false);
   (* The old chain is untouched: v1 still heads a 2-version chain. *)
   Alcotest.(check int) "old chain intact" 2 (Version.chain_length v2);
   Alcotest.(check bool) "keeper's prev stays cut" true
-    (Bohm_runtime.Real.Cell.get v1.Version.prev = None)
+    (Version.prev v1 = None)
 
 let test_recycling_engine_counts_and_state () =
   (* Hot-key RMWs with small batches: Condition-3 truncation feeds the
@@ -712,7 +713,9 @@ let test_recycling_engine_counts_and_state () =
   let value, stats, clean, chain =
     Sim.run (fun () ->
         let db =
-          Sim_engine.create (default_config ~batch:64 ()) ~tables init_zero
+          Sim_engine.create
+            (default_config ~batch:64 ~slabs:false ())
+            ~tables init_zero
         in
         let stats = Sim_engine.run db (Array.of_list txns) in
         let report = Bohm_analysis.Report.create () in
@@ -741,10 +744,233 @@ let test_recycling_engine_counts_and_state () =
 let test_no_recycling_without_routing () =
   let txns = List.init 2000 (fun i -> incr_txn i (key 1) 1) in
   let _, stats =
-    run_sim ~config:(default_config ~batch:64 ~routing:false ()) txns
+    run_sim
+      ~config:(default_config ~batch:64 ~routing:false ~slabs:false ())
+      txns
   in
   Alcotest.(check bool) "nothing recycled" true
     (Stats.extra stats "versions_recycled" = Some 0.)
+
+(* --- slab-arena version store --- *)
+
+(* Bump a chain of [n] slab placeholders on top of [v0], stamping end
+   timestamps as the CC thread would: version [i] begins at [10 * i]. *)
+let build_slab_chain al v0 ~n =
+  let head = ref v0 in
+  for i = 1 to n do
+    let v =
+      Version.slab_placeholder al ~batch:0 ~ts:(10 * i) ~producer:i
+        ~prev:!head
+    in
+    Version.set_end_ts !head (10 * i);
+    head := v
+  done;
+  !head
+
+let test_slab_chain_spans_slabs () =
+  (* A chain crossing >= 3 slabs stays walkable across the boundaries,
+     and Condition-3 truncation retires exactly the drained closed slabs
+     (the open slab holds the keeper and can never retire). *)
+  let al = Version.alloc_make ~owner:0 in
+  let n = (2 * Version.slab_capacity) + 40 in
+  let head = build_slab_chain al (Version.initial (vi 0)) ~n in
+  Alcotest.(check int) "three slabs opened" 3 (Version.slabs_opened al);
+  Alcotest.(check int) "chain intact" (n + 1) (Version.chain_length head);
+  (* Visibility resolves across a slab boundary: ts just below the first
+     boundary lands on the last entry of slab 0. *)
+  (match Version.visible_at head ~ts:((10 * Version.slab_capacity) + 5) with
+  | Some v ->
+      Alcotest.(check int) "boundary visibility"
+        (10 * Version.slab_capacity) (Version.begin_ts v)
+  | None -> Alcotest.fail "no version visible at slab boundary");
+  (* Keeper is version n-5, in the open third slab: everything below is
+     cut, draining the two closed slabs. *)
+  let dropped, retired =
+    Version.truncate_retire al head ~gc_ts:(10 * (n - 5))
+  in
+  Alcotest.(check int) "dropped below keeper" (n - 5) dropped;
+  Alcotest.(check int) "closed slabs retired" 2 retired;
+  Alcotest.(check int) "retire counter" 2 (Version.slabs_retired al);
+  Alcotest.(check int) "survivors" 6 (Version.chain_length head);
+  Alcotest.(check bool) "head visible" true
+    (Version.visible_at head ~ts:(10 * n) <> None);
+  (* Idempotent: nothing left below the keeper. *)
+  let dropped', retired' =
+    Version.truncate_retire al head ~gc_ts:(10 * (n - 5))
+  in
+  Alcotest.(check (pair int int)) "truncate again is a no-op" (0, 0)
+    (dropped', retired')
+
+let test_slab_partial_truncate_then_retire () =
+  (* A slab drained across two truncations retires on the call that drops
+     its last live entry, not before. *)
+  let al = Version.alloc_make ~owner:0 in
+  let n = Version.slab_capacity + 12 in
+  let head = build_slab_chain al (Version.initial (vi 0)) ~n in
+  Alcotest.(check int) "two slabs" 2 (Version.slabs_opened al);
+  (* First cut keeps version 100 in slab 0: slab 0 still has live
+     entries, nothing retires. *)
+  let dropped1, retired1 = Version.truncate_retire al head ~gc_ts:1000 in
+  Alcotest.(check int) "first cut drops" 100 dropped1;
+  Alcotest.(check int) "nothing retired yet" 0 retired1;
+  (* Second cut moves the keeper into slab 1: slab 0's last live entries
+     drop and the whole slab goes at once. *)
+  let dropped2, retired2 =
+    Version.truncate_retire al head ~gc_ts:(10 * (n - 4))
+  in
+  Alcotest.(check int) "second cut drops" (n - 4 - 100) dropped2;
+  Alcotest.(check int) "drained slab retired" 1 retired2;
+  Alcotest.(check int) "retire counter" 1 (Version.slabs_retired al)
+
+let test_slab_batch_boundary_closes_slab () =
+  (* Slabs never span batches: a new batch opens a fresh slab even when
+     the current one has room, so whole-slab GC frees batch-shaped
+     arenas. *)
+  let al = Version.alloc_make ~owner:0 in
+  let v0 = Version.initial (vi 0) in
+  let v1 = Version.slab_placeholder al ~batch:0 ~ts:10 ~producer:1 ~prev:v0 in
+  Version.set_end_ts v0 10;
+  let v2 = Version.slab_placeholder al ~batch:1 ~ts:20 ~producer:2 ~prev:v1 in
+  Version.set_end_ts v1 20;
+  Alcotest.(check int) "one slab per batch" 2 (Version.slabs_opened al);
+  (match (Version.slab_coord v1, Version.slab_coord v2) with
+  | Some (_, s1, _), Some (_, s2, _) ->
+      Alcotest.(check bool) "distinct slabs" true (s1 <> s2)
+  | _ -> Alcotest.fail "slab entries carry coordinates");
+  Alcotest.(check int) "chain crosses the batch boundary" 3
+    (Version.chain_length v2)
+
+let test_slab_mixed_chain_truncate () =
+  (* Chains legitimately mix heap records (the bulk-loaded tail, records
+     recycled by a slabs-off run) with slab entries above them: slab
+     truncation cuts across the boundary, counting every dropped version
+     but touching live counts only for slab entries. *)
+  let al = Version.alloc_make ~owner:0 in
+  let v0 = Version.initial (vi 0) in
+  let v1 = Version.placeholder ~ts:10 ~producer:1 ~prev:v0 in
+  Version.set_end_ts v0 10;
+  (* Harvest a Condition-3 record from a side chain and recycle it into
+     this one, as a freelist run would have. *)
+  let s0 = Version.initial (vi 9) in
+  let s1 = Version.placeholder ~ts:4 ~producer:9 ~prev:s0 in
+  Version.set_end_ts s0 4;
+  let harvested = List.hd (Version.truncate_collect s1 ~gc_ts:8) in
+  let v2 = Version.recycle harvested ~ts:20 ~producer:2 ~prev:v1 in
+  Version.set_end_ts v1 20;
+  let head = ref v2 in
+  for i = 3 to 6 do
+    let v =
+      Version.slab_placeholder al ~batch:0 ~ts:(10 * i) ~producer:i
+        ~prev:!head
+    in
+    Version.set_end_ts !head (10 * i);
+    head := v
+  done;
+  Alcotest.(check int) "mixed chain" 7 (Version.chain_length !head);
+  (* Keeper is the ts-50 slab entry: two slab entries and three heap
+     records drop; the open slab keeps two live entries, so no retire. *)
+  let dropped, retired = Version.truncate_retire al !head ~gc_ts:55 in
+  Alcotest.(check int) "dropped across the boundary" 5 dropped;
+  Alcotest.(check int) "open slab survives" 0 retired;
+  Alcotest.(check int) "survivors" 2 (Version.chain_length !head)
+
+let test_slab_recycle_rejected () =
+  (* Slab entries die with their slab: handing one to the freelist would
+     let a recycled incarnation outlive its arena. *)
+  let al = Version.alloc_make ~owner:0 in
+  let v0 = Version.initial (vi 0) in
+  let v1 = Version.slab_placeholder al ~batch:0 ~ts:10 ~producer:1 ~prev:v0 in
+  Alcotest.check_raises "recycle refuses slab entries"
+    (Invalid_argument "Version.recycle: slab-allocated version") (fun () ->
+      ignore (Version.recycle v1 ~ts:20 ~producer:2 ~prev:v0))
+
+let test_slab_engine_counts_and_state () =
+  (* Hot-key RMWs with small batches under the slab store: GC drains
+     whole batch-shaped slabs, the freelist is never used, and the final
+     state and chain audit are unaffected. *)
+  let txns = List.init 2000 (fun i -> incr_txn i (key 1) 1) in
+  let value, stats, clean, chain =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create (default_config ~batch:64 ()) ~tables init_zero
+        in
+        let stats = Sim_engine.run db (Array.of_list txns) in
+        let report = Bohm_analysis.Report.create () in
+        Sim_engine.check_chains db report;
+        ( Value.to_int (Sim_engine.read_latest db (key 1)),
+          stats,
+          Bohm_analysis.Report.is_clean report,
+          Sim_engine.chain_length db (key 1) ))
+  in
+  Alcotest.(check int) "value correct" 2000 value;
+  let extra name =
+    match Stats.extra stats name with Some f -> int_of_float f | None -> 0
+  in
+  Alcotest.(check bool) "slabs opened" true (extra "slabs_opened" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "slabs retired (%d) > 0, bounded by opened (%d)"
+       (extra "slabs_retired") (extra "slabs_opened"))
+    true
+    (extra "slabs_retired" > 0
+    && extra "slabs_retired" <= extra "slabs_opened");
+  Alcotest.(check bool) "gc still collects" true (extra "gc_collected" > 0);
+  Alcotest.(check int) "freelist never used" 0 (extra "versions_recycled");
+  Alcotest.(check bool) "chains clean" true clean;
+  Alcotest.(check bool) "chain bounded" true (chain < 2000)
+
+(* Commits, final values, chain lengths and the chain audit must be
+   identical between the slab store and the heap/freelist store: the
+   representation changes, the protocol does not. GC off keeps chain
+   structure deterministic (truncation depth depends on scheduling, and
+   the stores charge different insert costs, so virtual-time schedules
+   diverge); a second GC-on comparison checks the state-level outcomes
+   that stay schedule-independent. *)
+let slab_fingerprint ~slabs ~gc ~seed txns =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Sim_engine.create
+          (default_config ~cc:3 ~ex:3 ~batch:16 ~gc ~preprocess:true ~slabs ())
+          ~tables init_zero
+      in
+      let stats = Sim_engine.run db txns in
+      let report = Bohm_analysis.Report.create () in
+      Sim_engine.check_chains db report;
+      let values =
+        Array.init 64 (fun i -> Value.to_int (Sim_engine.read_latest db (key i)))
+      in
+      let chains =
+        Array.init 64 (fun i -> Sim_engine.chain_length db (key i))
+      in
+      ( stats.Stats.committed,
+        values,
+        chains,
+        Bohm_analysis.Report.is_clean report ))
+
+let prop_slabs_equal_freelist =
+  QCheck.Test.make ~count:12
+    ~name:"slab store equals heap store (commits, values, chains)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+      let committed_a, values_a, chains_a, clean_a =
+        slab_fingerprint ~slabs:true ~gc:false ~seed:(seed + 11) txns
+      in
+      let committed_b, values_b, chains_b, clean_b =
+        slab_fingerprint ~slabs:false ~gc:false ~seed:(seed + 11) txns
+      in
+      let committed_c, values_c, _, clean_c =
+        slab_fingerprint ~slabs:true ~gc:true ~seed:(seed + 11) txns
+      in
+      let committed_d, values_d, _, clean_d =
+        slab_fingerprint ~slabs:false ~gc:true ~seed:(seed + 11) txns
+      in
+      clean_a && clean_b && clean_c && clean_d
+      && committed_a = committed_b
+      && values_a = values_b
+      && chains_a = chains_b
+      && committed_c = committed_d
+      && values_c = values_d)
 
 (* --- multiple runs share the database --- *)
 
@@ -1093,6 +1319,22 @@ let suite =
           test_no_recycling_without_routing;
       ]
       @ qcheck [ prop_routed_equals_scan_dispatch ] );
+    ( "bohm-slabs",
+      [
+        Alcotest.test_case "chain spans three slabs" `Quick
+          test_slab_chain_spans_slabs;
+        Alcotest.test_case "partial truncate then retire" `Quick
+          test_slab_partial_truncate_then_retire;
+        Alcotest.test_case "batch boundary closes slab" `Quick
+          test_slab_batch_boundary_closes_slab;
+        Alcotest.test_case "mixed heap/slab chain truncates" `Quick
+          test_slab_mixed_chain_truncate;
+        Alcotest.test_case "recycle refuses slab entries" `Quick
+          test_slab_recycle_rejected;
+        Alcotest.test_case "slab engine counters and state" `Quick
+          test_slab_engine_counts_and_state;
+      ]
+      @ qcheck [ prop_slabs_equal_freelist ] );
     ( "bohm-wakeup",
       [
         Alcotest.test_case "serialization check, wakeup (sim)" `Quick

@@ -12,6 +12,11 @@ dune build bench/main.exe
 # checkers on the serialization workload), plus BOHM with routing on/off.
 dune exec bench/main.exe -- sanitize --quick
 
+# Static certification gate: the footprint certifier over the built-in IR
+# workloads (cross-validated against BOHM runs) plus the all-engines
+# sanitize pass; any diagnostic fails the build.
+dune build @lint
+
 # Determinism gate: with cc_routing off the engine must retrace the PR 1
 # code paths instruction for instruction. The --quick fig4-noroute sweep
 # (CC in {1,4}, exec in {2,8}; each cell an independent deterministic

@@ -1,14 +1,23 @@
 (* Command-line front-end over the experiment harness.
 
-   bohm_cli run   — one engine x workload configuration on the simulator
-   bohm_cli bench — regenerate paper figures/tables (same drivers as
-                    bench/main.exe) *)
+   bohm_cli run     — one engine x workload configuration on the simulator
+   bohm_cli analyze — static footprint certifier + batch conflict-graph
+                      report, optionally cross-validated against a run
+   bohm_cli bench   — regenerate paper figures/tables (same drivers as
+                      bench/main.exe) *)
 
 open Cmdliner
 
 module Stats = Bohm_txn.Stats
 module Ycsb = Bohm_workload.Ycsb
 module Smallbank = Bohm_workload.Smallbank
+module Ycsb_ir = Bohm_workload.Ycsb_ir
+module Smallbank_ir = Bohm_workload.Smallbank_ir
+module Absint = Bohm_analysis_static.Absint
+module Certify = Bohm_analysis_static.Certify
+module Conflict_graph = Bohm_analysis_static.Conflict_graph
+module Sanitizer_report = Bohm_analysis.Report
+module Check = Bohm_harness.Serialization_check
 module Runner = Bohm_harness.Runner
 module Report = Bohm_harness.Report
 module Experiments = Bohm_harness.Experiments
@@ -147,9 +156,18 @@ let run_cmd =
             "Record per-transaction latency histograms and print per-phase \
              p50/p95/p99 (cycles on the simulator).")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Run under the full sanitizer suite (footprint shim, race \
+             detector, version-chain audit) and exit nonzero on any \
+             diagnostic.")
+  in
   let action engine workload threads theta rows count seed cc_fraction batch
       no_gc no_annotation preprocess no_probe_memo no_cc_routing
-      no_exec_wakeup no_version_slabs trace latency =
+      no_exec_wakeup no_version_slabs trace latency sanitize =
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -197,7 +215,13 @@ let run_cmd =
     let recorder = if obs_on then Some (Bohm_obs.Recorder.create ()) else None in
     let run_once () =
       match engine with
-      | Std e -> (Runner.name e, Runner.run_sim ~bohm e ~threads spec txns)
+      | Std e when sanitize ->
+          let stats, report = Runner.run_sim_sanitized ~bohm e ~threads spec txns in
+          (Runner.name e, stats, Some report)
+      | Std e -> (Runner.name e, Runner.run_sim ~bohm e ~threads spec txns, None)
+      | Mvto when sanitize ->
+          prerr_endline "bohm_cli run: --sanitize is not supported for MVTO";
+          exit 2
       | Mvto ->
           ( "MVTO",
             Bohm_runtime.Sim.run (fun () ->
@@ -205,9 +229,10 @@ let run_cmd =
                   Mvto_sim.create ~workers:threads ~tables:spec.Runner.tables
                     spec.Runner.init
                 in
-                Mvto_sim.run db txns) )
+                Mvto_sim.run db txns),
+            None )
     in
-    let name, stats =
+    let name, stats, sanitizer =
       match recorder with
       | None -> run_once ()
       | Some r -> Bohm_obs.Recorder.with_recorder r run_once
@@ -243,18 +268,24 @@ let run_cmd =
                  ] ))
              stats.Stats.latency)
     end;
-    match (trace, recorder) with
+    (match (trace, recorder) with
     | Some path, Some r ->
         Bohm_obs.Chrome.write ~path r;
         Printf.printf "\ntrace: %s\n" path
-    | _ -> ()
+    | _ -> ());
+    match sanitizer with
+    | None -> ()
+    | Some report ->
+        print_newline ();
+        print_endline (Sanitizer_report.to_string report);
+        if not (Sanitizer_report.is_clean report) then exit 1
   in
   let term =
     Term.(
       const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
       $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
       $ no_probe_memo $ no_cc_routing $ no_exec_wakeup $ no_version_slabs
-      $ trace $ latency)
+      $ trace $ latency $ sanitize)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 
@@ -301,6 +332,191 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Search for the best CC/execution thread split (SEDA controller).")
     Term.(const action $ threads $ theta $ rows $ bytes $ rmws $ reads)
 
+(* --- analyze command (static footprint certifier, paper 2.3) --- *)
+
+module Bohm_sim = Bohm_core.Engine.Make (Bohm_runtime.Sim)
+
+let analyze_cmd =
+  let workload =
+    Arg.(
+      value & opt workload_conv W_10rmw
+      & info [ "w"; "workload" ]
+          ~doc:"Workload: 10rmw, 2rmw8r, readonly-mix or smallbank.")
+  in
+  let rows =
+    Arg.(
+      value & opt int 1_000
+      & info [ "rows" ] ~doc:"Table rows (YCSB) / customers (SmallBank).")
+  in
+  let count =
+    Arg.(value & opt int 2_000 & info [ "n"; "txns" ] ~doc:"Transactions to analyze.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload seed.") in
+  let theta =
+    Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipfian contention parameter (YCSB).")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 4
+      & info [ "partitions" ]
+          ~doc:"CC partitions for the predicted placeholder-load report.")
+  in
+  let cross_validate =
+    Arg.(
+      value & flag
+      & info [ "cross-validate" ]
+          ~doc:
+            "Also run BOHM on the simulator: (a) the lowered IR batch under \
+             the dynamic sanitizers (inferred declarations must cover every \
+             observed access) and (b) an instrumented workload whose \
+             observed serialization graph must agree edge-for-edge with the \
+             static conflict graph.")
+  in
+  let threads =
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads for cross-validation runs.")
+  in
+  let action workload rows count seed theta partitions cross_validate threads =
+    let wname =
+      match workload with
+      | W_10rmw -> "10rmw"
+      | W_2rmw8r -> "2rmw8r"
+      | W_readonly_mix -> "readonly-mix"
+      | W_smallbank -> "smallbank"
+    in
+    let ycsb profile =
+      ( Ycsb_ir.generate ~rows ~theta ~count ~seed profile,
+        Ycsb.generate ~rows ~theta ~count ~seed profile,
+        {
+          Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
+          init = Ycsb.initial_value;
+        } )
+    in
+    let insts, declared, spec =
+      match workload with
+      | W_10rmw -> ycsb (Ycsb.rmw_profile 10)
+      | W_2rmw8r -> ycsb (Ycsb.mixed_profile ~rmws:2 ~reads:8)
+      | W_readonly_mix ->
+          ( Ycsb_ir.generate_mix ~rows ~read_only_fraction:0.01 ~scan:1000
+              ~update_profile:(Ycsb.rmw_profile 10) ~theta ~count ~seed,
+            Ycsb.generate_mix ~rows ~read_only_fraction:0.01 ~scan:1000
+              ~update_profile:(Ycsb.rmw_profile 10) ~theta ~count ~seed,
+            {
+              Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
+              init = Ycsb.initial_value;
+            } )
+      | W_smallbank ->
+          ( Smallbank_ir.generate ~customers:rows ~count ~seed ~spin:4_000 (),
+            Smallbank.generate ~customers:rows ~count ~seed ~spin:4_000 (),
+            {
+              Runner.tables = Smallbank.tables ~customers:rows;
+              init = Smallbank.initial_value;
+            } )
+    in
+    (* Certify the closure generator's hand-written declarations against
+       the inferred may-sets of the IR twin (same seed, same draws). *)
+    let report = Sanitizer_report.create () in
+    Certify.check_all report insts ~declared;
+    let fps = Array.map Absint.infer insts in
+    let sum f = Array.fold_left (fun acc fp -> acc + Array.length (f fp)) 0 fps in
+    let over_r, over_w =
+      Array.fold_left
+        (fun (r, w) i ->
+          let dr, dw = Certify.overdeclared insts.(i) ~declared:declared.(i) in
+          (r + List.length dr, w + List.length dw))
+        (0, 0)
+        (Array.init (Array.length insts) Fun.id)
+    in
+    let g = Conflict_graph.of_instances insts in
+    Report.header
+      ~title:(Printf.sprintf "Static footprint analysis: %s, %d txns" wname count);
+    Report.print_kv
+      [
+        ("may-reads", string_of_int (sum (fun fp -> fp.Absint.may_reads)));
+        ("must-reads", string_of_int (sum (fun fp -> fp.Absint.must_reads)));
+        ("may-writes", string_of_int (sum (fun fp -> fp.Absint.may_writes)));
+        ("must-writes", string_of_int (sum (fun fp -> fp.Absint.must_writes)));
+        ("conditional writes", string_of_int (sum Absint.conditional_writes));
+        ( "over-declared",
+          Printf.sprintf "%d reads, %d writes (legal; wasted CC work)" over_r
+            over_w );
+      ];
+    print_newline ();
+    print_endline (Conflict_graph.summary g ~partitions);
+    let dyn_dirty = ref false in
+    if cross_validate then begin
+      (* (a) the inferred declarations must cover every access an actual
+         run performs (soundness: observed ⊆ may). *)
+      let lowered = Array.map Certify.lower insts in
+      let _stats, dyn = Runner.run_sim_sanitized Runner.Bohm ~threads spec lowered in
+      print_newline ();
+      Printf.printf "sanitized BOHM run on lowered IR: %s\n"
+        (if Sanitizer_report.is_clean dyn then "clean"
+         else Sanitizer_report.to_string dyn);
+      if not (Sanitizer_report.is_clean dyn) then dyn_dirty := true;
+      (* (b) the static conflict graph must be the serialization graph a
+         BOHM run realizes (batch order = timestamp order). *)
+      let g_rows = 16 and g_txns = min count 64 in
+      let w =
+        Check.make_workload ~rows:g_rows ~txns:g_txns ~rmws_per_txn:2
+          ~reads_per_txn:2 ~seed
+      in
+      let tables =
+        [| Bohm_storage.Table.make ~tid:0 ~name:"t" ~rows:g_rows ~record_bytes:8 |]
+      in
+      let final_read =
+        Bohm_runtime.Sim.run (fun () ->
+            let db =
+              Bohm_sim.create
+                (Bohm_core.Config.make ~cc_threads:2 ~exec_threads:3
+                   ~batch_size:8 ())
+                ~tables Check.initial_value
+            in
+            ignore (Bohm_sim.run db (Check.txns w));
+            Bohm_sim.read_latest db)
+      in
+      let static_g = Conflict_graph.of_txns (Check.txns w) in
+      let edge_str (a, b, k) =
+        Printf.sprintf "%d->%d %s" a b
+          (match k with `Ww -> "ww" | `Wr -> "wr" | `Rw -> "rw")
+      in
+      (match Check.observed_graph w ~final_read with
+      | Error msg ->
+          Sanitizer_report.add report Sanitizer_report.Static_graph_mismatch
+            ("observed graph corrupt: " ^ msg)
+      | Ok observed ->
+          let static_only, observed_only =
+            Conflict_graph.diff static_g ~observed
+          in
+          List.iter
+            (fun e ->
+              Sanitizer_report.add report Sanitizer_report.Static_graph_mismatch
+                ("static-only edge " ^ edge_str e))
+            static_only;
+          List.iter
+            (fun e ->
+              Sanitizer_report.add report Sanitizer_report.Static_graph_mismatch
+                ("observed-only edge " ^ edge_str e))
+            observed_only;
+          Printf.printf
+            "conflict-graph cross-validation (BOHM, %d txns): %s\n" g_txns
+            (if static_only = [] && observed_only = [] then
+               Printf.sprintf "agrees edge-for-edge (%d edges)"
+                 (List.length observed)
+             else "MISMATCH"))
+    end;
+    print_newline ();
+    print_endline (Sanitizer_report.to_string report);
+    if (not (Sanitizer_report.is_clean report)) || !dyn_dirty then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static footprint certification and batch conflict-graph analysis \
+          (exit 1 on any diagnostic).")
+    Term.(
+      const action $ workload $ rows $ count $ seed $ theta $ partitions
+      $ cross_validate $ threads)
+
 (* --- bench command --- *)
 
 let bench_cmd =
@@ -329,4 +545,4 @@ let bench_cmd =
 let () =
   let doc = "BOHM multi-version concurrency control — experiment driver" in
   let info = Cmd.info "bohm_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; bench_cmd; tune_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; bench_cmd; tune_cmd ]))

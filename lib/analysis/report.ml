@@ -1,6 +1,6 @@
 module Key = Bohm_txn.Key
 
-type checker = Footprint | Chain | Race
+type checker = Footprint | Chain | Race | Static
 
 type kind =
   | Undeclared_read
@@ -13,6 +13,9 @@ type kind =
   | Chain_dangling_waiter
   | Chain_cross_slab
   | Data_race
+  | Static_undeclared_read
+  | Static_undeclared_write
+  | Static_graph_mismatch
 
 let checker_of_kind = function
   | Undeclared_read | Undeclared_write | Late_write -> Footprint
@@ -20,11 +23,14 @@ let checker_of_kind = function
   | Chain_dangling_lock | Chain_dangling_waiter | Chain_cross_slab ->
       Chain
   | Data_race -> Race
+  | Static_undeclared_read | Static_undeclared_write | Static_graph_mismatch ->
+      Static
 
 let checker_name = function
   | Footprint -> "footprint"
   | Chain -> "chain"
   | Race -> "race"
+  | Static -> "static"
 
 let kind_name = function
   | Undeclared_read -> "undeclared-read"
@@ -37,6 +43,9 @@ let kind_name = function
   | Chain_dangling_waiter -> "dangling-waiter"
   | Chain_cross_slab -> "cross-slab-prev"
   | Data_race -> "data-race"
+  | Static_undeclared_read -> "may-read-undeclared"
+  | Static_undeclared_write -> "may-write-undeclared"
+  | Static_graph_mismatch -> "conflict-graph-mismatch"
 
 type diag = {
   kind : kind;
@@ -45,16 +54,20 @@ type diag = {
   detail : string;
 }
 
-(* Diagnostics are stored newest-first and rendered oldest-first. The
-   [seen] set dedups: engines re-run transaction logic on conflicts and
-   blocks, so the same violation can be observed many times per run. *)
+(* Entries are stored newest-first and rendered oldest-first. The [seen]
+   table dedups: engines re-run transaction logic on conflicts and
+   blocks, so the same violation can be observed many times per run —
+   each duplicate bumps the first entry's occurrence count instead of
+   flooding the report. *)
+type entry = { d : diag; mutable hits : int }
+
 type t = {
-  mutable diags : diag list;
+  mutable entries : entry list;
   mutable count : int;
-  seen : (string, unit) Hashtbl.t;
+  seen : (string, entry) Hashtbl.t;
 }
 
-let create () = { diags = []; count = 0; seen = Hashtbl.create 64 }
+let create () = { entries = []; count = 0; seen = Hashtbl.create 64 }
 
 let diag_to_string d =
   let b = Buffer.create 64 in
@@ -73,31 +86,43 @@ let diag_to_string d =
 let add t ?txn ?key kind detail =
   let d = { kind; txn; key; detail } in
   let line = diag_to_string d in
-  if not (Hashtbl.mem t.seen line) then begin
-    Hashtbl.add t.seen line ();
-    t.diags <- d :: t.diags;
-    t.count <- t.count + 1
-  end
+  match Hashtbl.find_opt t.seen line with
+  | Some e -> e.hits <- e.hits + 1
+  | None ->
+      let e = { d; hits = 1 } in
+      Hashtbl.add t.seen line e;
+      t.entries <- e :: t.entries;
+      t.count <- t.count + 1
 
-let diags t = List.rev t.diags
+let entries t = List.rev_map (fun e -> (e.d, e.hits)) t.entries
+let diags t = List.rev_map (fun e -> e.d) t.entries
 let count t = t.count
 let is_clean t = t.count = 0
 
-let count_checker t c =
-  List.length (List.filter (fun d -> checker_of_kind d.kind = c) t.diags)
+let occurrences t =
+  List.fold_left (fun acc e -> acc + e.hits) 0 t.entries
 
-let count_kind t k = List.length (List.filter (fun d -> d.kind = k) t.diags)
+let count_checker t c =
+  List.length
+    (List.filter (fun e -> checker_of_kind e.d.kind = c) t.entries)
+
+let count_kind t k =
+  List.length (List.filter (fun e -> e.d.kind = k) t.entries)
 
 let pp fmt t =
   if is_clean t then Format.fprintf fmt "sanitizer: clean"
   else begin
-    Format.fprintf fmt "sanitizer: %d diagnostic%s (footprint=%d chain=%d race=%d)"
+    Format.fprintf fmt
+      "sanitizer: %d diagnostic%s (footprint=%d chain=%d race=%d static=%d)"
       t.count
       (if t.count = 1 then "" else "s")
-      (count_checker t Footprint) (count_checker t Chain) (count_checker t Race);
+      (count_checker t Footprint) (count_checker t Chain)
+      (count_checker t Race) (count_checker t Static);
     List.iter
-      (fun d -> Format.fprintf fmt "@\n  %s" (diag_to_string d))
-      (diags t)
+      (fun (d, hits) ->
+        if hits = 1 then Format.fprintf fmt "@\n  %s" (diag_to_string d)
+        else Format.fprintf fmt "@\n  %s [x%d]" (diag_to_string d) hits)
+      (entries t)
   end
 
 let to_string t = Format.asprintf "%a" pp t

@@ -1,15 +1,17 @@
-(** Sanitizer diagnostics, shared by the three checkers.
+(** Sanitizer diagnostics, shared by the dynamic checkers and the static
+    certifier.
 
     A report collects {!diag}s from the {!Footprint} shim, the {!Chain}
-    scanner and the {!Race} detector over one (or several) engine runs.
-    Diagnostics are deduplicated — engines legitimately re-run transaction
-    logic after conflicts, so one bug would otherwise be reported once per
-    attempt — and rendered in a stable line-oriented format suitable for
-    golden output and CI logs:
+    scanner, the {!Race} detector and the [Bohm_analysis_static]
+    certifier over one (or several) engine runs or static passes.
+    Diagnostics are deduplicated with a per-entry occurrence count —
+    engines legitimately re-run transaction logic after conflicts, so one
+    bug would otherwise be reported once per attempt — and rendered in a
+    stable line-oriented format suitable for golden output and CI logs:
 
     {v
-sanitizer: 2 diagnostics (footprint=2 chain=0 race=0)
-  footprint: undeclared-read txn 12 key 0:5 (read outside declared footprint)
+sanitizer: 2 diagnostics (footprint=2 chain=0 race=0 static=0)
+  footprint: undeclared-read txn 12 key 0:5 (read outside declared footprint) [x41]
   footprint: late-write txn 12 key 0:2 (write after logic returned)
     v}
 
@@ -17,7 +19,7 @@ sanitizer: 2 diagnostics (footprint=2 chain=0 race=0)
     additions are naturally serialized, which is where sanitized runs are
     intended to execute. *)
 
-type checker = Footprint | Chain | Race
+type checker = Footprint | Chain | Race | Static
 
 type kind =
   | Undeclared_read  (** Read of a key outside read set ∪ write set. *)
@@ -45,6 +47,18 @@ type kind =
           stale or miscomputed slab index, i.e. arena corruption. *)
   | Data_race
       (** Conflicting cell accesses with no happens-before edge. *)
+  | Static_undeclared_read
+      (** The static certifier inferred a possible read of a key outside
+          the declared read set ∪ write set ([Bohm_analysis_static]): the
+          declaration is unsound {e before} any engine runs. *)
+  | Static_undeclared_write
+      (** The static certifier inferred a possible write of a key outside
+          the declared write set: a placeholder BOHM's CC layer would
+          never insert. *)
+  | Static_graph_mismatch
+      (** The pre-execution batch conflict graph disagrees with the
+          serialization graph observed from an actual run — either the
+          footprints or the analyzer is wrong. *)
 
 val checker_of_kind : kind -> checker
 val checker_name : checker -> string
@@ -63,10 +77,20 @@ val create : unit -> t
 
 val add : t -> ?txn:int -> ?key:Bohm_txn.Key.t -> kind -> string -> unit
 (** Record a diagnostic; duplicates (same kind, txn, key and detail) are
-    dropped. *)
+    collapsed into the first entry, which keeps a per-entry occurrence
+    count — a hot loop re-tripping one violation raises the count, not
+    the report length. *)
 
 val diags : t -> diag list
 (** In insertion order. *)
+
+val entries : t -> (diag * int) list
+(** In insertion order, each deduplicated diagnostic with the number of
+    times it was recorded ([>= 1]). *)
+
+val occurrences : t -> int
+(** Total recorded occurrences, duplicates included
+    ([>= count t]). *)
 
 val diag_to_string : diag -> string
 

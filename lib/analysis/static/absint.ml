@@ -1,0 +1,126 @@
+module Key = Bohm_txn.Key
+module KSet = Set.Make (Key)
+
+type footprint = {
+  may_reads : Key.t array;
+  must_reads : Key.t array;
+  may_writes : Key.t array;
+  must_writes : Key.t array;
+}
+
+(* Register abstraction: [Known n] iff the value is computable from the
+   (bound, concrete) parameters alone; anything read from the database is
+   [Unknown]. The environment is functional — each analysis path carries
+   its own copy, so branch-local definitions never leak. *)
+type absval = Known of int | Unknown
+
+(* Accesses performed by the {e suffix} under analysis: [may] on some
+   path, [must] on every path. A path ending in [Abort] contributes only
+   its pre-abort accesses to the intersection. *)
+type eff = {
+  may_r : KSet.t;
+  must_r : KSet.t;
+  may_w : KSet.t;
+  must_w : KSet.t;
+}
+
+let empty_eff =
+  { may_r = KSet.empty; must_r = KSet.empty; may_w = KSet.empty; must_w = KSet.empty }
+
+let add_read k e =
+  { e with may_r = KSet.add k e.may_r; must_r = KSet.add k e.must_r }
+
+let add_write k e =
+  { e with may_w = KSet.add k e.may_w; must_w = KSet.add k e.must_w }
+
+let join a b =
+  {
+    may_r = KSet.union a.may_r b.may_r;
+    must_r = KSet.inter a.must_r b.must_r;
+    may_w = KSet.union a.may_w b.may_w;
+    must_w = KSet.inter a.must_w b.must_w;
+  }
+
+let infer (inst : Tir.instance) =
+  let args = inst.Tir.args in
+  let rec eval_vexp env = function
+    | Tir.Vint n -> Known n
+    | Tir.Vparam i -> Known args.(i)
+    | Tir.Vreg r -> env.(r)
+    | Tir.Vadd (a, b) -> lift ( + ) (eval_vexp env a) (eval_vexp env b)
+    | Tir.Vsub (a, b) -> lift ( - ) (eval_vexp env a) (eval_vexp env b)
+  and lift f a b =
+    match (a, b) with Known x, Known y -> Known (f x y) | _ -> Unknown
+  in
+  let eval_cond env { Tir.op; lhs; rhs } =
+    match (eval_vexp env lhs, eval_vexp env rhs) with
+    | Known l, Known r ->
+        Some
+          (match op with
+          | Tir.Lt -> l < r
+          | Tir.Le -> l <= r
+          | Tir.Eq -> l = r
+          | Tir.Ne -> l <> r
+          | Tir.Ge -> l >= r
+          | Tir.Gt -> l > r)
+    | _ -> None
+  in
+  let set env r v =
+    let env' = Array.copy env in
+    env'.(r) <- v;
+    env'
+  in
+  (* Path-sensitive with tail duplication: an undecidable conditional
+     analyzes [branch @ rest] for each branch and joins — exponential in
+     unknown-conditional {e nesting}, which the IR bounds (no loops,
+     generators emit depth <= 2). *)
+  let rec go env = function
+    | [] -> empty_eff
+    | Tir.Read (r, k) :: rest ->
+        add_read (Tir.eval_key ~args k) (go (set env r Unknown) rest)
+    | Tir.Write (k, _) :: rest -> add_write (Tir.eval_key ~args k) (go env rest)
+    | Tir.Rmw (r, k, _) :: rest ->
+        let kk = Tir.eval_key ~args k in
+        add_read kk (add_write kk (go (set env r Unknown) rest))
+    | Tir.Spin _ :: rest -> go env rest
+    | Tir.Abort :: _ -> empty_eff
+    | Tir.If (c, a, b) :: rest -> (
+        match eval_cond env c with
+        | Some true -> go env (a @ rest)
+        | Some false -> go env (b @ rest)
+        | None -> join (go env (a @ rest)) (go env (b @ rest)))
+  in
+  let env = Array.make (max 1 inst.Tir.prog.Tir.nregs) Unknown in
+  let e = go env inst.Tir.prog.Tir.body in
+  let arr s = Array.of_list (KSet.elements s) in
+  {
+    may_reads = arr e.may_r;
+    must_reads = arr e.must_r;
+    may_writes = arr e.may_w;
+    must_writes = arr e.must_w;
+  }
+
+let mem sorted k =
+  let rec bs lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let c = Key.compare k sorted.(mid) in
+      if c = 0 then true else if c < 0 then bs lo mid else bs (mid + 1) hi
+  in
+  bs 0 (Array.length sorted)
+
+let conditional_writes fp =
+  Array.of_list
+    (List.filter
+       (fun k -> not (mem fp.must_writes k))
+       (Array.to_list fp.may_writes))
+
+let pp fmt fp =
+  let keys a =
+    String.concat ";" (Array.to_list (Array.map Key.to_string a))
+  in
+  Format.fprintf fmt
+    "may-reads=[%s] must-reads=[%s] may-writes=[%s] must-writes=[%s]"
+    (keys fp.may_reads) (keys fp.must_reads) (keys fp.may_writes)
+    (keys fp.must_writes)

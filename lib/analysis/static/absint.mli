@@ -1,0 +1,42 @@
+(** Abstract footprint inference over {!Tir} instances.
+
+    For a bound instance, every key expression evaluates exactly
+    (parameter arithmetic is static), so the only abstraction is over
+    {e control}: conditionals whose condition depends on data read at
+    runtime fork the analysis, and the two branches join as
+
+    - {b may} — union: keys accessed on {e some} execution path; and
+    - {b must} — intersection: keys accessed on {e every} execution path
+      (an [Abort] truncates its path, so accesses after a possible abort
+      are never must-accesses).
+
+    Conditions computable from parameters alone are decided exactly
+    (registers are tracked as [Known]/[Unknown]), so e.g. SmallBank's
+    WriteCheck — which writes Checking on {e both} overdraft branches —
+    still certifies Checking as a must-write.
+
+    Soundness (proved by property test against the dynamic
+    [Bohm_analysis.Footprint] shim, see DESIGN.md):
+    [must ⊆ observed ⊆ may] for every execution of the lowered
+    transaction. The may-sets are therefore valid declarations, and the
+    must-writes are the fills BOHM's execution layer is guaranteed to
+    receive (a may-only write is a conditional fill the §3.3.1
+    copy-forward rule must be prepared to finalize). *)
+
+type footprint = {
+  may_reads : Bohm_txn.Key.t array;  (** Sorted, duplicate-free. *)
+  must_reads : Bohm_txn.Key.t array;
+  may_writes : Bohm_txn.Key.t array;
+  must_writes : Bohm_txn.Key.t array;
+}
+
+val infer : Tir.instance -> footprint
+
+val conditional_writes : footprint -> Bohm_txn.Key.t array
+(** [may_writes \ must_writes] — writes whose placeholder may stay a
+    copy-forward. *)
+
+val mem : Bohm_txn.Key.t array -> Bohm_txn.Key.t -> bool
+(** Membership in a sorted key array (binary search). *)
+
+val pp : Format.formatter -> footprint -> unit

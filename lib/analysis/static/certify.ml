@@ -1,0 +1,41 @@
+module Key = Bohm_txn.Key
+module Txn = Bohm_txn.Txn
+module Report = Bohm_analysis.Report
+
+let derive inst =
+  let fp = Absint.infer inst in
+  (Array.to_list fp.Absint.may_reads, Array.to_list fp.Absint.may_writes)
+
+let lower inst =
+  let read_set, write_set = derive inst in
+  Tir.lower_with ~read_set ~write_set inst
+
+let check report inst ~declared =
+  let fp = Absint.infer inst in
+  Array.iter
+    (fun k ->
+      if not (Txn.reads declared k || Txn.writes declared k) then
+        Report.add report ~txn:declared.Txn.id ~key:k
+          Report.Static_undeclared_read
+          "inferred may-read outside declared footprint")
+    fp.Absint.may_reads;
+  Array.iter
+    (fun k ->
+      if not (Txn.writes declared k) then
+        Report.add report ~txn:declared.Txn.id ~key:k
+          Report.Static_undeclared_write
+          "inferred may-write outside declared write set")
+    fp.Absint.may_writes
+
+let check_all report insts ~declared =
+  if Array.length insts <> Array.length declared then
+    invalid_arg "Certify.check_all: length mismatch";
+  Array.iteri (fun i inst -> check report inst ~declared:declared.(i)) insts
+
+let overdeclared inst ~declared =
+  let fp = Absint.infer inst in
+  let unused set may =
+    List.filter (fun k -> not (Absint.mem may k)) (Array.to_list set)
+  in
+  ( unused declared.Txn.read_set fp.Absint.may_reads,
+    unused declared.Txn.write_set fp.Absint.may_writes )

@@ -1,0 +1,40 @@
+(** The static footprint certifier: §2.3's "deducible write-sets"
+    contract checked {e before} any engine runs.
+
+    Where the dynamic [Bohm_analysis.Footprint] shim can only flag an
+    undeclared access on the execution path a particular run happens to
+    take, the certifier compares the abstract-interpretation may-sets
+    against the declared sets: an under-declaration on {e any} path is a
+    diagnostic, with the offending key as counterexample, no engine
+    needed. Over-declaration is legal in BOHM (a wasted placeholder, not
+    a soundness bug) and is reported separately, not as a diagnostic. *)
+
+val derive :
+  Tir.instance -> Bohm_txn.Key.t list * Bohm_txn.Key.t list
+(** [(read_set, write_set)] — the inferred may-sets, the automatically
+    sound declaration for an IR-authored transaction. *)
+
+val lower : Tir.instance -> Bohm_txn.Txn.t
+(** {!Tir.lower_with} under {!derive}d declarations: the normal path for
+    IR workloads, correct by construction. *)
+
+val check :
+  Bohm_analysis.Report.t -> Tir.instance -> declared:Bohm_txn.Txn.t -> unit
+(** Certify [declared]'s sets against the instance's inferred footprint.
+    Adds [Static_undeclared_read] for every may-read outside declared
+    read ∪ write set and [Static_undeclared_write] for every may-write
+    outside the declared write set, keyed by the counterexample. *)
+
+val check_all :
+  Bohm_analysis.Report.t ->
+  Tir.instance array ->
+  declared:Bohm_txn.Txn.t array ->
+  unit
+(** Pairwise {!check}; [invalid_arg] on length mismatch. *)
+
+val overdeclared :
+  Tir.instance ->
+  declared:Bohm_txn.Txn.t ->
+  Bohm_txn.Key.t list * Bohm_txn.Key.t list
+(** [(reads, writes)] declared but never in the corresponding may-set —
+    wasted CC work, reported informationally by [bohm_cli analyze]. *)

@@ -1,0 +1,80 @@
+(** Whole-batch conflict-graph analysis from footprints alone, before
+    execution.
+
+    BOHM's serialization order {e is} the batch order (timestamps are
+    input-log positions), so the direct serialization graph of Adya et
+    al. (paper §2.2) that any run must realize is computable statically:
+    for each key, order the writers by batch position and place each
+    reader against the last writer before it —
+
+    - ww: consecutive writers [w_k -> w_k+1];
+    - wr: last writer before a reader [w -> r];
+    - rw: reader [r -> w'] for the first writer after [r] (the
+      anti-dependency on the version [r] reads).
+
+    A transaction with the key in both sets is a writer (its read of the
+    predecessor version is the ww edge). Edges from the initial bulk-load
+    version and self-edges are dropped, mirroring
+    [Serialization_check]'s observed-graph construction, against which
+    the static graph is cross-validated edge-for-edge post-run.
+
+    All edges point from earlier to later batch positions, so the graph
+    is a DAG; {!critical_path} is its longest dependency chain — the
+    execution layer cannot finish the batch in fewer dependent steps.
+    {!partition_load} hashes the write-sets the way BOHM's CC layer does
+    ([Key.hash mod partitions]), predicting per-partition placeholder
+    work — the scheduling asset DGCC builds its whole design on. *)
+
+type kind = [ `Ww | `Wr | `Rw ]
+
+type footprint = {
+  id : int;
+  reads : Bohm_txn.Key.t array;
+  writes : Bohm_txn.Key.t array;
+}
+
+type t
+
+val of_footprints : footprint array -> t
+(** Batch order is array order. Read/write arrays need not be sorted or
+    duplicate-free; ids must be distinct. When {!diff}ing against an
+    observed graph the ids must live in [Serialization_check]'s id space
+    (1-based; 0 is the initial bulk-load writer). *)
+
+val of_txns : Bohm_txn.Txn.t array -> t
+(** From declared sets. *)
+
+val of_instances : Tir.instance array -> t
+(** From inferred may-sets — the pre-execution graph for IR workloads. *)
+
+val edges : t -> (int * int * kind) list
+(** Sorted, duplicate-free [(from-id, to-id, kind)]. *)
+
+val edge_counts : t -> int * int * int  (** (ww, wr, rw). *)
+
+val txns : t -> int
+
+val degree_mean : t -> float
+(** Mean conflict degree: [2 * edges / txns] (each edge touches two
+    transactions); 0 for an empty batch. *)
+
+val degree_max : t -> int
+(** Largest per-transaction degree (in + out, distinct edges). *)
+
+val critical_path : t -> int
+(** Transactions on the longest dependency chain (>= 1 for a non-empty
+    batch; 1 means the batch is embarrassingly parallel). *)
+
+val partition_load : t -> partitions:int -> int array
+(** Write-set entries (CC placeholder inserts) owned by each of
+    [partitions] hash partitions. *)
+
+val diff :
+  t ->
+  observed:(int * int * kind) list ->
+  (int * int * kind) list * (int * int * kind) list
+(** [(static_only, observed_only)] — both empty iff the graphs agree
+    edge-for-edge. [observed] is deduplicated before comparison. *)
+
+val summary : t -> partitions:int -> string
+(** Multi-line human-readable report. *)

@@ -1,0 +1,173 @@
+module Key = Bohm_txn.Key
+module Value = Bohm_txn.Value
+module Txn = Bohm_txn.Txn
+
+type iexp =
+  | Int of int
+  | Param of int
+  | Iadd of iexp * iexp
+  | Isub of iexp * iexp
+  | Imul of iexp * iexp
+  | Imod of iexp * iexp
+
+type key = { ktable : int; krow : iexp }
+
+type vexp =
+  | Vint of int
+  | Vparam of int
+  | Vreg of int
+  | Vadd of vexp * vexp
+  | Vsub of vexp * vexp
+
+type cmp = Lt | Le | Eq | Ne | Ge | Gt
+
+type cond = { op : cmp; lhs : vexp; rhs : vexp }
+
+type stmt =
+  | Read of int * key
+  | Write of key * vexp
+  | Rmw of int * key * vexp
+  | Spin of iexp
+  | If of cond * stmt list * stmt list
+  | Abort
+
+type t = { tname : string; nparams : int; nregs : int; body : stmt list }
+
+module ISet = Set.Make (Int)
+
+(* Validation: params in range, registers defined on every path reaching
+   a use. [defined] is the set of registers live on all paths into the
+   current statement; a conditional contributes the intersection of its
+   branches. Returns (defined-after, highest-register-seen). *)
+let validate ~name ~nparams body =
+  let fail fmt =
+    Printf.ksprintf (fun s -> invalid_arg ("Tir.make: " ^ name ^ ": " ^ s)) fmt
+  in
+  let max_reg = ref (-1) in
+  let see_reg r =
+    if r < 0 then fail "negative register %d" r;
+    if r > !max_reg then max_reg := r
+  in
+  let param i =
+    if i < 0 || i >= nparams then fail "parameter %d out of range (nparams=%d)" i nparams
+  in
+  let rec iexp = function
+    | Int _ -> ()
+    | Param i -> param i
+    | Iadd (a, b) | Isub (a, b) | Imul (a, b) | Imod (a, b) ->
+        iexp a;
+        iexp b
+  in
+  let rec vexp defined = function
+    | Vint _ -> ()
+    | Vparam i -> param i
+    | Vreg r ->
+        see_reg r;
+        if not (ISet.mem r defined) then fail "register %d used before definition" r
+    | Vadd (a, b) | Vsub (a, b) ->
+        vexp defined a;
+        vexp defined b
+  in
+  let rec stmts defined = function
+    | [] -> defined
+    | s :: rest -> stmts (stmt defined s) rest
+  and stmt defined = function
+    | Read (r, k) ->
+        see_reg r;
+        iexp k.krow;
+        ISet.add r defined
+    | Write (k, v) ->
+        iexp k.krow;
+        vexp defined v;
+        defined
+    | Rmw (r, k, v) ->
+        see_reg r;
+        iexp k.krow;
+        vexp (ISet.add r defined) v;
+        ISet.add r defined
+    | Spin e ->
+        iexp e;
+        defined
+    | If (c, a, b) ->
+        vexp defined c.lhs;
+        vexp defined c.rhs;
+        ISet.inter (stmts defined a) (stmts defined b)
+    | Abort -> defined
+  in
+  ignore (stmts ISet.empty body);
+  !max_reg + 1
+
+let make ~name ~nparams body =
+  if nparams < 0 then invalid_arg "Tir.make: negative nparams";
+  let nregs = validate ~name ~nparams body in
+  { tname = name; nparams; nregs; body }
+
+type instance = { prog : t; id : int; args : int array }
+
+let instantiate prog ~id ~args =
+  if Array.length args <> prog.nparams then
+    Printf.ksprintf invalid_arg "Tir.instantiate: %s: %d args, %d params"
+      prog.tname (Array.length args) prog.nparams;
+  { prog; id; args }
+
+let rec eval_iexp ~args = function
+  | Int n -> n
+  | Param i -> args.(i)
+  | Iadd (a, b) -> eval_iexp ~args a + eval_iexp ~args b
+  | Isub (a, b) -> eval_iexp ~args a - eval_iexp ~args b
+  | Imul (a, b) -> eval_iexp ~args a * eval_iexp ~args b
+  | Imod (a, b) ->
+      let m = eval_iexp ~args b in
+      if m <= 0 then invalid_arg "Tir: modulus must be positive";
+      Int.rem (eval_iexp ~args a) m
+
+let eval_key ~args k = Key.make ~table:k.ktable ~row:(eval_iexp ~args k.krow)
+
+let lower_with ~read_set ~write_set inst =
+  let { prog; id; args } = inst in
+  Txn.make ~id ~read_set ~write_set (fun ctx ->
+      (* Fresh register file per attempt: engines re-run logic after
+         conflicts, and each attempt's reads are its own. *)
+      let regs = Array.make (max 1 prog.nregs) 0 in
+      let rec eval_vexp = function
+        | Vint n -> n
+        | Vparam i -> args.(i)
+        | Vreg r -> regs.(r)
+        | Vadd (a, b) -> eval_vexp a + eval_vexp b
+        | Vsub (a, b) -> eval_vexp a - eval_vexp b
+      in
+      let eval_cond { op; lhs; rhs } =
+        let l = eval_vexp lhs and r = eval_vexp rhs in
+        match op with
+        | Lt -> l < r
+        | Le -> l <= r
+        | Eq -> l = r
+        | Ne -> l <> r
+        | Ge -> l >= r
+        | Gt -> l > r
+      in
+      let rec exec = function
+        | [] -> Txn.Commit
+        | Read (r, k) :: rest ->
+            regs.(r) <- Value.to_int (ctx.Txn.read (eval_key ~args k));
+            exec rest
+        | Write (k, v) :: rest ->
+            ctx.Txn.write (eval_key ~args k) (Value.of_int (eval_vexp v));
+            exec rest
+        | Rmw (r, k, v) :: rest ->
+            let kk = eval_key ~args k in
+            regs.(r) <- Value.to_int (ctx.Txn.read kk);
+            ctx.Txn.write kk (Value.of_int (eval_vexp v));
+            exec rest
+        | Spin e :: rest ->
+            ctx.Txn.spin (eval_iexp ~args e);
+            exec rest
+        | If (c, a, b) :: rest -> exec ((if eval_cond c then a else b) @ rest)
+        | Abort :: _ -> Txn.Abort
+      in
+      exec prog.body)
+
+let pp fmt inst =
+  Format.fprintf fmt "ir:%s#%d(%s)" inst.prog.tname inst.id
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int inst.args)))

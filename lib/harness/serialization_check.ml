@@ -146,6 +146,43 @@ let recover_chains w ~final_read =
     writers_per_row;
   (per_key_succ, is_writer)
 
+let observed_graph w ~final_read =
+  match
+    let succ, is_writer = recover_chains w ~final_read in
+    let edges = ref [] in
+    let add a b kind = if a <> b && a <> 0 then edges := (a, b, kind) :: !edges in
+    Array.iteri
+      (fun i o ->
+        let id = i + 1 in
+        let reads_edges kind (row, seen) =
+          if seen <> 0 && not (Hashtbl.mem is_writer (row, seen)) then
+            raise
+              (Corrupt_exn
+                 (Printf.sprintf "row %d: txn %d read phantom value %d" row id
+                    seen));
+          add seen id kind;
+          match Hashtbl.find_opt succ (row, seen) with
+          | Some overwriter when overwriter <> id -> add id overwriter `Rw
+          | _ -> ()
+        in
+        (* An RMW's read of its predecessor is the ww edge. *)
+        List.iter (reads_edges `Ww) o.rmw_preds;
+        List.iter (reads_edges `Wr) o.pure_reads)
+      w.observations;
+    let kind_rank = function `Ww -> 0 | `Wr -> 1 | `Rw -> 2 in
+    let cmp (a, b, k) (a', b', k') =
+      match compare a a' with
+      | 0 -> (
+          match compare b b' with
+          | 0 -> compare (kind_rank k) (kind_rank k')
+          | c -> c)
+      | c -> c
+    in
+    List.sort_uniq cmp !edges
+  with
+  | edges -> Ok edges
+  | exception Corrupt_exn msg -> Error msg
+
 let check w ~final_read =
   match
     let succ, is_writer = recover_chains w ~final_read in

@@ -53,4 +53,18 @@ val check : workload -> final_read:(Bohm_txn.Key.t -> Bohm_txn.Value.t) -> verdi
 (** Analyze the observations after the run. [final_read] is the engine's
     committed state, used to anchor each key's last writer. *)
 
+val observed_graph :
+  workload ->
+  final_read:(Bohm_txn.Key.t -> Bohm_txn.Value.t) ->
+  ((int * int * [ `Ww | `Wr | `Rw ]) list, string) result
+(** The labeled direct serialization graph the run actually realized,
+    as sorted duplicate-free [(from-id, to-id, kind)] edges — the same
+    edges {!check} builds (RMW predecessors are the ww edges; pure reads
+    yield wr and rw edges; edges from the initial version and self-edges
+    are dropped). [Error] carries the corruption message when the
+    observations fit no one-copy execution. Under an engine whose
+    serialization order is the batch order (BOHM), this must agree
+    edge-for-edge with the static [Conflict_graph] of the same
+    transactions. *)
+
 val verdict_to_string : verdict -> string

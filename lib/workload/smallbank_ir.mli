@@ -1,0 +1,39 @@
+(** The SmallBank generator ported to the static transaction IR.
+
+    Same five procedures, same tables, same RNG draw sequence as
+    {!Smallbank} — equal seeds yield instances whose lowering performs
+    the identical ctx call sequence (reads, writes, spin) as the closure
+    transactions, so footprints, final states and deterministic-Sim
+    stats all agree. Unlike YCSB, two procedures exercise the abstract
+    interpreter's path join:
+
+    - [TransactSavings] writes savings only on the non-overdraft branch:
+      savings is a {e may}-write but not a {e must}-write;
+    - [WriteCheck] writes checking on {e both} branches of the overdraft
+      test: a must-write behind a data-dependent conditional. *)
+
+val prog : spin:int -> Smallbank.kind -> Bohm_analysis_static.Tir.t
+(** The IR program for one procedure. Parameter conventions:
+    [Balance c], [DepositChecking c amount], [TransactSavings c amount]
+    (amount may be negative), [Amalgamate c1 c2],
+    [WriteCheck c amount]. *)
+
+val generate :
+  customers:int ->
+  count:int ->
+  seed:int ->
+  ?spin:int ->
+  unit ->
+  Bohm_analysis_static.Tir.instance array
+(** Mirrors {!Smallbank.generate} draw-for-draw. *)
+
+val generate_kind :
+  customers:int ->
+  count:int ->
+  seed:int ->
+  ?spin:int ->
+  Smallbank.kind ->
+  Bohm_analysis_static.Tir.instance array
+
+val lower_all :
+  Bohm_analysis_static.Tir.instance array -> Bohm_txn.Txn.t array

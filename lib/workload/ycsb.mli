@@ -24,6 +24,13 @@ val table : rows:int -> record_bytes:int -> Bohm_storage.Table.t
 val tables : rows:int -> record_bytes:int -> Bohm_storage.Table.t array
 val initial_value : Bohm_txn.Key.t -> Bohm_txn.Value.t
 
+val distinct_keys :
+  Bohm_util.Zipf.t -> Bohm_util.Rng.t -> int -> Bohm_txn.Key.t array
+(** [n] distinct Zipfian-popular keys, ranks scattered across the row
+    space (the generator's own sampler, exported so the IR port
+    [Ycsb_ir] replays the {e same} RNG draw sequence and yields
+    key-for-key identical workloads). *)
+
 val generate :
   rows:int ->
   theta:float ->

@@ -36,7 +36,10 @@ let test_report_dedup () =
   Report.add r ~txn:3 ~key:(k 1) Report.Undeclared_read "spurious";
   Report.add r ~txn:3 ~key:(k 1) Report.Undeclared_read "different detail";
   Alcotest.(check int) "duplicates dropped" 2 (Report.count r);
-  Alcotest.(check bool) "not clean" false (Report.is_clean r)
+  Alcotest.(check bool) "not clean" false (Report.is_clean r);
+  Alcotest.(check int) "occurrences keep duplicates" 3 (Report.occurrences r);
+  Alcotest.(check (list int)) "per-entry hit counts" [ 2; 1 ]
+    (List.map snd (Report.entries r))
 
 (* Substring helper (avoid extra deps). *)
 let contains s sub =
@@ -50,7 +53,11 @@ let test_report_render () =
   Report.add r ~txn:12 ~key:(k 5) Report.Late_write "write after logic returned";
   let s = Report.to_string r in
   Alcotest.(check bool) "header" true (contains s "sanitizer: 1 diagnostic");
-  Alcotest.(check bool) "kind rendered" true (contains s "late-write")
+  Alcotest.(check bool) "kind rendered" true (contains s "late-write");
+  Alcotest.(check bool) "singleton has no count suffix" false (contains s "[x");
+  Report.add r ~txn:12 ~key:(k 5) Report.Late_write "write after logic returned";
+  Alcotest.(check bool) "occurrence count rendered" true
+    (contains (Report.to_string r) "[x2]")
 
 (* --- Footprint shim (no engine, no simulator: pure ctx interposition) --- *)
 
@@ -476,6 +483,68 @@ let test_corrupt_final_mismatch () =
   let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 9)) in
   Alcotest.(check bool) "names final value" true (contains msg "final value is 9")
 
+(* Corruption must take precedence over cycle detection: a Corrupt
+   verdict means the observations fit no one-copy execution at all, so
+   reporting the (also present) cycle would understate the failure. Both
+   tests stage a genuine wr-cycle between txns 1 and 2 — each pure-reads
+   the other's write — and then break the observations another way. *)
+
+let cyclic_workload ~txns:n =
+  (* A workload over two rows where txn 1 and txn 2 RMW different rows
+     (so each one's pure read is of the other's row), and any further
+     txns RMW txn 1's row. Seed-searched; the generator draws rows
+     uniformly. *)
+  let rec pick seed =
+    if seed > 10_000 then Alcotest.fail "no suitable seed"
+    else
+      let w =
+        Check.make_workload ~rows:2 ~txns:n ~rmws_per_txn:1 ~reads_per_txn:1
+          ~seed
+      in
+      let txns = Check.txns w in
+      let row i = Key.row txns.(i).Txn.write_set.(0) in
+      if row 0 <> row 1 && (n < 3 || row 2 = row 0) then w else pick (seed + 1)
+  in
+  pick 1
+
+let test_corrupt_beats_cycle_final_mismatch () =
+  let w = cyclic_workload ~txns:2 in
+  let txns = Check.txns w in
+  let row_a = Key.row txns.(0).Txn.write_set.(0) in
+  feed_logic txns.(0) [ 0; 2 ];
+  feed_logic txns.(1) [ 0; 1 ];
+  (* With a truthful final state the verdict is the cycle... *)
+  (match
+     Check.check w
+       ~final_read:(fun key ->
+         Value.of_int (if Key.row key = row_a then 1 else 2))
+   with
+  | Check.Cycle _ -> ()
+  | v -> Alcotest.failf "expected Cycle, got %s" (Check.verdict_to_string v));
+  (* ...but a final state naming a writer that never ran is Corrupt, not
+     Cycle, even though the cycle is still in the observations. *)
+  let msg = corrupt_msg (Check.check w ~final_read:(fun _ -> Value.of_int 9)) in
+  Alcotest.(check bool) "corruption wins over the cycle" true
+    (contains msg "final value is 9")
+
+let test_corrupt_beats_cycle_lost_update () =
+  let w = cyclic_workload ~txns:3 in
+  let txns = Check.txns w in
+  let row_a = Key.row txns.(0).Txn.write_set.(0) in
+  feed_logic txns.(0) [ 0; 2 ];
+  feed_logic txns.(1) [ 0; 1 ];
+  (* txn 3 RMWs txn 1's row and claims the same predecessor (the initial
+     version): a lost update on top of the 1<->2 cycle. *)
+  feed_logic txns.(2) [ 0; 2 ];
+  let msg =
+    corrupt_msg
+      (Check.check w
+         ~final_read:(fun key ->
+           Value.of_int (if Key.row key = row_a then 3 else 2)))
+  in
+  Alcotest.(check bool) "lost update wins over the cycle" true
+    (contains msg "lost update")
+
 (* --- Workload generation: distinct rows, deterministic --- *)
 
 let test_workload_distinct_rows () =
@@ -560,6 +629,10 @@ let suite =
         Alcotest.test_case "phantom value" `Quick test_corrupt_phantom_value;
         Alcotest.test_case "short chain" `Quick test_corrupt_short_chain;
         Alcotest.test_case "final mismatch" `Quick test_corrupt_final_mismatch;
+        Alcotest.test_case "corrupt beats cycle: final mismatch" `Quick
+          test_corrupt_beats_cycle_final_mismatch;
+        Alcotest.test_case "corrupt beats cycle: lost update" `Quick
+          test_corrupt_beats_cycle_lost_update;
       ] );
     ( "workload",
       [

@@ -188,6 +188,29 @@ let smoke ~scale ~sanitized =
     (run ~preprocess:true ~probe_memo:true ~routing:false ());
   check ("bohm cc=4 exec=8 preprocess re-probe" ^ suffix)
     (run ~preprocess:true ~probe_memo:false ~routing:true ());
+  (* Two complete per-shard pipelines with a 10% cross-shard mix: routed
+     footprint slices, epoch-aligned batches and the per-batch vote round
+     must still commit every transaction (sanitized: under the full
+     checker suite, cross-shard reads included). *)
+  let sharded_txns =
+    Ycsb.generate_sharded ~rows ~theta:0.0 ~count ~seed:41 ~shards:2
+      ~cross_fraction:0.1 (Ycsb.rmw_profile 10)
+  in
+  check ("bohm 2 shards x (cc=4 exec=8) preprocess" ^ suffix)
+    (if sanitized then
+       let bohm =
+         { Runner.default_bohm_opts with cc_fraction = 1. /. 3.;
+           preprocess = true; shards = 2 }
+       in
+       let stats, r =
+         Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec
+           sharded_txns
+       in
+       (stats, Some r)
+     else
+       ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~shards:2 ~preprocess:true spec
+           sharded_txns,
+         None ));
   if !failures > 0 then begin
     Printf.eprintf "smoke: %d configuration(s) failed\n" !failures;
     exit 1

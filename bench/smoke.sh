@@ -130,4 +130,32 @@ awk '
     print "trace schema gate PASS (" events " events, all tracks balanced)"
   }' "$tmp4"
 
+# Fourth determinism gate: the multi-shard refactor must leave the
+# single-shard engine untouched. shards=1 is the default, so the plain
+# --quick fig4 sweep must reproduce the corresponding BENCH_PR6.json
+# fig4 cells bit-for-bit — any charged instruction leaking from the
+# sharded paths into the single-shard run shows up here.
+tmp5=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
+dune exec bench/main.exe -- fig4 --quick --json="$tmp5" > /dev/null
+for x in 2 8; do
+  got=$(row "$tmp5" $x)
+  want=$(row BENCH_PR6.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: single-shard fig4 diverges from BENCH_PR6.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4 single-shard determinism gate PASS (matches BENCH_PR6.json at exec=2,8 / CC=1,4)"
+
+# Multi-shard ablation smoke: complete per-shard pipelines at 1/2/4
+# shards with a 10% cross-shard mix. A lost vote, a missed epoch
+# alignment or a mis-routed footprint slice deadlocks the simulator or
+# drops commits and exits non-zero; the full-scale scaling table lives
+# in EXPERIMENTS.md / BENCH_PR8.json.
+dune exec bench/main.exe -- fig4-shards --quick > /dev/null \
+  && echo "fig4-shards smoke PASS"
+
 exec dune exec bench/main.exe -- smoke "$@"

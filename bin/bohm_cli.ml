@@ -80,7 +80,26 @@ let run_cmd =
     Arg.(value & opt workload_conv W_10rmw & info [ "w"; "workload" ] ~doc:"Workload: 10rmw, 2rmw8r, readonly-mix or smallbank.")
   in
   let threads =
-    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Total simulated threads.")
+    Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads (per shard when --shards > 1).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "BOHM shard count: each shard runs a complete pipeline \
+             (CC partitions, execution pool, version store) over its slice \
+             of the key space; batches commit through one deterministic \
+             cross-shard vote round.")
+  in
+  let cross_shard_pct =
+    Arg.(
+      value & opt float 10.0
+      & info [ "cross-shard-pct" ]
+          ~doc:
+            "Percentage of YCSB transactions spanning two shards (only \
+             meaningful with --shards > 1 on the 10rmw/2rmw8r workloads; \
+             the rest are confined to one shard).")
   in
   let theta =
     Arg.(value & opt float 0.0 & info [ "theta" ] ~doc:"Zipfian contention parameter (YCSB).")
@@ -165,9 +184,15 @@ let run_cmd =
              detector, version-chain audit) and exit nonzero on any \
              diagnostic.")
   in
-  let action engine workload threads theta rows count seed cc_fraction batch
-      no_gc no_annotation preprocess no_probe_memo no_cc_routing
-      no_exec_wakeup no_version_slabs trace latency sanitize =
+  let action engine workload threads shards cross_shard_pct theta rows count
+      seed cc_fraction batch no_gc no_annotation preprocess no_probe_memo
+      no_cc_routing no_exec_wakeup no_version_slabs trace latency sanitize =
+    let ycsb_gen profile =
+      if shards > 1 then
+        Ycsb.generate_sharded ~rows ~theta ~count ~seed ~shards
+          ~cross_fraction:(cross_shard_pct /. 100.) profile
+      else Ycsb.generate ~rows ~theta ~count ~seed profile
+    in
     let spec, txns =
       match workload with
       | W_10rmw ->
@@ -175,14 +200,13 @@ let run_cmd =
               Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
               init = Ycsb.initial_value;
             },
-            Ycsb.generate ~rows ~theta ~count ~seed (Ycsb.rmw_profile 10) )
+            ycsb_gen (Ycsb.rmw_profile 10) )
       | W_2rmw8r ->
           ( {
               Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
               init = Ycsb.initial_value;
             },
-            Ycsb.generate ~rows ~theta ~count ~seed
-              (Ycsb.mixed_profile ~rmws:2 ~reads:8) )
+            ycsb_gen (Ycsb.mixed_profile ~rmws:2 ~reads:8) )
       | W_readonly_mix ->
           ( {
               Runner.tables = Ycsb.tables ~rows ~record_bytes:1000;
@@ -202,6 +226,7 @@ let run_cmd =
       {
         Runner.cc_fraction;
         batch_size = batch;
+        shards;
         gc = not no_gc;
         read_annotation = not no_annotation;
         preprocess;
@@ -237,7 +262,11 @@ let run_cmd =
       | None -> run_once ()
       | Some r -> Bohm_obs.Recorder.with_recorder r run_once
     in
-    Report.header ~title:(Printf.sprintf "%s / %d threads" name threads);
+    Report.header
+      ~title:
+        (if shards > 1 then
+           Printf.sprintf "%s / %d shards x %d threads" name shards threads
+         else Printf.sprintf "%s / %d threads" name threads);
     Report.print_kv
       ([
          ("throughput", Report.float_to_string (Stats.throughput stats) ^ " txns/s");
@@ -282,10 +311,10 @@ let run_cmd =
   in
   let term =
     Term.(
-      const action $ engine $ workload $ threads $ theta $ rows $ count $ seed
-      $ cc_fraction $ batch $ no_gc $ no_annotation $ preprocess
-      $ no_probe_memo $ no_cc_routing $ no_exec_wakeup $ no_version_slabs
-      $ trace $ latency $ sanitize)
+      const action $ engine $ workload $ threads $ shards $ cross_shard_pct
+      $ theta $ rows $ count $ seed $ cc_fraction $ batch $ no_gc
+      $ no_annotation $ preprocess $ no_probe_memo $ no_cc_routing
+      $ no_exec_wakeup $ no_version_slabs $ trace $ latency $ sanitize)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 
@@ -361,6 +390,16 @@ let analyze_cmd =
       & info [ "partitions" ]
           ~doc:"CC partitions for the predicted placeholder-load report.")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ]
+          ~doc:
+            "Also report the batch's static sharding profile for this shard \
+             count: per-shard placeholder load, cross-shard transaction \
+             fraction, cross-shard dependency edges and expected vote \
+             fan-out.")
+  in
   let cross_validate =
     Arg.(
       value & flag
@@ -375,7 +414,8 @@ let analyze_cmd =
   let threads =
     Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Simulated threads for cross-validation runs.")
   in
-  let action workload rows count seed theta partitions cross_validate threads =
+  let action workload rows count seed theta partitions shards cross_validate
+      threads =
     let wname =
       match workload with
       | W_10rmw -> "10rmw"
@@ -442,6 +482,10 @@ let analyze_cmd =
       ];
     print_newline ();
     print_endline (Conflict_graph.summary g ~partitions);
+    if shards > 1 then begin
+      print_newline ();
+      print_endline (Conflict_graph.shard_summary g ~shards)
+    end;
     let dyn_dirty = ref false in
     if cross_validate then begin
       (* (a) the inferred declarations must cover every access an actual
@@ -515,7 +559,7 @@ let analyze_cmd =
           (exit 1 on any diagnostic).")
     Term.(
       const action $ workload $ rows $ count $ seed $ theta $ partitions
-      $ cross_validate $ threads)
+      $ shards $ cross_validate $ threads)
 
 (* --- bench command --- *)
 

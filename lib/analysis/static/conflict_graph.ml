@@ -11,6 +11,7 @@ type t = {
   (* Edges over positions, deduplicated, each an earlier -> later pair by
      construction. *)
   pos_edges : (int * int * kind) list;
+  read_keys : Key.t array array;  (** Position -> read set. *)
   write_keys : Key.t array array;  (** Position -> write set. *)
 }
 
@@ -76,6 +77,7 @@ let of_footprints fps =
   {
     ids;
     pos_edges = sort_dedup !edges;
+    read_keys = Array.map (fun f -> f.reads) fps;
     write_keys = Array.map (fun f -> f.writes) fps;
   }
 
@@ -144,6 +146,81 @@ let partition_load t ~partitions =
          load.(p) <- load.(p) + 1))
     t.write_keys;
   load
+
+type shard_stats = {
+  shard_load : int array;
+  cross_txns : int;
+  cross_edges : int;
+  vote_fanout : float;
+}
+
+(* Mirrors the engine's homing rule: the shard of the first read-set key,
+   else the first write-set key, else shard 0. *)
+let home_shard t ~shards pos =
+  let r = t.read_keys.(pos) and w = t.write_keys.(pos) in
+  if Array.length r > 0 then Key.shard_of ~shards r.(0)
+  else if Array.length w > 0 then Key.shard_of ~shards w.(0)
+  else 0
+
+let shard_stats t ~shards =
+  if shards <= 0 then invalid_arg "Conflict_graph.shard_stats";
+  let n = txns t in
+  let shard_load = Array.make shards 0 in
+  Array.iter
+    (Array.iter (fun k ->
+         let s = Key.shard_of ~shards k in
+         shard_load.(s) <- shard_load.(s) + 1))
+    t.write_keys;
+  let owners pos =
+    let m = ref 0 in
+    let touch k = m := !m lor (1 lsl Key.shard_of ~shards k) in
+    Array.iter touch t.read_keys.(pos);
+    Array.iter touch t.write_keys.(pos);
+    !m
+  in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  let cross_txns = ref 0 and fanout_sum = ref 0 in
+  for pos = 0 to n - 1 do
+    let c = popcount (owners pos) in
+    if c > 1 then begin
+      incr cross_txns;
+      fanout_sum := !fanout_sum + c
+    end
+  done;
+  let cross_edges =
+    List.fold_left
+      (fun acc (a, b, _) ->
+        if home_shard t ~shards a <> home_shard t ~shards b then acc + 1
+        else acc)
+      0 t.pos_edges
+  in
+  {
+    shard_load;
+    cross_txns = !cross_txns;
+    cross_edges;
+    vote_fanout =
+      (if !cross_txns = 0 then 0.
+       else float_of_int !fanout_sum /. float_of_int !cross_txns);
+  }
+
+let shard_summary t ~shards =
+  let s = shard_stats t ~shards in
+  let n = txns t in
+  Printf.sprintf
+    "shard load (%d): [%s]\n\
+     cross-shard txns: %d of %d (%.1f%%)\n\
+     cross-shard edges: %d of %d\n\
+     expected vote fan-out: %.2f owning shards per cross-shard txn"
+    shards
+    (String.concat "; " (Array.to_list (Array.map string_of_int s.shard_load)))
+    s.cross_txns n
+    (if n = 0 then 0. else 100. *. float_of_int s.cross_txns /. float_of_int n)
+    s.cross_edges
+    (List.length t.pos_edges)
+    s.vote_fanout
 
 let diff t ~observed =
   let s = edges t in

@@ -69,6 +69,31 @@ val partition_load : t -> partitions:int -> int array
 (** Write-set entries (CC placeholder inserts) owned by each of
     [partitions] hash partitions. *)
 
+type shard_stats = {
+  shard_load : int array;
+      (** Write-set entries (placeholder inserts) owned by each shard
+          under {!Bohm_txn.Key.shard_of}. *)
+  cross_txns : int;
+      (** Transactions whose footprint spans more than one shard — the
+          ones whose batch needs the cross-shard vote round. *)
+  cross_edges : int;
+      (** Edges between transactions homed on different shards (home =
+          shard of the first read-set key, else the first write-set key
+          — the engine's homing rule): dependencies the per-shard
+          pipelines resolve across shard boundaries. *)
+  vote_fanout : float;
+      (** Mean owning shards per cross-shard transaction — how many
+          shards' votes each such transaction's batch decision folds; 0
+          when the batch has no cross-shard transaction. *)
+}
+
+val shard_stats : t -> shards:int -> shard_stats
+(** Static sharding analysis of the batch for a hypothetical (or actual)
+    [Config.shards] count. *)
+
+val shard_summary : t -> shards:int -> string
+(** Multi-line human-readable report of {!shard_stats}. *)
+
 val diff :
   t ->
   observed:(int * int * kind) list ->

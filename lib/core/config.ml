@@ -2,6 +2,7 @@ type t = {
   cc_threads : int;
   exec_threads : int;
   batch_size : int;
+  shards : int;
   gc : bool;
   read_annotation : bool;
   preprocess : bool;
@@ -12,17 +13,20 @@ type t = {
   obs : bool;
 }
 
-let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
-    ?(read_annotation = true) ?(preprocess = false) ?(probe_memo = true)
-    ?(cc_routing = true) ?(exec_wakeup = true) ?(version_slabs = true)
-    ?(obs = false) () =
+let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(shards = 1)
+    ?(gc = true) ?(read_annotation = true) ?(preprocess = false)
+    ?(probe_memo = true) ?(cc_routing = true) ?(exec_wakeup = true)
+    ?(version_slabs = true) ?(obs = false) () =
   if cc_threads <= 0 then invalid_arg "Config.make: cc_threads must be positive";
   if exec_threads <= 0 then invalid_arg "Config.make: exec_threads must be positive";
   if batch_size <= 0 then invalid_arg "Config.make: batch_size must be positive";
+  if shards <= 0 then invalid_arg "Config.make: shards must be positive";
+  if shards > 62 then invalid_arg "Config.make: shards must be at most 62";
   {
     cc_threads;
     exec_threads;
     batch_size;
+    shards;
     gc;
     read_annotation;
     preprocess;
@@ -35,7 +39,7 @@ let make ?(cc_threads = 2) ?(exec_threads = 2) ?(batch_size = 1000) ?(gc = true)
 
 let pp fmt t =
   Format.fprintf fmt
-    "cc=%d exec=%d batch=%d gc=%b annotate=%b pre=%b memo=%b route=%b wake=%b \
-     slabs=%b obs=%b"
-    t.cc_threads t.exec_threads t.batch_size t.gc t.read_annotation t.preprocess
-    t.probe_memo t.cc_routing t.exec_wakeup t.version_slabs t.obs
+    "cc=%d exec=%d batch=%d shards=%d gc=%b annotate=%b pre=%b memo=%b route=%b \
+     wake=%b slabs=%b obs=%b"
+    t.cc_threads t.exec_threads t.batch_size t.shards t.gc t.read_annotation
+    t.preprocess t.probe_memo t.cc_routing t.exec_wakeup t.version_slabs t.obs

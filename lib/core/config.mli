@@ -8,6 +8,17 @@ type t = private {
   cc_threads : int;  (** Version-insertion threads (partitioned by key hash). *)
   exec_threads : int;  (** Transaction-logic threads. *)
   batch_size : int;  (** Transactions per coordination epoch. *)
+  shards : int;
+      (** Number of shards. Each shard is a complete BOHM pipeline —
+          preprocessor slice, [cc_threads] CC partitions, [exec_threads]
+          execution threads, its own version store — and keys are mapped
+          to shards by {!Bohm_txn.Key.shard_of}, layered above the
+          per-shard [key -> cc-partition] hash. All shards sequence the
+          same shared input log into the same global epochs
+          (batch-aligned deterministic sequencing), and every batch
+          commits via one deterministic vote round between the shards.
+          [shards = 1] (the default) runs the single-pipeline engine
+          completely untouched. *)
   gc : bool;  (** Condition-3 batch garbage collection (§3.3.2). *)
   read_annotation : bool;
       (** The read-set optimization of §3.2.3: CC threads stamp each
@@ -77,6 +88,7 @@ val make :
   ?cc_threads:int ->
   ?exec_threads:int ->
   ?batch_size:int ->
+  ?shards:int ->
   ?gc:bool ->
   ?read_annotation:bool ->
   ?preprocess:bool ->
@@ -87,10 +99,11 @@ val make :
   ?obs:bool ->
   unit ->
   t
-(** Defaults: 2 CC threads, 2 exec threads, batch of 1000, GC on,
-    read annotation on, preprocessing off, probe memoization on, batch
-    routing on, fill-triggered wakeup on, version slabs on, observability
-    off. Raises [Invalid_argument] on non-positive thread counts or batch
-    size. *)
+(** Defaults: 2 CC threads, 2 exec threads, batch of 1000, 1 shard, GC
+    on, read annotation on, preprocessing off, probe memoization on,
+    batch routing on, fill-triggered wakeup on, version slabs on,
+    observability off. Raises [Invalid_argument] on non-positive thread
+    counts, batch size or shard count, or on more than 62 shards (owner
+    sets are bitmasks in one OCaml int). *)
 
 val pp : Format.formatter -> t -> unit

@@ -76,6 +76,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        write-set index. Written by one preprocessor thread and published
        to the CC threads through the [pre_done] watermark. *)
     mutable owned_keys : int array array;
+    (* Sharding metadata, computed at wrap time from the declared
+       footprint (host-side, free): the bitmask of shards owning at least
+       one footprint key, and the home shard — the shard of the first
+       footprint entry — whose execution pool runs the logic. With one
+       shard both are the constants [1] and [0] and nothing reads them. *)
+    owners : int;
+    home : int;
     (* Wakeup-path input-readiness memo (probe-once, like [slots]): the
        resolved version for footprint entry [i] (read set first, then
        write-set predecessors), filled lazily by [find_unfilled], and the
@@ -95,8 +102,21 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   type t = {
     config : Config.t;
-    store : wrapped V.t R.Cell.t Store.t;
+    (* One version store per shard ([Config.shards] = 1: exactly one).
+       Every store indexes the full key space — the bucket layout, and
+       hence per-key probe cost, is identical in every shard — but a
+       key's chain only ever grows in its owning shard's store. *)
+    stores : wrapped V.t R.Cell.t Store.t array;
     mutable next_ts : int;
+    (* Fault injection for the cross-shard checker's mutation tests:
+       [Some (shard, batch)] makes that shard vote-abort the batch
+       locally while its published vote is lost in transit (peers see
+       ready). Set before [run]; never used outside tests. *)
+    mutable lost_vote : (int * int) option;
+    (* Per (shard, batch) vote-round outcome of the last sharded [run]:
+       (shard, batch, local_ready, merged_commit). Empty for
+       single-shard runs. *)
+    mutable votes_log : (int * int * bool * bool) list;
   }
 
   (* Carries the key read, the unfilled version (so the wakeup path can
@@ -106,7 +126,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   exception Blocked_on of Key.t * wrapped V.t * wrapped
 
   let create config ~tables init =
-    let store =
+    let mk_store () =
       Store.create_hash ~tables (fun k ->
           (* Chain heads are racy by design: a CC thread prepends for
              batch [b+1] while execution threads of batch [b] read —
@@ -116,10 +136,25 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           R.Cell.mark_sync head;
           head)
     in
-    { config; store; next_ts = 1 }
+    {
+      config;
+      stores = Array.init config.Config.shards (fun _ -> mk_store ());
+      next_ts = 1;
+      lost_vote = None;
+      votes_log = [];
+    }
 
   let config t = t.config
-  let index_probes t = Store.probe_count t.store
+
+  let index_probes t =
+    Array.fold_left (fun acc s -> acc + Store.probe_count s) 0 t.stores
+
+  (* Store routing layered above the per-shard CC partitioning: a key's
+     versions live in its owning shard's store. The single-shard branch is
+     host-only, so the unsharded engine's charge sequence is untouched. *)
+  let store_for t k =
+    if Array.length t.stores = 1 then t.stores.(0)
+    else t.stores.(Key.shard_of ~shards:(Array.length t.stores) k)
 
   (* [cc_routing] is one flag for three mechanically independent
      optimizations so one ablation toggles the whole batch-routed mode.
@@ -183,6 +218,22 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        in between — a synchronization cell like the claim word. *)
     let waited = R.Cell.make 0 in
     R.Cell.mark_sync waited;
+    let shards = t.config.Config.shards in
+    let owners, home =
+      if shards = 1 then (1, 0)
+      else begin
+        let mask = ref 0 in
+        let stamp k = mask := !mask lor (1 lsl Key.shard_of ~shards k) in
+        Array.iter stamp txn.Txn.read_set;
+        Array.iter stamp txn.Txn.write_set;
+        let home =
+          if n_rs > 0 then Key.shard_of ~shards txn.Txn.read_set.(0)
+          else if n_ws > 0 then Key.shard_of ~shards txn.Txn.write_set.(0)
+          else 0
+        in
+        ((if !mask = 0 then 1 lsl home else !mask), home)
+      end
+    in
     {
       txn;
       ts = t.next_ts + i;
@@ -195,7 +246,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       fp_keys;
       fp_enc;
       fp_mask = mask;
-      owned_keys = [||];
+      (* Sharded preprocessing writes its shard's [shards * m] slice block
+         in place (each shard's preprocessors own disjoint slots,
+         published through that shard's [pre_done]), so the array must
+         exist before any shard stamps it. The single-shard path keeps
+         the empty array so the [stamp_failure] handshake check still
+         fires on an unstamped wrapper. *)
+      owned_keys =
+        (if shards > 1 && t.config.Config.preprocess then
+           Array.make (shards * t.config.Config.cc_threads) [||]
+         else [||]);
+      owners;
+      home;
       inputs = [||];
       input_frontier = 0;
       obs_first = min_int;
@@ -219,7 +281,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      probing again. With [probe_memo] off this is exactly the old
      re-probing path — one charged [Store.get] per call. *)
   let slot_for t w enc k =
-    if not t.config.Config.probe_memo then Store.get t.store k
+    if not t.config.Config.probe_memo then Store.get (store_for t k) k
     else
       match w.slots.(enc) with
       | Some slot -> slot
@@ -235,7 +297,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           let slot =
             match if twin >= 0 then w.slots.(twin) else None with
             | Some slot -> slot
-            | None -> Store.get t.store k
+            | None -> Store.get (store_for t k) k
           in
           w.slots.(enc) <- Some slot;
           slot
@@ -376,12 +438,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         else cc_insert_write t stat low_watermark w (encoded - n_rs))
       mine
 
-  let cc_process_txn t my_partition stat low_watermark ~batch ~idx w =
+  (* [gpart] is the partition's index into [owned_keys]: the partition id
+     itself on the single-shard engine, [shard * cc_threads + partition]
+     on the sharded one (each shard's preprocessors stamp their own slice
+     block). [owns] additionally filters the scan path to the shard's
+     keys — a host-side predicate, constant [true] unsharded. *)
+  let cc_process_txn t my_partition ~gpart ~owns stat low_watermark ~batch ~idx
+      w =
     let cc_threads = t.config.Config.cc_threads in
     let rs = w.txn.Txn.read_set and ws = w.txn.Txn.write_set in
     let n_rs = Array.length rs in
     if t.config.Config.preprocess then
-      cc_apply_owned t my_partition stat low_watermark ~batch ~idx
+      cc_apply_owned t gpart stat low_watermark ~batch ~idx
         ~dispatch:cc_dispatch_work w
     else begin
       (* Every CC thread scans the whole transaction to find its keys. *)
@@ -389,12 +457,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       if t.config.Config.read_annotation then
         Array.iteri
           (fun i k ->
-            if partition_of cc_threads k = my_partition then
+            if partition_of cc_threads k = my_partition && owns k then
               cc_annotate_read t w i)
           rs;
       Array.iteri
         (fun i k ->
-          if partition_of cc_threads k = my_partition then
+          if partition_of cc_threads k = my_partition && owns k then
             cc_insert_write t stat low_watermark w i)
         ws
     end
@@ -418,6 +486,29 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      routing adds no synchronization of its own. Layout:
      [segs.(batch).(worker).(partition)]. *)
 
+  (* Per-shard pipeline context ([Config.shards] > 1; [None] runs the
+     single-pipeline engine untouched). Each shard is a complete BOHM
+     pipeline — preprocessor slice, CC partitions, exec pool, version
+     store — consuming the same shared input log. All shards sequence the
+     log into the same global epochs (a batch boundary is a batch
+     boundary everywhere), which is what lets the cross-shard commit be
+     one deterministic vote round: at the end of batch [b] each shard's
+     voter publishes ready/abort for its slice on the vote board, reads
+     every peer's vote, and merges — the merge input is identical on all
+     shards, so the decision is too, and no coordinator exists.
+     [sh_vote_local]/[sh_vote_merged] are this shard's per-batch rows of
+     the driver's vote log, written only by the shard's voter thread and
+     read by the driver after the joins. *)
+  type shard_ctx = {
+    sh_id : int;
+    sh_n : int;
+    sh_votes : Sync.Votes.t;
+    sh_vote_local : bool array;
+    sh_vote_merged : bool array;
+  }
+
+  let multi_shard w = w.owners land (w.owners - 1) <> 0
+
   (* The 3.2.2 pre-processing layer: embarrassingly parallel over
      transactions, it computes for each CC thread the footprint entries in
      its partition — and, on the memoized path, resolves each footprint
@@ -426,14 +517,28 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      [pre_barrier], publish the batch through the [pre_done] watermark
      (the handshake CC threads consume, mirroring [cc_done]), and move on
      to the next batch while CC works on this one. With routing, the sweep
-     additionally feeds the per-partition routing buffers. *)
-  let preprocess_loop t wrapped me workers pre_barrier pre_done timing routes
-      obs_buf n_batches =
+     additionally feeds the per-partition routing buffers.
+
+     Sharded ([sh = Some _]): this shard's preprocessors still sweep the
+     whole shared log (the classification charge is the cost of reading
+     it), but stamp only the footprint entries their shard owns, into the
+     shard's slice block of [owned_keys]; entries of a multi-shard
+     transaction additionally pay [Costs.shard_route] apiece — the routed
+     footprint slice arriving over the interconnect. Single-shard
+     transactions of other shards contribute nothing here and are never
+     charged a routing cost anywhere. *)
+  let preprocess_loop t sh wrapped me workers pre_barrier pre_done timing
+      routes obs_buf n_batches =
     let m = t.config.Config.cc_threads in
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
     let scratch = Array.make m [] in
     let seg_lists = Array.make m [] in
+    let owns k =
+      match sh with
+      | None -> true
+      | Some s -> Key.shard_of ~shards:s.sh_n k = s.sh_id
+    in
     for b = 0 to n_batches - 1 do
       (match obs_buf with
       | Some buf ->
@@ -448,20 +553,39 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         R.work
           (cc_scan_base + (preprocess_per_key * (n_rs + Array.length ws)));
         Array.fill scratch 0 m [];
+        let owned_here = ref 0 in
         Array.iteri
           (fun i k ->
-            if t.config.Config.probe_memo then ignore (slot_for t w i k);
-            let p = partition_of m k in
-            scratch.(p) <- i :: scratch.(p))
+            if owns k then begin
+              if t.config.Config.probe_memo then ignore (slot_for t w i k);
+              let p = partition_of m k in
+              scratch.(p) <- i :: scratch.(p);
+              incr owned_here
+            end)
           rs;
         Array.iteri
           (fun i k ->
-            if t.config.Config.probe_memo then
-              ignore (slot_for t w (n_rs + i) k);
-            let p = partition_of m k in
-            scratch.(p) <- (n_rs + i) :: scratch.(p))
+            if owns k then begin
+              if t.config.Config.probe_memo then
+                ignore (slot_for t w (n_rs + i) k);
+              let p = partition_of m k in
+              scratch.(p) <- (n_rs + i) :: scratch.(p);
+              incr owned_here
+            end)
           ws;
-        w.owned_keys <- Array.map (fun l -> Array.of_list (List.rev l)) scratch;
+        (match sh with
+        | None ->
+            w.owned_keys <-
+              Array.map (fun l -> Array.of_list (List.rev l)) scratch
+        | Some s ->
+            (* Disjoint slice block per shard, published through this
+               shard's [pre_done] exactly like the single-shard stamps. *)
+            let base = s.sh_id * m in
+            for p = 0 to m - 1 do
+              w.owned_keys.(base + p) <- Array.of_list (List.rev scratch.(p))
+            done;
+            if multi_shard w && !owned_here > 0 then
+              R.work (!Bohm_runtime.Costs.shard_route * !owned_here));
         (match routes with
         | Some _ ->
             let appended = ref 0 in
@@ -494,10 +618,20 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       end
     done
 
-  let cc_loop t my_partition stat low_watermark barrier pre_done cc_done timing
-      wrapped routed n_batches =
+  let cc_loop t sh my_partition stat low_watermark barrier pre_done cc_done
+      timing wrapped routed n_batches =
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
+    let gpart =
+      match sh with
+      | None -> my_partition
+      | Some s -> (s.sh_id * t.config.Config.cc_threads) + my_partition
+    in
+    let owns k =
+      match sh with
+      | None -> true
+      | Some s -> Key.shard_of ~shards:s.sh_n k = s.sh_id
+    in
     for b = 0 to n_batches - 1 do
       (* Pipeline stage handshake: wait for preprocessing to publish this
          batch; preprocessing of batch [b+1] proceeds meanwhile. *)
@@ -535,15 +669,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           R.work (!Bohm_runtime.Costs.cc_route_merge * total);
           Array.iter
             (fun idx ->
-              cc_apply_owned t my_partition stat low_watermark ~batch:b ~idx
+              cc_apply_owned t gpart stat low_watermark ~batch:b ~idx
                 ~dispatch:!Bohm_runtime.Costs.cc_routed_dispatch
                 wrapped.(idx))
             routed
       | None ->
           let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
           for idx = lo to hi do
-            cc_process_txn t my_partition stat low_watermark ~batch:b ~idx
-              wrapped.(idx)
+            cc_process_txn t my_partition ~gpart ~owns stat low_watermark
+              ~batch:b ~idx wrapped.(idx)
           done);
       (match stat.cc_obs with
       | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
@@ -618,7 +752,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let read_version_data t k v =
     match R.Cell.get (V.data_cell v) with
     | Some value ->
-        R.copy ~bytes:(Store.record_bytes t.store k);
+        R.copy ~bytes:(Store.record_bytes t.stores.(0) k);
         value
     | None -> (
         match V.producer v with
@@ -714,7 +848,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               | Some prev -> read_version_data t k prev
               | None -> assert false)
         in
-        R.copy ~bytes:(Store.record_bytes t.store k);
+        R.copy ~bytes:(Store.record_bytes t.stores.(0) k);
         R.Cell.set (V.data_cell v) (Some value))
       w.txn.Txn.write_set
 
@@ -1009,26 +1143,37 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     go 0
 
-  let exec_loop t me stat exec_progress low_watermark cc_done wrapped
+  let exec_loop t sh me stat exec_progress low_watermark cc_dones wrapped
       steal_cursors wake_parts n_batches =
     let bs = t.config.Config.batch_size in
     let k = t.config.Config.exec_threads in
     let n = Array.length wrapped in
     let local = Local_writes.create () in
+    (* Global thread id: progress counters and ready queues are indexed
+       across all shards (a filler on one shard can wake a parked reader
+       on another), while [me] keeps striping within the shard's pool. *)
+    let gme = match sh with None -> me | Some s -> (s.sh_id * k) + me in
+    let my_home w =
+      match sh with None -> true | Some s -> w.home = s.sh_id
+    in
     let wake =
       match wake_parts with
       | None -> None
       | Some queues ->
           Some
             {
-              wk_me = me;
+              wk_me = gme;
               wk_queues = queues;
               wk_wrapped = wrapped;
               wk_parked = [];
             }
     in
     for b = 0 to n_batches - 1 do
-      Sync.Watermark.await cc_done ~at_least:b;
+      (* Epoch alignment: before touching batch [b], every shard's CC must
+         have published it — a multi-shard transaction's remote
+         placeholders (and any dependency's, in this batch or earlier) are
+         then guaranteed to exist. One watermark unsharded. *)
+      Array.iter (fun c -> Sync.Watermark.await c ~at_least:b) cc_dones;
       (match stat.exec_obs with
       | Some ob ->
           Obs.Buf.begin_span ob.ob_buf ~phase:"exec" ~batch:b ~ts:(R.now_ns ())
@@ -1075,17 +1220,25 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             let s = ref base in
             while !scanning && !s <= span do
               let w = wrapped.(lo + !s) in
-              try_steal w;
-              if !prefix_open then
-                if R.Cell.get w.state = st_complete then prefix := !s + 1
-                else prefix_open := false;
+              (* Foreign-home transactions are another shard's to run:
+                 skip them without reading their state (host check), and
+                 count them into the prefix — "nothing for this shard to
+                 steal below". *)
+              if my_home w then begin
+                try_steal w;
+                if !prefix_open then
+                  if R.Cell.get w.state = st_complete then prefix := !s + 1
+                  else prefix_open := false
+              end
+              else if !prefix_open then prefix := !s + 1;
               incr s
             done;
             if !prefix > base then ignore (R.Cell.cas cur base !prefix)
         | None ->
             let steal_idx = ref lo in
             while !scanning && !steal_idx <= hi do
-              try_steal wrapped.(!steal_idx);
+              if my_home wrapped.(!steal_idx) then
+                try_steal wrapped.(!steal_idx);
               incr steal_idx
             done);
         !advanced
@@ -1139,10 +1292,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           let idx = ref (lo + me) in
           while !idx <= hi do
             let w = wrapped.(!idx) in
-            note w (try_advance t stat local None ~depth:0 ~mine:true w);
-            (* Keep dependency chains moving: anything whose dependency has
-               since completed is finished before taking on new work. *)
-            if !pending <> [] then ignore (sweep ~force:false);
+            if my_home w then begin
+              note w (try_advance t stat local None ~depth:0 ~mine:true w);
+              (* Keep dependency chains moving: anything whose dependency
+                 has since completed is finished before taking on new
+                 work. *)
+              if !pending <> [] then ignore (sweep ~force:false)
+            end;
             idx := !idx + k
           done;
           (* Drain the retry list with exponential back-off: a thread whose
@@ -1178,7 +1334,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           let remaining = ref 0 in
           let off = ref me in
           while !off <= span do
-            incr remaining;
+            if my_home wrapped.(lo + !off) then incr remaining;
             off := !off + k
           done;
           let busy = ref [] in
@@ -1186,7 +1342,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             match outcome with
             | Done ->
                 let o = idx - lo in
-                if o >= 0 && o <= span && o mod k = me && not done_mark.(o)
+                if
+                  o >= 0 && o <= span
+                  && o mod k = me
+                  && my_home wrapped.(idx)
+                  && not done_mark.(o)
                 then begin
                   done_mark.(o) <- true;
                   decr remaining
@@ -1200,11 +1360,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           let drive idx =
             note idx
               (try_advance t stat local wake ~depth:0
-                 ~mine:(idx mod bs mod k = me)
+                 ~mine:(idx mod bs mod k = me && my_home wrapped.(idx))
                  wrapped.(idx))
           in
           let drain_queue () =
-            match Sync.Mpsc.drain wk.wk_queues.(me) with
+            match Sync.Mpsc.drain wk.wk_queues.(gme) with
             | [] -> false
             | ready ->
                 List.iter drive ready;
@@ -1265,10 +1425,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           in
           let idx = ref (lo + me) in
           while !idx <= hi do
-            drive !idx;
-            (* Serve wakeups between dispatches to keep dependency chains
-               moving, mirroring the retry path's mid-pass sweep. *)
-            ignore (drain_queue ());
+            if my_home wrapped.(!idx) then begin
+              drive !idx;
+              (* Serve wakeups between dispatches to keep dependency
+                 chains moving, mirroring the retry path's mid-pass
+                 sweep. *)
+              ignore (drain_queue ())
+            end;
             idx := !idx + k
           done;
           (* Wait out the stripe: every incomplete own transaction is
@@ -1289,23 +1452,97 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       (match stat.exec_obs with
       | Some ob -> Obs.Buf.end_span ob.ob_buf ~ts:(R.now_ns ())
       | None -> ());
-      R.Cell.set exec_progress.(me) (b + 1);
-      if me = 0 then begin
-        (* RCU-style low watermark: the minimum batch every execution
-           thread has finished (§3.3.2). *)
-        let minimum = ref max_int in
-        Array.iter
-          (fun cell ->
-            let p = R.Cell.get cell in
-            if p < !minimum then minimum := p)
-          exec_progress;
-        R.Cell.set low_watermark !minimum
-      end
+      R.Cell.set exec_progress.(gme) (b + 1);
+      (match sh with
+      | None ->
+          if me = 0 then begin
+            (* RCU-style low watermark: the minimum batch every execution
+               thread has finished (§3.3.2). *)
+            let minimum = ref max_int in
+            Array.iter
+              (fun cell ->
+                let p = R.Cell.get cell in
+                if p < !minimum then minimum := p)
+              exec_progress;
+            R.Cell.set low_watermark !minimum
+          end
+      | Some s ->
+          (* Batch-amortized cross-shard commit: thread 0 is the shard's
+             voter. It waits for its shard mates to clear batch [b] (a
+             one-thread soft barrier — the mates run ahead speculatively,
+             which determinism makes safe: the merged decision is a pure
+             function of the shared log, so execution never has to wait
+             for it), publishes the shard's ready/abort for [b], then
+             reads and merges every peer's vote, paying one
+             [Costs.shard_vote] per peer. The merge input — all shards'
+             votes for [b] — is identical everywhere, so every shard
+             reaches the same decision with no coordinator. *)
+          if me = 0 then begin
+            let base = s.sh_id * k in
+            for e = 0 to k - 1 do
+              Sync.spin_until (fun () ->
+                  R.Cell.get exec_progress.(base + e) >= b + 1)
+            done;
+            let injected =
+              match t.lost_vote with
+              | Some (ls, lb) -> ls = s.sh_id && lb = b
+              | None -> false
+            in
+            let local_ready = not injected in
+            (* An injected fault models the abort vote lost in transit:
+               the shard records its local abort but peers see ready. *)
+            let published_abort = if injected then false else not local_ready in
+            Sync.Votes.publish s.sh_votes ~party:s.sh_id ~round:b
+              ~abort:published_abort;
+            let obs_t0 =
+              match stat.exec_obs with
+              | None -> 0
+              | Some ob ->
+                  let ts = R.now_ns () in
+                  Obs.Buf.begin_span ob.ob_buf ~phase:"shard_vote" ~batch:b
+                    ~ts;
+                  ts
+            in
+            (* Merge over *published* votes — under the lost-vote fault
+               the local abort never reaches the board, so every shard
+               (this one included) merges commit and the vote log records
+               the disagreement the checker must catch. *)
+            let merged_commit = ref (not published_abort) in
+            for p = 0 to s.sh_n - 1 do
+              if p <> s.sh_id then begin
+                R.work !Bohm_runtime.Costs.shard_vote;
+                if Sync.Votes.await s.sh_votes ~party:p ~round:b then
+                  merged_commit := false
+              end
+            done;
+            (match stat.exec_obs with
+            | None -> ()
+            | Some ob ->
+                let t1 = R.now_ns () in
+                Obs.Buf.end_span ob.ob_buf ~ts:t1;
+                Obs.Latency.add ob.ob_lat Obs.Latency.Shard_vote (t1 - obs_t0));
+            s.sh_vote_local.(b) <- local_ready;
+            s.sh_vote_merged.(b) <- !merged_commit;
+            if s.sh_id = 0 then begin
+              (* The global GC low watermark still ranges over every
+                 shard's pool: a cross-shard reader at batch [b] pins
+                 remote versions exactly like local ones. *)
+              let minimum = ref max_int in
+              Array.iter
+                (fun cell ->
+                  let p = R.Cell.get cell in
+                  if p < !minimum then minimum := p)
+                exec_progress;
+              R.Cell.set low_watermark !minimum
+            end
+          end)
     done
 
   (* --- Driver --- *)
 
-  let run t txns =
+  (* Single-pipeline driver, [Config.shards] = 1: the original engine,
+     charge-for-charge. Sharded runs go through [run_sharded] below. *)
+  let run_single t txns =
     let n = Array.length txns in
     let bs = t.config.Config.batch_size in
     let n_batches = (n + bs - 1) / bs in
@@ -1460,21 +1697,22 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         let pre_barrier = Sync.Barrier.create ~parties:workers in
         List.init workers (fun me ->
             R.spawn (fun () ->
-                preprocess_loop t wrapped me workers pre_barrier pre_done
+                preprocess_loop t None wrapped me workers pre_barrier pre_done
                   timing routes pre_bufs.(me) n_batches))
       end
     in
     let cc_threads =
       List.init m (fun j ->
           R.spawn (fun () ->
-              cc_loop t j cc_stats.(j) low_watermark barrier pre_done cc_done
-                timing wrapped routes n_batches))
+              cc_loop t None j cc_stats.(j) low_watermark barrier pre_done
+                cc_done timing wrapped routes n_batches))
     in
+    let cc_dones = [| cc_done |] in
     let exec_threads =
       List.init k (fun e ->
           R.spawn (fun () ->
-              exec_loop t e exec_stats.(e) exec_progress low_watermark cc_done
-                wrapped steal_cursors wake_parts n_batches))
+              exec_loop t None e exec_stats.(e) exec_progress low_watermark
+                cc_dones wrapped steal_cursors wake_parts n_batches))
     in
     List.iter R.join pre_threads;
     List.iter R.join cc_threads;
@@ -1515,6 +1753,262 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         ]
       ()
 
+  (* Multi-shard driver: [shards] complete pipelines over the same shared
+     input log. Everything per-shard is instantiated [shards] times —
+     preprocessor team, CC barrier and watermarks, routing buffers, stat
+     blocks, vote-log rows — while the wrapper array, the exec progress
+     counters, the ready queues and the GC low watermark stay global:
+     cross-shard transactions read remote versions and park on remote
+     producers through exactly the single-pipeline protocols. Commit is
+     the per-batch vote round in [exec_loop]. *)
+  let run_sharded t txns =
+    let n = Array.length txns in
+    let bs = t.config.Config.batch_size in
+    let n_batches = (n + bs - 1) / bs in
+    let m = t.config.Config.cc_threads and k = t.config.Config.exec_threads in
+    let shards = t.config.Config.shards in
+    let recorder =
+      if t.config.Config.obs then Obs.Recorder.current () else None
+    in
+    let obs_run_start = match recorder with None -> 0 | Some _ -> R.now_ns () in
+    (* One CC-publication stamp array per shard: each shard's partition 0
+       stamps its own [cc_done] edge, and each shard's execution threads
+       anchor their latency decomposition on their own shard's stamps. *)
+    let obs_cc_pub =
+      Array.init shards (fun _ ->
+          match recorder with
+          | None -> [||]
+          | Some _ -> Array.make (max 1 n_batches) 0)
+    in
+    let driver_buf =
+      match recorder with
+      | None -> None
+      | Some r -> Some (Obs.Recorder.track r ~name:"driver")
+    in
+    (match driver_buf with
+    | Some buf -> Obs.Buf.begin_span buf ~phase:"sequence" ~ts:(R.now_ns ())
+    | None -> ());
+    let wrapped = Array.mapi (wrap t) txns in
+    t.next_ts <- t.next_ts + n;
+    (match driver_buf with
+    | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+    | None -> ());
+    let barriers = Array.init shards (fun _ -> Sync.Barrier.create ~parties:m) in
+    let pre_dones = Array.init shards (fun _ -> Sync.Watermark.create (-1)) in
+    let cc_dones = Array.init shards (fun _ -> Sync.Watermark.create (-1)) in
+    let votes = Sync.Votes.create ~parties:shards ~rounds:n_batches in
+    let vote_local = Array.make_matrix shards (max 1 n_batches) false in
+    let vote_merged = Array.make_matrix shards (max 1 n_batches) false in
+    let ctxs =
+      Array.init shards (fun s ->
+          {
+            sh_id = s;
+            sh_n = shards;
+            sh_votes = votes;
+            sh_vote_local = vote_local.(s);
+            sh_vote_merged = vote_merged.(s);
+          })
+    in
+    let low_watermark = R.Cell.make 0 in
+    R.Cell.mark_sync low_watermark;
+    let exec_progress =
+      Array.init (shards * k) (fun _ ->
+          let c = R.Cell.make 0 in
+          R.Cell.mark_sync c;
+          c)
+    in
+    (* Per-shard steal cursors: a cursor summarizes "nothing left for this
+       shard's sweepers below", which is meaningless across shards. *)
+    let steal_cursors =
+      if not t.config.Config.cc_routing then None
+      else
+        Some
+          (Array.init shards (fun _ ->
+               Array.init n_batches (fun _ ->
+                   let c = R.Cell.make 0 in
+                   R.Cell.mark_sync c;
+                   c)))
+    in
+    let routes =
+      if not (routing_on t) then None
+      else
+        Some
+          (Array.init shards (fun _ ->
+               Array.init n_batches (fun _ ->
+                   Array.init (m + k) (fun _ -> Array.make m [||]))))
+    in
+    let cc_stats =
+      Array.init (shards * m) (fun gp ->
+          let s = gp / m and j = gp mod m in
+          let cc_obs =
+            match recorder with
+            | None -> None
+            | Some r ->
+                Some
+                  (Obs.Recorder.track r ~name:(Printf.sprintf "s%d/cc-%d" s j))
+          in
+          {
+            gc_collected = 0;
+            inserted = 0;
+            pool = [];
+            recycled = 0;
+            (* Slab owner ids are global partition ids, unique across
+               shards, so the arena-discipline audit keeps one owner per
+               chain. *)
+            alloc = V.alloc_make ~owner:gp;
+            cc_obs;
+            cc_obs_pub = (if j = 0 then obs_cc_pub.(s) else [||]);
+          })
+    in
+    let exec_stats =
+      Array.init (shards * k) (fun ge ->
+          let s = ge / k and e = ge mod k in
+          let exec_obs =
+            match recorder with
+            | None -> None
+            | Some r ->
+                Some
+                  {
+                    ob_buf =
+                      Obs.Recorder.track r
+                        ~name:(Printf.sprintf "s%d/exec-%d" s e);
+                    ob_lat = Obs.Latency.create ();
+                    ob_cc_pub = obs_cc_pub.(s);
+                    ob_run_start = obs_run_start;
+                  }
+          in
+          {
+            committed = 0;
+            logic_aborts = 0;
+            dep_blocks = 0;
+            steals = 0;
+            retry_scans = 0;
+            wakeups = 0;
+            exec_obs;
+          })
+    in
+    (* Ready queues are global — indexed by global exec id — because a
+       filler on the producing shard wakes the parked reader wherever it
+       lives. The adaptive parking gate is per-shard pool width, as in the
+       single-pipeline engine. *)
+    let park_min_execs = 8 in
+    let wake_parts =
+      if (not t.config.Config.exec_wakeup) || k < park_min_execs then None
+      else Some (Array.init (shards * k) (fun _ -> Sync.Mpsc.create ()))
+    in
+    let timings =
+      Array.init shards (fun _ -> { cc_batch0_start = 0.; pre_complete = 0. })
+    in
+    let start = R.now () in
+    let pre_threads =
+      if not t.config.Config.preprocess then []
+      else
+        List.concat
+          (List.init shards (fun s ->
+               let workers = m + k in
+               let pre_bufs =
+                 Array.init workers (fun me ->
+                     match recorder with
+                     | None -> None
+                     | Some r ->
+                         Some
+                           (Obs.Recorder.track r
+                              ~name:(Printf.sprintf "s%d/pre-%d" s me)))
+               in
+               let pre_barrier = Sync.Barrier.create ~parties:workers in
+               let routes_s = Option.map (fun r -> r.(s)) routes in
+               List.init workers (fun me ->
+                   R.spawn (fun () ->
+                       preprocess_loop t
+                         (Some ctxs.(s))
+                         wrapped me workers pre_barrier pre_dones.(s)
+                         timings.(s) routes_s pre_bufs.(me) n_batches))))
+    in
+    let cc_threads =
+      List.concat
+        (List.init shards (fun s ->
+             let routes_s = Option.map (fun r -> r.(s)) routes in
+             List.init m (fun j ->
+                 R.spawn (fun () ->
+                     cc_loop t
+                       (Some ctxs.(s))
+                       j
+                       cc_stats.((s * m) + j)
+                       low_watermark barriers.(s) pre_dones.(s) cc_dones.(s)
+                       timings.(s) wrapped routes_s n_batches))))
+    in
+    let exec_threads =
+      List.concat
+        (List.init shards (fun s ->
+             let cursors_s = Option.map (fun c -> c.(s)) steal_cursors in
+             List.init k (fun e ->
+                 R.spawn (fun () ->
+                     exec_loop t
+                       (Some ctxs.(s))
+                       e
+                       exec_stats.((s * k) + e)
+                       exec_progress low_watermark cc_dones wrapped cursors_s
+                       wake_parts n_batches))))
+    in
+    List.iter R.join pre_threads;
+    List.iter R.join cc_threads;
+    List.iter R.join exec_threads;
+    let elapsed = R.now () -. start in
+    t.votes_log <-
+      List.concat
+        (List.init shards (fun s ->
+             List.init n_batches (fun b ->
+                 (s, b, vote_local.(s).(b), vote_merged.(s).(b)))));
+    let committed = Array.fold_left (fun acc s -> acc + s.committed) 0 exec_stats in
+    let logic_aborts =
+      Array.fold_left (fun acc s -> acc + s.logic_aborts) 0 exec_stats
+    in
+    let sum f arr = Array.fold_left (fun acc s -> acc + f s) 0 arr in
+    let cross_shard_txns =
+      Array.fold_left
+        (fun acc w -> if multi_shard w then acc + 1 else acc)
+        0 wrapped
+    in
+    let vote_aborts =
+      Array.fold_left
+        (fun acc row ->
+          Array.fold_left (fun acc c -> if c then acc else acc + 1) acc row)
+        0 vote_merged
+    in
+    let latency =
+      match recorder with
+      | None -> []
+      | Some _ ->
+          Obs.Latency.merge_all
+            (Array.to_list exec_stats
+            |> List.filter_map (fun s ->
+                   Option.map (fun o -> o.ob_lat) s.exec_obs))
+    in
+    Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
+      ~extra:
+        [
+          ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
+          ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
+          ( "slabs_opened",
+            float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
+          ( "slabs_retired",
+            float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
+          ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
+          ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
+          ( "exec_retry_scans",
+            float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
+          ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
+          ("cross_shard_txns", float_of_int cross_shard_txns);
+          ("shard_votes", float_of_int (shards * n_batches));
+          ("vote_aborts", float_of_int vote_aborts);
+          ("cc_batch0_start_us", timings.(0).cc_batch0_start *. 1e6);
+          ("pre_complete_us", timings.(0).pre_complete *. 1e6);
+        ]
+      ()
+
+  let run t txns =
+    if t.config.Config.shards > 1 then run_sharded t txns else run_single t txns
+
   (* --- Inspection --- *)
 
   (* Post-quiescence chain audit: BOHM stamps both begin and end times, so
@@ -1523,22 +2017,30 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      placeholder left unfilled. Runs uncharged on the driver thread after
      [run] has joined the workers. *)
   let check_chains t report =
+    let shards = Array.length t.stores in
     R.without_cost (fun () ->
-        Store.iter t.store (fun k slot ->
-            let rec entries v acc =
-              let e =
-                Bohm_analysis.Chain.entry ~begin_ts:(V.begin_ts v)
-                  ~end_ts:(Some (V.get_end_ts v))
-                  ~filled:(R.Cell.get (V.data_cell v) <> None)
-                  ~dangling_waiters:(V.unclaimed_waiters v)
-                  ?slab:(V.slab_coord v) ()
-              in
-              match V.prev v with
-              | None -> List.rev (e :: acc)
-              | Some older -> entries older (e :: acc)
-            in
-            Bohm_analysis.Chain.check_key report k
-              (entries (R.Cell.get slot) [])))
+        Array.iteri
+          (fun s store ->
+            Store.iter store (fun k slot ->
+                (* Every per-shard store indexes the full key space; only
+                   the owning shard's chain for a key ever grows, so audit
+                   each key once, in its owner. *)
+                if shards = 1 || Key.shard_of ~shards k = s then
+                  let rec entries v acc =
+                    let e =
+                      Bohm_analysis.Chain.entry ~begin_ts:(V.begin_ts v)
+                        ~end_ts:(Some (V.get_end_ts v))
+                        ~filled:(R.Cell.get (V.data_cell v) <> None)
+                        ~dangling_waiters:(V.unclaimed_waiters v)
+                        ?slab:(V.slab_coord v) ()
+                    in
+                    match V.prev v with
+                    | None -> List.rev (e :: acc)
+                    | Some older -> entries older (e :: acc)
+                  in
+                  Bohm_analysis.Chain.check_key report k
+                    (entries (R.Cell.get slot) [])))
+          t.stores)
 
   (* Fault injection for the sanitizer's mutation tests: clear the newest
      version's data for [k], simulating an execution thread that claimed
@@ -1548,7 +2050,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      catch. Never called outside tests. *)
   let inject_lost_fill t k =
     R.without_cost (fun () ->
-        R.Cell.set (V.data_cell (R.Cell.get (Store.get t.store k))) None)
+        R.Cell.set (V.data_cell (R.Cell.get (Store.get (store_for t k) k))) None)
 
   (* Fault injection for the sanitizer's mutation tests: rewire the newest
      version of [k]'s prev link to the newest version of [donor] — a
@@ -1558,8 +2060,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      chain audit can see it. Never called outside tests. *)
   let inject_cross_slab_prev t k ~donor =
     R.without_cost (fun () ->
-        let v = R.Cell.get (Store.get t.store k) in
-        let d = R.Cell.get (Store.get t.store donor) in
+        let v = R.Cell.get (Store.get (store_for t k) k) in
+        let d = R.Cell.get (Store.get (store_for t donor) donor) in
         V.unsafe_set_prev v (Some d))
 
   (* Fault injection for the sanitizer's mutation tests: register a waiter
@@ -1570,14 +2072,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      common quiescent state). Never called outside tests. *)
   let inject_dangling_waiter t k =
     R.without_cost (fun () ->
-        let v = R.Cell.get (Store.get t.store k) in
+        let v = R.Cell.get (Store.get (store_for t k) k) in
         match V.register_waiter v (V.make_waiter ~owner:0 ~batch:0 ~index:0) with
         | `Registered -> ()
         | `Sealed ->
             invalid_arg "Bohm: inject_dangling_waiter: head version sealed")
 
   let read_latest t k =
-    let head = R.Cell.get (Store.get t.store k) in
+    let head = R.Cell.get (Store.get (store_for t k) k) in
     let rec newest v =
       match R.Cell.get (V.data_cell v) with
       | Some value -> value
@@ -1588,5 +2090,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     newest head
 
-  let chain_length t k = V.chain_length (R.Cell.get (Store.get t.store k))
+  let chain_length t k = V.chain_length (R.Cell.get (Store.get (store_for t k) k))
+
+  let inject_lost_vote t ~shard ~batch =
+    if shard < 0 || shard >= t.config.Config.shards then
+      invalid_arg "Bohm: inject_lost_vote: shard out of range";
+    if batch < 0 then invalid_arg "Bohm: inject_lost_vote: negative batch";
+    t.lost_vote <- Some (shard, batch)
+
+  let vote_log t = t.votes_log
 end

@@ -49,7 +49,25 @@
 
     Reads never block writes, reads write no shared memory, there is no
     global timestamp counter, and the serialization order is exactly the
-    input order. *)
+    input order.
+
+    {b Sharding} ([Config.shards] > 1): the engine instantiates one
+    complete pipeline per shard — preprocessor slice, CC partitions,
+    execution pool, version store — with keys mapped to shards by
+    {!Bohm_txn.Key.shard_of} above the per-shard partition hash. Every
+    shard sequences the same shared input log into the same global
+    epochs; a transaction's footprint is sliced per owning shard during
+    preprocessing (charging [Costs.shard_route] per routed entry of a
+    multi-shard transaction), its logic runs on its home shard — the
+    shard of its first footprint entry — and reads of remote-shard keys
+    go through the same version protocols, cross-shard. Each batch
+    commits via one deterministic vote round: every shard's voter thread
+    publishes ready/abort at the batch barrier and merges all peers'
+    votes ([Costs.shard_vote] per peer); pre-declared write-sets make
+    the merge input identical on every shard, so no coordinator exists
+    and execution may run ahead of the merge. Single-shard transactions
+    — and the [shards = 1] configuration as a whole — run the
+    single-pipeline code paths untouched. *)
 
 module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   type t
@@ -83,7 +101,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       ["cc_batch0_start_us"] / ["pre_complete_us"] (virtual times, in
       microseconds, at which
       CC began batch 0 and preprocessing finished its last batch — the
-      pipeline-overlap witness; both 0 when preprocessing is off). *)
+      pipeline-overlap witness; both 0 when preprocessing is off).
+
+      Sharded runs ([Config.shards] > 1) additionally report
+      ["cross_shard_txns"] (transactions owning keys on more than one
+      shard), ["shard_votes"] (votes published: shards × batches) and
+      ["vote_aborts"] (merged vote-round decisions that were aborts —
+      always 0 outside fault injection). *)
 
   val index_probes : t -> int
   (** Charged storage-index probes since the database was created
@@ -131,6 +155,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       claim or wake — the lost wakeup the dangling-waiter chain audit
       exists to catch. The next {!check_chains} must flag it. Raises
       [Invalid_argument] if the head's waiter list is already sealed. *)
+
+  val inject_lost_vote : t -> shard:int -> batch:int -> unit
+(** Fault injection for the cross-shard checker's mutation tests: on the
+      next {!run}, the shard votes to abort the batch locally but its
+      published vote is lost in transit — peers read ready and merge
+      commit, so the vote log records a local abort under a merged
+      commit, the disagreement {!Bohm_harness.Serialization_check} (via
+      the caller) must catch. Set before {!run}; raises
+      [Invalid_argument] if the shard is out of range or the batch
+      negative. Test-only. *)
+
+  val vote_log : t -> (int * int * bool * bool) list
+  (** Vote-round outcomes of the last sharded {!run}, one entry per
+      (shard, batch): [(shard, batch, local_ready, merged_commit)].
+      [local_ready] is the shard's own vote (false only under
+      {!inject_lost_vote}); [merged_commit] the deterministic merge of
+      every shard's {e published} vote. Empty for single-shard runs. *)
 
   val config : t -> Config.t
 end

@@ -30,6 +30,7 @@ type spec = {
 type bohm_opts = {
   cc_fraction : float;
   batch_size : int;
+  shards : int;
   gc : bool;
   read_annotation : bool;
   preprocess : bool;
@@ -44,6 +45,7 @@ let default_bohm_opts =
   {
     cc_fraction = 0.25;
     batch_size = 1000;
+    shards = 1;
     gc = true;
     read_annotation = true;
     preprocess = false;
@@ -60,14 +62,15 @@ let split_threads opts threads =
   let exec = max 1 (threads - cc) in
   (cc, exec)
 
-let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(gc = true) ?(annotate = true)
-    ?(preprocess = false) ?(probe_memo = true) ?(cc_routing = true)
-    ?(exec_wakeup = true) ?(version_slabs = true) spec txns =
+let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(shards = 1) ?(gc = true)
+    ?(annotate = true) ?(preprocess = false) ?(probe_memo = true)
+    ?(cc_routing = true) ?(exec_wakeup = true) ?(version_slabs = true) spec
+    txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
-          ~gc ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing
-          ~exec_wakeup ~version_slabs ()
+          ~shards ~gc ~read_annotation:annotate ~preprocess ~probe_memo
+          ~cc_routing ~exec_wakeup ~version_slabs ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -88,7 +91,7 @@ let run_engine ?report ~bohm engine ~threads spec txns =
       Sim.run (fun () ->
           let config =
             Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec
-              ~batch_size:bohm.batch_size ~gc:bohm.gc
+              ~batch_size:bohm.batch_size ~shards:bohm.shards ~gc:bohm.gc
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
               ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing
               ~exec_wakeup:bohm.exec_wakeup ~version_slabs:bohm.version_slabs

@@ -22,6 +22,10 @@ type spec = {
 type bohm_opts = {
   cc_fraction : float;  (** Fraction of threads given to the CC layer. *)
   batch_size : int;
+  shards : int;
+      (** Number of complete per-shard pipelines ([Config.shards]). The
+          [threads] argument of the drivers is {e per shard}: each shard
+          gets its own CC/exec split of that many threads. *)
   gc : bool;
   read_annotation : bool;
   preprocess : bool;  (** Pipelined §3.2.2 preprocessing stage. *)
@@ -41,9 +45,9 @@ type bohm_opts = {
 }
 
 val default_bohm_opts : bohm_opts
-(** cc_fraction 0.25, batch 1000, gc on, annotation on, preprocessing
-    off, probe memoization on, batch routing on, wakeup on, version
-    slabs on, observability off. *)
+(** cc_fraction 0.25, batch 1000, one shard, gc on, annotation on,
+    preprocessing off, probe memoization on, batch routing on, wakeup on,
+    version slabs on, observability off. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -86,6 +90,7 @@ val run_bohm_sim :
   cc:int ->
   exec:int ->
   ?batch:int ->
+  ?shards:int ->
   ?gc:bool ->
   ?annotate:bool ->
   ?preprocess:bool ->

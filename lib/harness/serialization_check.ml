@@ -146,42 +146,105 @@ let recover_chains w ~final_read =
     writers_per_row;
   (per_key_succ, is_writer)
 
+(* Every DSG edge together with the row inducing it — the internal form
+   both the flat graph and the per-shard split project from. Raises
+   [Corrupt_exn]. *)
+let labeled_edges w ~final_read =
+  let succ, is_writer = recover_chains w ~final_read in
+  let edges = ref [] in
+  let add row a b kind =
+    if a <> b && a <> 0 then edges := (row, a, b, kind) :: !edges
+  in
+  Array.iteri
+    (fun i o ->
+      let id = i + 1 in
+      let reads_edges kind (row, seen) =
+        if seen <> 0 && not (Hashtbl.mem is_writer (row, seen)) then
+          raise
+            (Corrupt_exn
+               (Printf.sprintf "row %d: txn %d read phantom value %d" row id
+                  seen));
+        add row seen id kind;
+        match Hashtbl.find_opt succ (row, seen) with
+        | Some overwriter when overwriter <> id -> add row id overwriter `Rw
+        | _ -> ()
+      in
+      (* An RMW's read of its predecessor is the ww edge. *)
+      List.iter (reads_edges `Ww) o.rmw_preds;
+      List.iter (reads_edges `Wr) o.pure_reads)
+    w.observations;
+  !edges
+
+let kind_rank = function `Ww -> 0 | `Wr -> 1 | `Rw -> 2
+
+let sort_edges edges =
+  let cmp (a, b, k) (a', b', k') =
+    match compare a a' with
+    | 0 -> (
+        match compare b b' with
+        | 0 -> compare (kind_rank k) (kind_rank k')
+        | c -> c)
+    | c -> c
+  in
+  List.sort_uniq cmp edges
+
 let observed_graph w ~final_read =
   match
-    let succ, is_writer = recover_chains w ~final_read in
-    let edges = ref [] in
-    let add a b kind = if a <> b && a <> 0 then edges := (a, b, kind) :: !edges in
-    Array.iteri
-      (fun i o ->
-        let id = i + 1 in
-        let reads_edges kind (row, seen) =
-          if seen <> 0 && not (Hashtbl.mem is_writer (row, seen)) then
-            raise
-              (Corrupt_exn
-                 (Printf.sprintf "row %d: txn %d read phantom value %d" row id
-                    seen));
-          add seen id kind;
-          match Hashtbl.find_opt succ (row, seen) with
-          | Some overwriter when overwriter <> id -> add id overwriter `Rw
-          | _ -> ()
-        in
-        (* An RMW's read of its predecessor is the ww edge. *)
-        List.iter (reads_edges `Ww) o.rmw_preds;
-        List.iter (reads_edges `Wr) o.pure_reads)
-      w.observations;
-    let kind_rank = function `Ww -> 0 | `Wr -> 1 | `Rw -> 2 in
-    let cmp (a, b, k) (a', b', k') =
-      match compare a a' with
-      | 0 -> (
-          match compare b b' with
-          | 0 -> compare (kind_rank k) (kind_rank k')
-          | c -> c)
-      | c -> c
-    in
-    List.sort_uniq cmp !edges
+    sort_edges
+      (List.map (fun (_, a, b, k) -> (a, b, k)) (labeled_edges w ~final_read))
   with
   | edges -> Ok edges
   | exception Corrupt_exn msg -> Error msg
+
+let sharded_graphs w ~shards ~final_read =
+  if shards <= 0 then
+    invalid_arg "Serialization_check.sharded_graphs: shards must be positive";
+  match labeled_edges w ~final_read with
+  | raw ->
+      let per_shard = Array.make shards [] in
+      List.iter
+        (fun (row, a, b, k) ->
+          let s = Key.shard_of ~shards (Key.make ~table:0 ~row) in
+          per_shard.(s) <- (a, b, k) :: per_shard.(s))
+        raw;
+      let per_shard = Array.map sort_edges per_shard in
+      let merged =
+        sort_edges (Array.fold_left (fun acc es -> es @ acc) [] per_shard)
+      in
+      Ok (per_shard, merged)
+  | exception Corrupt_exn msg -> Error msg
+
+(* DFS cycle detection with path recovery over adjacency lists indexed
+   1..n (0 is the initial-version writer and never appears). *)
+let find_cycle n edges =
+  let color = Array.make (n + 1) 0 in
+  let parent = Array.make (n + 1) 0 in
+  let cycle = ref None in
+  let rec dfs v =
+    if !cycle = None then begin
+      color.(v) <- 1;
+      List.iter
+        (fun u ->
+          if !cycle = None then
+            if color.(u) = 0 then begin
+              parent.(u) <- v;
+              dfs u
+            end
+            else if color.(u) = 1 then begin
+              (* Found a back edge v -> u: recover the path u ... v. *)
+              let rec collect at acc =
+                if at = u then u :: acc else collect parent.(at) (at :: acc)
+              in
+              cycle := Some (collect v [ u ])
+            end)
+        edges.(v);
+      color.(v) <- 2
+    end
+  in
+  for v = 1 to n do
+    if color.(v) = 0 then dfs v
+  done;
+  !cycle
 
 let check w ~final_read =
   match
@@ -209,35 +272,67 @@ let check w ~final_read =
         List.iter reads_edges o.rmw_preds;
         List.iter reads_edges o.pure_reads)
       w.observations;
-    (* DFS cycle detection with path recovery. *)
-    let color = Array.make (n + 1) 0 in
-    let parent = Array.make (n + 1) 0 in
-    let cycle = ref None in
-    let rec dfs v =
-      if !cycle = None then begin
-        color.(v) <- 1;
+    find_cycle n edges
+  with
+  | None -> Serializable
+  | Some ids -> Cycle ids
+  | exception Corrupt_exn msg -> Corrupt msg
+
+let check_sharded w ~shards ~final_read ~vote_log =
+  if shards <= 0 then
+    invalid_arg "Serialization_check.check_sharded: shards must be positive";
+  match
+    (* 1. Vote-round consistency: the deterministic merge must have
+       reached the same decision on every shard, and a shard that voted
+       to abort a batch must have seen the batch abort — a local abort
+       under a merged commit is exactly the lost-vote failure. *)
+    let by_batch = Hashtbl.create 32 in
+    List.iter
+      (fun (s, b, local, merged) ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt by_batch b) in
+        Hashtbl.replace by_batch b ((s, local, merged) :: prev))
+      vote_log;
+    Hashtbl.iter
+      (fun b votes ->
+        (match votes with
+        | (_, _, m0) :: rest ->
+            List.iter
+              (fun (s, _, m) ->
+                if m <> m0 then
+                  raise
+                    (Corrupt_exn
+                       (Printf.sprintf
+                          "batch %d: shard %d's merged commit decision \
+                           disagrees with its peers"
+                          b s)))
+              rest
+        | [] -> ());
         List.iter
-          (fun u ->
-            if !cycle = None then
-              if color.(u) = 0 then begin
-                parent.(u) <- v;
-                dfs u
-              end
-              else if color.(u) = 1 then begin
-                (* Found a back edge v -> u: recover the path u ... v. *)
-                let rec collect at acc =
-                  if at = u then u :: acc else collect parent.(at) (at :: acc)
-                in
-                cycle := Some (collect v [ u ])
-              end)
-          edges.(v);
-        color.(v) <- 2
-      end
+          (fun (s, local, merged) ->
+            if (not local) && merged then
+              raise
+                (Corrupt_exn
+                   (Printf.sprintf
+                      "shard %d committed batch %d it voted to abort (vote \
+                       lost in transit)"
+                      s b)))
+          votes)
+      by_batch;
+    (* 2. Merge the per-shard observed graphs into the whole-system DSG
+       and look for a cycle there. Final-value agreement per key — the
+       last writer in the recovered chain matching the engine's committed
+       state, whichever shard's store holds it — is enforced inside the
+       chain recovery. *)
+    let per_shard, merged =
+      match sharded_graphs w ~shards ~final_read with
+      | Ok g -> g
+      | Error msg -> raise (Corrupt_exn msg)
     in
-    for v = 1 to n do
-      if color.(v) = 0 then dfs v
-    done;
-    !cycle
+    ignore per_shard;
+    let n = Array.length w.txn_array in
+    let adj = Array.make (n + 1) [] in
+    List.iter (fun (a, b, _) -> adj.(a) <- b :: adj.(a)) merged;
+    find_cycle n adj
   with
   | None -> Serializable
   | Some ids -> Cycle ids

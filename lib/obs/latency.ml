@@ -1,14 +1,15 @@
 module Histogram = Bohm_util.Histogram
 
-type phase = Queue_wait | Cc_wait | Dep_stall | Exec
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote
 
 let phase_name = function
   | Queue_wait -> "queue_wait"
   | Cc_wait -> "cc_wait"
   | Dep_stall -> "dep_stall"
   | Exec -> "exec"
+  | Shard_vote -> "shard_vote"
 
-let phases = [ Queue_wait; Cc_wait; Dep_stall; Exec ]
+let phases = [ Queue_wait; Cc_wait; Dep_stall; Exec; Shard_vote ]
 let phase_names = List.map phase_name phases
 
 type t = {
@@ -16,6 +17,7 @@ type t = {
   cc : Histogram.t;
   stall : Histogram.t;
   exec : Histogram.t;
+  vote : Histogram.t;
 }
 
 let create () =
@@ -24,6 +26,7 @@ let create () =
     cc = Histogram.create ();
     stall = Histogram.create ();
     exec = Histogram.create ();
+    vote = Histogram.create ();
   }
 
 let histogram t = function
@@ -31,6 +34,7 @@ let histogram t = function
   | Cc_wait -> t.cc
   | Dep_stall -> t.stall
   | Exec -> t.exec
+  | Shard_vote -> t.vote
 
 let add t phase v = Histogram.add (histogram t phase) v
 

@@ -2,7 +2,7 @@
     phase, merged across threads at run end into the
     [Stats.latency] association list.
 
-    The four phases, per committed transaction:
+    The phases, per committed transaction:
     - [Queue_wait] — versions installed, waiting to be picked up by an
       execution/worker thread (first dispatch − CC publication);
     - [Cc_wait] — sequencing + CC layer occupancy (CC publication of the
@@ -13,17 +13,24 @@
       abort-and-retry time in the optimistic engines);
     - [Exec] — duration of the completing attempt's logic.
 
+    One per-batch phase, recorded only by the sharded BOHM engine:
+    - [Shard_vote] — duration of the batch-commit vote round on each
+      shard's voter thread (publishing its own ready/abort, then awaiting
+      and merging every peer shard's vote); one sample per (shard,
+      batch). Empty for single-shard engines.
+
     Durations are in the runtime's [now_ns] unit: cycles under Sim, wall
     nanoseconds under Real. Like everything in [Bohm_obs], recording is
     host-side only and charges nothing. *)
 
-type phase = Queue_wait | Cc_wait | Dep_stall | Exec
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote
 
 val phase_name : phase -> string
-(** ["queue_wait"], ["cc_wait"], ["dep_stall"], ["exec"]. *)
+(** ["queue_wait"], ["cc_wait"], ["dep_stall"], ["exec"],
+    ["shard_vote"]. *)
 
 val phase_names : string list
-(** All four, in pipeline order. *)
+(** All five, in pipeline order. *)
 
 type t
 

@@ -132,6 +132,28 @@ val exec_park : int ref
     published (the thread returns to its queue/poll loop instead of
     re-running logic). *)
 
+(** {2 Multi-shard commit}
+
+    Work charges for the cross-shard paths of the sharded BOHM engine
+    ([Config.shards] > 1). Single-shard transactions never pay either
+    charge — they ride the shard-local input log and the shard-local
+    batch barrier exactly as in the single-pipeline engine. *)
+
+val shard_route : int ref
+(** Per footprint entry of a {e multi-shard} transaction that an owning
+    shard receives during sequencing/preprocessing: unpacking the routed
+    slice of the declared footprint out of the shared input log's
+    cross-shard message. Amortized over the batch, so it is far below a
+    line transfer per key. *)
+
+val shard_vote : int ref
+(** Per peer-shard vote a shard reads in the batch-commit round: one
+    batch-amortized ready/abort message across the interconnect
+    (cache-to-cache or NIC), charged at the deterministic merge point.
+    Each shard pays [shards - 1] of these per batch, independent of
+    batch size — the Calvin-style collapse of 2PC into a single
+    deterministic vote round. *)
+
 val cycles_per_second : float
 (** Virtual clock rate used to convert cycles to seconds (2 GHz). *)
 

@@ -75,6 +75,32 @@ module Make (R : Runtime_intf.S) : sig
         consumer only. *)
   end
 
+  (** Batch-aligned vote board for the sharded BOHM engine's one-round
+      deterministic commit: each party (shard) publishes a ready/abort
+      flag per round (batch) through its own watermark, and peers read
+      the flag after awaiting the watermark — the release/acquire edge
+      orders the plain flag slot, exactly like the engine's [owned_keys]
+      under [pre_done]. The communicated flag is intentionally a host
+      slot; the caller charges the batch-amortized message explicitly
+      (one [Costs.shard_vote] per peer read). *)
+  module Votes : sig
+    type t
+
+    val create : parties:int -> rounds:int -> t
+    (** A board for [parties] voters over [rounds] rounds. Raises
+        [Invalid_argument] if [parties] is not positive or [rounds] is
+        negative. *)
+
+    val publish : t -> party:int -> round:int -> abort:bool -> unit
+    (** Record the party's vote for the round ([abort = false] means
+        ready-to-commit) and release it to peers. Rounds must be
+        published in increasing order per party. *)
+
+    val await : t -> party:int -> round:int -> bool
+    (** Block until the party has published the round's vote, then return
+        it ([true] = abort). *)
+  end
+
   (** Test-and-test-and-set spinlock with exponential back-off — the
       per-bucket latch used by the 2PL lock table and the index write
       paths. *)

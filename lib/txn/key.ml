@@ -22,5 +22,23 @@ let hash t =
   let z = Int64.logxor z (Int64.shift_right_logical z 31) in
   Int64.to_int z land max_int
 
+(* Shard map layered above the CC-partition map. Remix the hash with an
+   independent multiplier (xxhash64 avalanche constant) before reducing,
+   so [shard_of ~shards k] stays decorrelated from
+   [hash k mod cc_threads] even when [shards] and [cc_threads] share
+   factors — otherwise a shard would only ever feed a subset of its CC
+   partitions. *)
+let shard_of ~shards t =
+  if shards <= 0 then invalid_arg "Key.shard_of: shards must be positive";
+  if shards = 1 then 0
+  else begin
+    let z = Int64.of_int (hash t) in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 29)) 0xC2B2AE3D27D4EB4FL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 32) in
+    Int64.to_int z land max_int mod shards
+  end
+
 let pp fmt t = Format.fprintf fmt "%d:%d" t.table t.row
 let to_string t = Format.asprintf "%a" pp t

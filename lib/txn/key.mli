@@ -19,5 +19,13 @@ val hash : t -> int
 (** Well-mixed (splitmix-style finalizer); used for index buckets and for
     partitioning keys across BOHM's concurrency-control threads. *)
 
+val shard_of : shards:int -> t -> int
+(** Owning shard of the key in a [shards]-way sharded system, in
+    [0, shards). Layered above the CC-partition map and computed with an
+    independent remix of {!hash}, so the shard and partition of a key are
+    decorrelated even when the two moduli share factors. [shard_of
+    ~shards:1 k = 0] for every key. Raises [Invalid_argument] if [shards]
+    is not positive. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -69,6 +69,63 @@ let generate ~rows ~theta ~count ~seed profile =
       let read_keys = Array.sub keys profile.rmws profile.reads in
       update_txn ~id ~rmw_keys ~read_keys)
 
+(* Distinct keys with a per-slot shard constraint: slot [i] must land on
+   shard [targets.(i)] under [Key.shard_of]. One more rejection layered on
+   the Zipfian draw; with [shards] well below [rows] every shard owns a
+   dense slice of the row space, so acceptance stays ~1/shards. *)
+let distinct_keys_on zipf rng ~shards targets =
+  let scatter = scatter_row ~rows:(Zipf.n zipf) in
+  let n = Array.length targets in
+  let picked = Array.make n (-1) in
+  let filled = ref 0 in
+  while !filled < n do
+    let candidate = scatter (Zipf.sample zipf rng) in
+    if
+      Key.shard_of ~shards (Key.make ~table:0 ~row:candidate)
+      = targets.(!filled)
+    then begin
+      let duplicate = ref false in
+      for i = 0 to !filled - 1 do
+        if picked.(i) = candidate then duplicate := true
+      done;
+      if not !duplicate then begin
+        picked.(!filled) <- candidate;
+        incr filled
+      end
+    end
+  done;
+  Array.map (fun row -> Key.make ~table:0 ~row) picked
+
+let generate_sharded ~rows ~theta ~count ~seed ~shards ~cross_fraction profile
+    =
+  if shards <= 0 then
+    invalid_arg "Ycsb.generate_sharded: shards must be positive";
+  if cross_fraction < 0. || cross_fraction > 1. then
+    invalid_arg "Ycsb.generate_sharded: cross_fraction out of range";
+  let zipf = Zipf.create ~n:rows ~theta in
+  let rng = Rng.create ~seed in
+  let n = profile.rmws + profile.reads in
+  Array.init count (fun id ->
+      let home = Rng.int rng shards in
+      let cross =
+        shards > 1 && n > 1 && Rng.float rng 1.0 < cross_fraction
+      in
+      let targets = Array.make n home in
+      if cross then begin
+        let remote = (home + 1 + Rng.int rng (shards - 1)) mod shards in
+        (* Slot 0 stays home — the engine homes a transaction on its first
+           footprint entry — the last slot is forced remote so the
+           transaction is certainly cross-shard, the rest flip a coin. *)
+        for i = 1 to n - 2 do
+          if Rng.int rng 2 = 1 then targets.(i) <- remote
+        done;
+        targets.(n - 1) <- remote
+      end;
+      let keys = distinct_keys_on zipf rng ~shards targets in
+      let rmw_keys = Array.sub keys 0 profile.rmws in
+      let read_keys = Array.sub keys profile.rmws profile.reads in
+      update_txn ~id ~rmw_keys ~read_keys)
+
 let read_only_txn ~id ~keys =
   Txn.make ~id ~read_set:(Array.to_list keys) ~write_set:[] (fun ctx ->
       Array.iter (fun k -> ignore (ctx.Txn.read k)) keys;

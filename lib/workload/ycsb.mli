@@ -42,6 +42,25 @@ val generate :
     "each element of a transaction's read- and write-set is unique"). Each
     RMW increments the record; reads are pure. Deterministic in [seed]. *)
 
+val generate_sharded :
+  rows:int ->
+  theta:float ->
+  count:int ->
+  seed:int ->
+  shards:int ->
+  cross_fraction:float ->
+  profile ->
+  Bohm_txn.Txn.t array
+(** {!generate} for a sharded database ({!Bohm_txn.Key.shard_of}): each
+    transaction draws a uniform home shard and confines its footprint to
+    it — except that, with probability [cross_fraction], one other shard
+    is drawn and part of the footprint (always including the last key,
+    never the first) lands there, making the transaction span exactly two
+    shards. The first key always stays on the home shard, so the engine
+    homes the transaction there. [shards = 1] or [cross_fraction = 0]
+    degenerate to per-shard-local transactions (though the key {e draws}
+    differ from {!generate}'s). Deterministic in [seed]. *)
+
 val generate_read_only :
   rows:int -> scan:int -> count:int -> seed:int -> Bohm_txn.Txn.t array
 (** Read-only transactions reading [scan] records chosen uniformly

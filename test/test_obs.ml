@@ -271,8 +271,12 @@ let test_sim_trace_exports () =
     [ "driver"; "cc-0"; "cc-1"; "exec-0"; "exec-3"; "pre-0" ];
   List.iter
     (fun phase ->
+      (* Per-transaction phases carry one sample per commit; the per-batch
+         shard_vote phase stays empty on this single-shard run. *)
+      let expected = if phase = "shard_vote" then 0 else 200 in
       match Stats.latency stats phase with
-      | Some h -> Alcotest.(check int) (phase ^ " count") 200 (Histogram.count h)
+      | Some h ->
+          Alcotest.(check int) (phase ^ " count") expected (Histogram.count h)
       | None -> Alcotest.failf "phase %s missing" phase)
     Latency.phase_names
 

@@ -4,9 +4,10 @@
    evaluation on the simulated multicore machine, runs the ablation
    benches, and finishes with the Bechamel component micro-benchmarks.
    Pass experiment names (fig4 fig4-noroute fig4-nowakeup fig4-noslabs
-   fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch ablation-annotation
-   ablation-gc ablation-cc-split ablation-preprocess ablation-probe-memo
-   ablation-cc-routing ablation-exec-wakeup ablation-version-slabs
+   fig4-shards fig5 fig6 fig7 fig8 tab9 fig10 ablation-batch
+   ablation-annotation ablation-gc ablation-cc-split ablation-preprocess
+   ablation-probe-memo ablation-cc-routing ablation-exec-wakeup
+   ablation-version-slabs ablation-cc-rebalance flash-crowd
    latency-profile micro micro-slabs smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
@@ -210,6 +211,30 @@ let smoke ~scale ~sanitized =
      else
        ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~shards:2 ~preprocess:true spec
            sharded_txns,
+         None ));
+  (* Live adaptive repartitioning under a migrating flash crowd: small
+     batches so map publications actually fire mid-run, checking that an
+     epoch switch never loses, dupes or mis-routes a transaction
+     (sanitized: under the full checker suite, so the chain audit also
+     re-derives every version's owner through the per-batch maps). *)
+  let flash_txns =
+    Ycsb.generate_flash_crowd ~rows ~count ~seed:41 ~phases:3 ~hot_keys:256
+      ~hot_frac:0.9 (Ycsb.mixed_profile ~rmws:2 ~reads:8)
+  in
+  check ("bohm cc=4 exec=8 preprocess rebalance flash" ^ suffix)
+    (if sanitized then
+       let bohm =
+         { Runner.default_bohm_opts with cc_fraction = 1. /. 3.;
+           batch_size = 100; preprocess = true }
+       in
+       let stats, r =
+         Runner.run_sim_sanitized ~bohm Runner.Bohm ~threads:12 spec
+           flash_txns
+       in
+       (stats, Some r)
+     else
+       ( Runner.run_bohm_sim ~cc:4 ~exec:8 ~batch:100 ~preprocess:true spec
+           flash_txns,
          None ));
   if !failures > 0 then begin
     Printf.eprintf "smoke: %d configuration(s) failed\n" !failures;

@@ -89,7 +89,7 @@ let chain_walk_recycled_bench =
     (Staged.stage (fun () -> Version.visible_at head ~ts:0))
 
 let chain_walk_slab_bench =
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let base = Version.initial Value.zero in
   let head =
     let rec extend v ts =
@@ -224,7 +224,7 @@ let charged_chain_walks () =
         |> fst
       in
       let slab_head =
-        let al = V.alloc_make ~owner:0 in
+        let al = V.alloc_make ~owner:0 () in
         let rec extend v ts =
           if ts > 64 then v
           else

@@ -150,6 +150,24 @@ for x in 2 8; do
 done
 echo "fig4 single-shard determinism gate PASS (matches BENCH_PR6.json at exec=2,8 / CC=1,4)"
 
+# Fifth determinism gate: adaptive CC repartitioning must be inert when
+# it cannot observe load — fig4 runs without the preprocessing stage, so
+# with cc_rebalance at its default (on) no map is ever published and the
+# same fig4 run must also reproduce the BENCH_PR8.json cells bit-for-bit.
+# Any charged instruction leaking from the rebalance path into a
+# static-map run shows up here.
+for x in 2 8; do
+  got=$(row "$tmp5" $x)
+  want=$(row BENCH_PR8.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: fig4 with cc_rebalance inert diverges from BENCH_PR8.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4 rebalance-inert determinism gate PASS (matches BENCH_PR8.json at exec=2,8 / CC=1,4)"
+
 # Multi-shard ablation smoke: complete per-shard pipelines at 1/2/4
 # shards with a 10% cross-shard mix. A lost vote, a missed epoch
 # alignment or a mis-routed footprint slice deadlocks the simulator or
@@ -157,5 +175,15 @@ echo "fig4 single-shard determinism gate PASS (matches BENCH_PR6.json at exec=2,
 # in EXPERIMENTS.md / BENCH_PR8.json.
 dune exec bench/main.exe -- fig4-shards --quick > /dev/null \
   && echo "fig4-shards smoke PASS"
+
+# Adaptive-repartitioning ablation smoke: static vs adaptive map on the
+# Zipfian and flash-crowd workloads, shrunk. A map published at the wrong
+# epoch mis-routes footprint entries, which the engine surfaces as lost
+# commits or a deadlocked barrier and a non-zero exit; the full-scale
+# tables live in EXPERIMENTS.md / BENCH_PR9.json.
+dune exec bench/main.exe -- ablation-cc-rebalance --quick > /dev/null \
+  && echo "ablation-cc-rebalance smoke PASS"
+dune exec bench/main.exe -- flash-crowd --quick > /dev/null \
+  && echo "flash-crowd smoke PASS"
 
 exec dune exec bench/main.exe -- smoke "$@"

@@ -158,6 +158,15 @@ let run_cmd =
              chains, whole-slab GC); versions fall back to heap records \
              and the Condition-3 freelists.")
   in
+  let no_cc_rebalance =
+    Arg.(
+      value & flag
+      & info [ "no-cc-rebalance" ]
+          ~doc:
+            "Disable adaptive CC repartitioning (epoch-versioned partition \
+             maps rebalanced between batches; inert anyway unless \
+             $(b,--preprocess) is on). Off pins the static hash assignment.")
+  in
   let trace =
     Arg.(
       value
@@ -186,7 +195,8 @@ let run_cmd =
   in
   let action engine workload threads shards cross_shard_pct theta rows count
       seed cc_fraction batch no_gc no_annotation preprocess no_probe_memo
-      no_cc_routing no_exec_wakeup no_version_slabs trace latency sanitize =
+      no_cc_routing no_exec_wakeup no_version_slabs no_cc_rebalance trace
+      latency sanitize =
     let ycsb_gen profile =
       if shards > 1 then
         Ycsb.generate_sharded ~rows ~theta ~count ~seed ~shards
@@ -234,6 +244,7 @@ let run_cmd =
         cc_routing = not no_cc_routing;
         exec_wakeup = not no_exec_wakeup;
         version_slabs = not no_version_slabs;
+        cc_rebalance = not no_cc_rebalance;
         obs = obs_on;
       }
     in
@@ -314,7 +325,8 @@ let run_cmd =
       const action $ engine $ workload $ threads $ shards $ cross_shard_pct
       $ theta $ rows $ count $ seed $ cc_fraction $ batch $ no_gc
       $ no_annotation $ preprocess $ no_probe_memo $ no_cc_routing
-      $ no_exec_wakeup $ no_version_slabs $ trace $ latency $ sanitize)
+      $ no_exec_wakeup $ no_version_slabs $ no_cc_rebalance $ trace $ latency
+      $ sanitize)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 

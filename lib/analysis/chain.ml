@@ -6,12 +6,13 @@ type entry = {
   filled : bool;
   dangling_waiters : int;
   slab : (int * int * int) option;
+  batch : int option;
 }
 
 let infinity_ts = max_int
 
-let entry ?(dangling_waiters = 0) ?slab ~begin_ts ~end_ts ~filled () =
-  { begin_ts; end_ts; filled; dangling_waiters; slab }
+let entry ?(dangling_waiters = 0) ?slab ?batch ~begin_ts ~end_ts ~filled () =
+  { begin_ts; end_ts; filled; dangling_waiters; slab; batch }
 
 (* Slab-arena discipline between a version and its predecessor, when both
    are slab-allocated: one key's versions all come from its partition's
@@ -46,8 +47,64 @@ let cross_slab_violation newer older =
       else None
   | _ -> None
 
-let check_key report ?(newest_end = infinity_ts) k entries =
+(* Map-aware variants of the arena discipline, for engines running
+   adaptive CC repartitioning ([owner_of] gives the partition the
+   epoch-versioned map assigned the key at a given batch). A key's chain
+   may then legitimately cross arenas — the key moved partitions between
+   batches — so the pair-based one-owner rule above is replaced by an
+   absolute per-entry check (each slab entry's owner must be exactly the
+   map's assignment at the entry's batch) plus pair rules that only
+   constrain what the allocation discipline still guarantees: two
+   same-batch entries share one owner, and within one owner's run of the
+   chain the sequence/bump order still holds. *)
+let entry_owner_violation owner_of e =
+  match (e.slab, e.batch) with
+  | Some (owner, seq, idx), Some b ->
+      let expected = owner_of b in
+      if owner <> expected then
+        Some
+          (Printf.sprintf
+             "slab entry (owner %d, seq %d, idx %d) but the batch-%d \
+              partition map assigns owner %d (ts %d)"
+             owner seq idx b expected e.begin_ts)
+      else None
+  | _ -> None
+
+let cross_slab_violation_mapped newer older =
+  match (newer.slab, older.slab) with
+  | Some (n_owner, n_seq, n_idx), Some (o_owner, o_seq, o_idx) ->
+      if o_owner <> n_owner then
+        (* Legal handoff only between different batches; both entries'
+           owners are checked against their own batches' maps above. *)
+        if newer.batch <> older.batch then None
+        else
+          Some
+            (Printf.sprintf
+               "two arena owners within one batch: slab (owner %d, seq %d, \
+                idx %d) -> (owner %d, seq %d, idx %d)"
+               n_owner n_seq n_idx o_owner o_seq o_idx)
+      else if o_seq > n_seq then
+        Some
+          (Printf.sprintf
+             "prev link points into a newer slab: seq %d idx %d -> seq %d \
+              idx %d (owner %d)"
+             n_seq n_idx o_seq o_idx n_owner)
+      else if o_seq = n_seq && o_idx >= n_idx then
+        Some
+          (Printf.sprintf
+             "prev link runs against the bump order: idx %d -> idx %d in \
+              slab (owner %d, seq %d)"
+             n_idx o_idx n_owner n_seq)
+      else None
+  | _ -> None
+
+let check_key report ?owner_of ?(newest_end = infinity_ts) k entries =
   let add kind detail = Report.add report ~key:k kind detail in
+  let pair_violation n e =
+    match owner_of with
+    | None -> cross_slab_violation n e
+    | Some _ -> cross_slab_violation_mapped n e
+  in
   let rec go newer = function
     | [] -> ()
     | e :: rest ->
@@ -59,11 +116,17 @@ let check_key report ?(newest_end = infinity_ts) k entries =
             (Printf.sprintf
                "version ts %d still holds %d unclaimed waiter record(s)"
                e.begin_ts e.dangling_waiters);
+        (match owner_of with
+        | Some owner_of -> (
+            match entry_owner_violation owner_of e with
+            | Some detail -> add Report.Chain_cross_slab detail
+            | None -> ())
+        | None -> ());
         let corrupt_link =
           match newer with
           | None -> false
           | Some n -> (
-              match cross_slab_violation n e with
+              match pair_violation n e with
               | Some detail ->
                   add Report.Chain_cross_slab detail;
                   true

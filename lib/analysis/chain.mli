@@ -24,6 +24,16 @@
       link skips the two timestamp checks: the stamps read through a
       bogus link belong to some other chain's version and would only
       shadow the root cause.
+    - {b map-aware arena discipline} ([check_key ~owner_of], i.e. BOHM
+      with adaptive CC repartitioning): a key's chain may legitimately
+      cross arenas when the key moved partitions between batches, so the
+      one-owner-per-chain rule is replaced by an absolute per-entry
+      check — each slab entry's owner must be exactly the partition the
+      epoch-versioned map assigned the key {e at the entry's batch}
+      ([owner_of batch], entries carrying [batch]) — plus the residual
+      pair rules the allocation discipline still guarantees: two
+      same-batch neighbours share one owner, and sequence/bump order
+      holds between same-owner neighbours.
 
     Run it post-quiescence — after the engine's [run] has joined its
     threads — via each engine's [check_chains]. *)
@@ -42,6 +52,9 @@ type entry = {
       (** [(owner, slab sequence, entry index)] for slab-allocated
           versions; [None] for heap records (bulk-loaded tails, the
           slabs-off store, other engines). *)
+  batch : int option;
+      (** Batch the version's slab serves, for the map-aware discipline
+          check; [None] for heap records (which skip it). *)
 }
 
 val infinity_ts : int
@@ -50,16 +63,27 @@ val infinity_ts : int
 val entry :
   ?dangling_waiters:int ->
   ?slab:int * int * int ->
+  ?batch:int ->
   begin_ts:int ->
   end_ts:int option ->
   filled:bool ->
   unit ->
   entry
 (** Convenience constructor; [dangling_waiters] defaults to 0 for engines
-    without waiter lists, [slab] to [None] for heap-allocated versions. *)
+    without waiter lists, [slab] and [batch] to [None] for heap-allocated
+    versions. *)
 
 val check_key :
-  Report.t -> ?newest_end:int -> Bohm_txn.Key.t -> entry list -> unit
+  Report.t ->
+  ?owner_of:(int -> int) ->
+  ?newest_end:int ->
+  Bohm_txn.Key.t ->
+  entry list ->
+  unit
 (** Check one key's chain, [entries] newest-first. [newest_end] is the end
-    stamp the head must carry (default {!infinity_ts}). Diagnostics go to
-    the report under the [Chain] checker. *)
+    stamp the head must carry (default {!infinity_ts}). [owner_of]
+    switches the slab-arena checks to the map-aware discipline:
+    [owner_of b] is the owner the engine's per-batch partition map
+    assigned this key at batch [b] (absent: the static one-owner
+    discipline, exactly as before). Diagnostics go to the report under
+    the [Chain] checker. *)

@@ -137,15 +137,33 @@ let critical_path t =
     Array.fold_left max 1 depth
   end
 
-let partition_load t ~partitions =
+(* [partition] overrides the engine's static [hash mod partitions]
+   assignment — a caller analyzing a run under an epoch-versioned
+   partition map passes the map's own lookup (as a closure, keeping this
+   library independent of the engine's map type). *)
+let partition_load ?partition t ~partitions =
   if partitions <= 0 then invalid_arg "Conflict_graph.partition_load";
+  let assign =
+    match partition with
+    | Some f -> f
+    | None -> fun k -> Key.hash k mod partitions
+  in
   let load = Array.make partitions 0 in
   Array.iter
     (Array.iter (fun k ->
-         let p = Key.hash k mod partitions in
+         let p = assign k in
+         if p < 0 || p >= partitions then
+           invalid_arg "Conflict_graph.partition_load: partition out of range";
          load.(p) <- load.(p) + 1))
     t.write_keys;
   load
+
+let load_imbalance load =
+  let total = Array.fold_left ( + ) 0 load in
+  if total = 0 || Array.length load = 0 then 1.0
+  else
+    float_of_int (Array.fold_left max 0 load)
+    /. (float_of_int total /. float_of_int (Array.length load))
 
 type shard_stats = {
   shard_load : int array;
@@ -238,15 +256,17 @@ let diff t ~observed =
   in
   go s o [] []
 
-let summary t ~partitions =
+let summary ?partition t ~partitions =
   let ww, wr, rw = edge_counts t in
-  let load = partition_load t ~partitions in
+  let load = partition_load ?partition t ~partitions in
   Printf.sprintf
     "conflict graph: %d txns, %d edges (ww=%d wr=%d rw=%d)\n\
      conflict degree: mean %.2f, max %d\n\
      critical path: %d of %d txns\n\
-     partition load (%d): [%s]"
+     partition load (%d): [%s]\n\
+     partition imbalance (max/mean): %.2f"
     (txns t)
     (ww + wr + rw) ww wr rw (degree_mean t) (degree_max t) (critical_path t)
     (txns t) partitions
     (String.concat "; " (Array.to_list (Array.map string_of_int load)))
+    (load_imbalance load)

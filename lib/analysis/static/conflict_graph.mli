@@ -65,9 +65,17 @@ val critical_path : t -> int
 (** Transactions on the longest dependency chain (>= 1 for a non-empty
     batch; 1 means the batch is embarrassingly parallel). *)
 
-val partition_load : t -> partitions:int -> int array
+val partition_load :
+  ?partition:(Bohm_txn.Key.t -> int) -> t -> partitions:int -> int array
 (** Write-set entries (CC placeholder inserts) owned by each of
-    [partitions] hash partitions. *)
+    [partitions] partitions. [partition] overrides the default static
+    assignment ([Key.hash k mod partitions]) — pass the lookup of an
+    epoch-versioned partition map to see the load it would yield; must
+    return values in [0, partitions). *)
+
+val load_imbalance : int array -> float
+(** Max/mean ratio of a load vector ([1.0] when total load is zero): the
+    skew number the CC batch barrier turns into idle time. *)
 
 type shard_stats = {
   shard_load : int array;
@@ -101,5 +109,6 @@ val diff :
 (** [(static_only, observed_only)] — both empty iff the graphs agree
     edge-for-edge. [observed] is deduplicated before comparison. *)
 
-val summary : t -> partitions:int -> string
-(** Multi-line human-readable report. *)
+val summary : ?partition:(Bohm_txn.Key.t -> int) -> t -> partitions:int -> string
+(** Multi-line human-readable report, including the partition load and
+    its max/mean imbalance under the (default: static) assignment. *)

@@ -72,6 +72,22 @@ type t = private {
           freelists. Off replays the PR3 heap-record/freelist store
           bit-for-bit (the [fig4-noslabs] determinism anchor and the
           [ablation-version-slabs] bench). *)
+  cc_rebalance : bool;
+      (** Adaptive CC repartitioning. With [preprocess], the
+          key→CC-partition assignment becomes an epoch-versioned
+          {!Bohm_core.Partition_map} instead of the fixed
+          [Key.hash k mod cc_threads]: the preprocessing sweep measures
+          per-segment occupancy, and between batches the map is
+          rebalanced by a greedy bin-pack of the hottest hash segments
+          onto the least-loaded partitions (hysteresis so uniform
+          workloads never churn). A new map version is published at the
+          preprocessing batch barrier with a two-batch lag; every
+          pipeline stage reads the map version pinned to its batch, so
+          in-flight batches stay consistent. When the map never changes
+          (uniform load, or this flag off) the engine's schedule is
+          bit-for-bit the static-hash schedule. Without [preprocess]
+          this flag is inert. Off replays the static modulo for the
+          [ablation-cc-rebalance] bench. *)
   obs : bool;
       (** Observability ([Bohm_obs]): when set {e and} a
           [Bohm_obs.Recorder] is installed, the engine emits pipeline
@@ -96,13 +112,15 @@ val make :
   ?cc_routing:bool ->
   ?exec_wakeup:bool ->
   ?version_slabs:bool ->
+  ?cc_rebalance:bool ->
   ?obs:bool ->
   unit ->
   t
 (** Defaults: 2 CC threads, 2 exec threads, batch of 1000, 1 shard, GC
     on, read annotation on, preprocessing off, probe memoization on,
     batch routing on, fill-triggered wakeup on, version slabs on,
-    observability off. Raises [Invalid_argument] on non-positive thread
+    CC rebalancing on (inert without preprocessing), observability
+    off. Raises [Invalid_argument] on non-positive thread
     counts, batch size or shard count, or on more than 62 shards (owner
     sets are bitmasks in one OCaml int). *)
 

@@ -117,6 +117,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        (shard, batch, local_ready, merged_commit). Empty for
        single-shard runs. *)
     mutable votes_log : (int * int * bool * bool) list;
+    (* Per-shard, per-batch partition-map versions of the last [run] with
+       adaptive repartitioning live ([pmap_log.(shard).(batch)]); [[||]]
+       otherwise. Read only by the post-quiescence chain audit, which
+       needs the map version pinned to each version's batch to know who
+       legitimately owned a key when. *)
+    mutable pmap_log : Partition_map.t array array;
   }
 
   (* Carries the key read, the unfilled version (so the wakeup path can
@@ -142,6 +148,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       next_ts = 1;
       lost_vote = None;
       votes_log = [];
+      pmap_log = [||];
     }
 
   let config t = t.config
@@ -165,7 +172,106 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let recycling_on t = t.config.Config.cc_routing && t.config.Config.gc
   let slabs_on t = t.config.Config.version_slabs
 
+  (* Adaptive repartitioning needs the preprocessing sweep twice over: it
+     is where per-segment occupancy is measured, and it is the only layer
+     that maps keys to partitions when [preprocess] is on (CC dispatch
+     consumes the stamped [owned_keys] / routing buffers). Without
+     preprocessing the flag is inert and CC scans with the static hash. *)
+  let rebalance_on t =
+    t.config.Config.cc_rebalance && t.config.Config.preprocess
+
   let partition_of cc_threads k = Key.hash k mod cc_threads
+
+  (* --- Adaptive CC repartitioning (epoch-versioned partition maps) ---
+
+     The published map version for batch [b] is [maps.(b)], an immutable
+     {!Partition_map.t}; the array is pre-initialized to the static map
+     (bit-identical to [partition_of]). Preprocessing worker 0 computes
+     batch [b]'s per-segment occupancy at the preprocessing barrier and
+     writes the resulting map into [maps.(b + rebalance_lag)] — batch
+     [b+1] is already being classified under its published map, so the
+     first batch that can safely consume a map derived from batch [b] is
+     [b+2]. No new synchronization: worker 0 crosses barrier [b] before
+     any preprocessor classifies batch [b+1] (same barrier), hence
+     strictly before anyone reads [maps.(b+2)], and CC threads only read
+     a batch's map behind [pre_done], whose release/acquire edge carries
+     worker 0's host writes.
+
+     Hysteresis knobs (see {!Partition_map.rebalance}): rebalancing
+     evaluates only on enough samples per segment that uniform noise
+     cannot look like skew — small-batch test runs never reach the floor
+     — and publishes only on a real measured imbalance with a real
+     predicted improvement. Evaluation is host-side and uncharged; an
+     actual publication charges [Costs.cc_rebalance] on worker 0, so a
+     run whose map never changes replays the static schedule
+     bit-for-bit. *)
+  let rebalance_lag = 2
+  let rebalance_threshold = 1.25
+  let rebalance_margin = 0.05
+  let rebalance_min_samples_per_seg = 4
+
+  (* Rebalancing state shared by one shard's preprocessors. Occupancy is
+     accumulated host-side (uncharged) during the classification sweep
+     into per-(batch, worker, segment) slots — no two workers share a
+     counter — and summed by worker 0 at the batch barrier, which is
+     also the only writer of the counters below. *)
+  type rebal = {
+    rb_occ : int array array array; (* batch -> pre worker -> segment *)
+    rb_occ_parts : int array; (* whole-run per-partition occupancy *)
+    mutable rb_rebalances : int;
+    mutable rb_segs_moved : int;
+    mutable rb_imb_max : float; (* max measured per-batch max/mean ratio *)
+    mutable rb_imb_sum : float;
+    mutable rb_imb_batches : int;
+  }
+
+  let rebal_make ~workers ~parts ~n_batches =
+    let nsegs = Partition_map.segs_per_part * parts in
+    {
+      rb_occ =
+        Array.init (max 1 n_batches) (fun _ ->
+            Array.init workers (fun _ -> Array.make nsegs 0));
+      rb_occ_parts = Array.make parts 0;
+      rb_rebalances = 0;
+      rb_segs_moved = 0;
+      rb_imb_max = 1.0;
+      rb_imb_sum = 0.;
+      rb_imb_batches = 0;
+    }
+
+  (* Stats extras for a run's rebalancing state (one [rebal] per shard;
+     [[]] when the feature is off — no keys are emitted at all, keeping
+     rebalance-off extras bit-identical to the pre-feature engine).
+     Imbalance ratios are measured occupancy max/mean per batch, under
+     the map each batch actually ran with. *)
+  let rebal_extra rebals =
+    match rebals with
+    | [] -> []
+    | hd :: _ ->
+        let sum f = List.fold_left (fun a rb -> a + f rb) 0 rebals in
+        let occ = Array.make (Array.length hd.rb_occ_parts) 0 in
+        List.iter
+          (fun rb ->
+            Array.iteri (fun p l -> occ.(p) <- occ.(p) + l) rb.rb_occ_parts)
+          rebals;
+        let batches = sum (fun rb -> rb.rb_imb_batches) in
+        let imb_sum =
+          List.fold_left (fun a rb -> a +. rb.rb_imb_sum) 0. rebals
+        in
+        let imb_max =
+          List.fold_left (fun a rb -> max a rb.rb_imb_max) 1.0 rebals
+        in
+        [
+          ("rebalances", float_of_int (sum (fun rb -> rb.rb_rebalances)));
+          ("segs_moved", float_of_int (sum (fun rb -> rb.rb_segs_moved)));
+          ("cc_imbalance_max", imb_max);
+          ( "cc_imbalance_mean",
+            if batches = 0 then 1.0 else imb_sum /. float_of_int batches );
+        ]
+        @ Array.to_list
+            (Array.mapi
+               (fun p l -> (Printf.sprintf "cc_occ_p%d" p, float_of_int l))
+               occ)
 
   (* Capacity for [n] footprint entries at load factor <= 1/2, so linear
      probing always terminates on an empty slot. *)
@@ -528,7 +634,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      transactions of other shards contribute nothing here and are never
      charged a routing cost anywhere. *)
   let preprocess_loop t sh wrapped me workers pre_barrier pre_done timing
-      routes obs_buf n_batches =
+      routes maps rebal obs_buf n_batches =
     let m = t.config.Config.cc_threads in
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
@@ -544,6 +650,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Some buf ->
           Obs.Buf.begin_span buf ~phase:"preprocess" ~batch:b ~ts:(R.now_ns ())
       | None -> ());
+      (* The map version pinned to this batch. Written (for [b >= 2]) by
+         worker 0 at barrier [b - rebalance_lag], which every worker has
+         crossed before classifying batch [b]. With rebalancing off this
+         is always the static map and the lookup is [Key.hash k mod m]. *)
+      let pmap = maps.(b) in
+      let occ =
+        match rebal with Some rb -> rb.rb_occ.(b).(me) | None -> [||]
+      in
+      let classify slot k =
+        let h = Key.hash k in
+        let p = Partition_map.partition_of_hash pmap h in
+        if rebal <> None then begin
+          let s = Partition_map.segment_of_hash pmap h in
+          occ.(s) <- occ.(s) + 1
+        end;
+        scratch.(p) <- slot :: scratch.(p)
+      in
       let lo = b * bs and hi = min n ((b + 1) * bs) - 1 in
       let idx = ref (lo + me) in
       while !idx <= hi do
@@ -558,8 +681,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           (fun i k ->
             if owns k then begin
               if t.config.Config.probe_memo then ignore (slot_for t w i k);
-              let p = partition_of m k in
-              scratch.(p) <- i :: scratch.(p);
+              classify i k;
               incr owned_here
             end)
           rs;
@@ -568,8 +690,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             if owns k then begin
               if t.config.Config.probe_memo then
                 ignore (slot_for t w (n_rs + i) k);
-              let p = partition_of m k in
-              scratch.(p) <- (n_rs + i) :: scratch.(p);
+              classify (n_rs + i) k;
               incr owned_here
             end)
           ws;
@@ -613,6 +734,63 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | None -> ());
       Sync.Barrier.await pre_barrier;
       if me = 0 then begin
+        (* Rebalance point: every worker's occupancy slots for batch [b]
+           are complete (the barrier orders them before this read), and
+           no preprocessor can reach batch [b + rebalance_lag] until
+           worker 0 crosses barrier [b + 1], so the map write below is
+           safe without further synchronization. Measurement and the
+           (usually fruitless) evaluation are host-side and uncharged;
+           only an actual publication charges [Costs.cc_rebalance] and
+           emits a trace span — so a run whose map never changes replays
+           the rebalance-off schedule bit-for-bit. *)
+        (match rebal with
+        | Some rb ->
+            let nsegs = Partition_map.nsegs maps.(b) in
+            let seg_load = Array.make nsegs 0 in
+            Array.iter
+              (fun per_worker ->
+                for s = 0 to nsegs - 1 do
+                  seg_load.(s) <- seg_load.(s) + per_worker.(s)
+                done)
+              rb.rb_occ.(b);
+            let part_load = Partition_map.load_per_partition maps.(b) seg_load in
+            Array.iteri
+              (fun p l -> rb.rb_occ_parts.(p) <- rb.rb_occ_parts.(p) + l)
+              part_load;
+            if Array.exists (fun l -> l > 0) part_load then begin
+              let r = Partition_map.imbalance part_load in
+              if r > rb.rb_imb_max then rb.rb_imb_max <- r;
+              rb.rb_imb_sum <- rb.rb_imb_sum +. r;
+              rb.rb_imb_batches <- rb.rb_imb_batches + 1
+            end;
+            if b + rebalance_lag < n_batches then begin
+              let base = maps.(b + rebalance_lag - 1) in
+              let ts0 =
+                match obs_buf with Some _ -> R.now_ns () | None -> 0
+              in
+              match
+                Partition_map.rebalance base ~load:seg_load
+                  ~min_samples:(rebalance_min_samples_per_seg * nsegs)
+                  ~threshold:rebalance_threshold ~margin:rebalance_margin
+              with
+              | Some pmap' ->
+                  R.work !Bohm_runtime.Costs.cc_rebalance;
+                  rb.rb_rebalances <- rb.rb_rebalances + 1;
+                  rb.rb_segs_moved <-
+                    rb.rb_segs_moved + Partition_map.moved base pmap';
+                  maps.(b + rebalance_lag) <- pmap';
+                  (match obs_buf with
+                  | Some buf ->
+                      Obs.Buf.begin_span buf ~phase:"rebalance" ~batch:b
+                        ~ts:ts0;
+                      Obs.Buf.end_span buf ~ts:(R.now_ns ())
+                  | None -> ())
+              | None ->
+                  (* Propagate the kept map so every batch's slot holds
+                     its published version. *)
+                  maps.(b + rebalance_lag) <- base
+            end
+        | None -> ());
         Sync.Watermark.publish pre_done b;
         if b = n_batches - 1 then timing.pre_complete <- R.now ()
       end
@@ -1606,6 +1784,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           (Array.init n_batches (fun _ ->
                Array.init (m + k) (fun _ -> Array.make m [||])))
     in
+    (* Per-batch partition-map versions, pre-initialized to the static
+       map (= [Key.hash k mod m]); worker 0 of the preprocessing team
+       overwrites later slots when a rebalance publishes. *)
+    let maps = Array.make (max 1 n_batches) (Partition_map.static ~parts:m) in
+    let rebal =
+      if rebalance_on t then Some (rebal_make ~workers:(m + k) ~parts:m ~n_batches)
+      else None
+    in
     let cc_stats =
       Array.init m (fun j ->
           let cc_obs =
@@ -1619,7 +1805,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             inserted = 0;
             pool = [];
             recycled = 0;
-            alloc = V.alloc_make ~owner:j;
+            alloc = V.alloc_make ~shared:(rebalance_on t) ~owner:j ();
             cc_obs;
             cc_obs_pub = (if j = 0 then obs_cc_pub else [||]);
           })
@@ -1698,7 +1884,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         List.init workers (fun me ->
             R.spawn (fun () ->
                 preprocess_loop t None wrapped me workers pre_barrier pre_done
-                  timing routes pre_bufs.(me) n_batches))
+                  timing routes maps rebal pre_bufs.(me) n_batches))
       end
     in
     let cc_threads =
@@ -1718,6 +1904,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     List.iter R.join cc_threads;
     List.iter R.join exec_threads;
     let elapsed = R.now () -. start in
+    t.pmap_log <- (match rebal with Some _ -> [| maps |] | None -> [||]);
     let committed = Array.fold_left (fun acc s -> acc + s.committed) 0 exec_stats in
     let logic_aborts =
       Array.fold_left (fun acc s -> acc + s.logic_aborts) 0 exec_stats
@@ -1734,23 +1921,24 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
       ~extra:
-        [
-          ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
-          ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
-          ( "slabs_opened",
-            float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
-          ( "slabs_retired",
-            float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
-          ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
-          ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
-          ( "exec_retry_scans",
-            float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
-          ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
-          (* Microseconds: virtual times are sub-millisecond, and the
-             harness prints extras rounded to integers. *)
-          ("cc_batch0_start_us", timing.cc_batch0_start *. 1e6);
-          ("pre_complete_us", timing.pre_complete *. 1e6);
-        ]
+        ([
+           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
+           ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
+           ( "slabs_opened",
+             float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
+           ( "slabs_retired",
+             float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
+           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
+           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
+           ( "exec_retry_scans",
+             float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
+           ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
+           (* Microseconds: virtual times are sub-millisecond, and the
+              harness prints extras rounded to integers. *)
+           ("cc_batch0_start_us", timing.cc_batch0_start *. 1e6);
+           ("pre_complete_us", timing.pre_complete *. 1e6);
+         ]
+        @ rebal_extra (Option.to_list rebal))
       ()
 
   (* Multi-shard driver: [shards] complete pipelines over the same shared
@@ -1837,6 +2025,20 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                Array.init n_batches (fun _ ->
                    Array.init (m + k) (fun _ -> Array.make m [||]))))
     in
+    (* Each shard rebalances its own partition map from its own measured
+       occupancy — shard key spaces are disjoint, so there is nothing to
+       coordinate between the per-shard rebalancers. *)
+    let shard_maps =
+      Array.init shards (fun _ ->
+          Array.make (max 1 n_batches) (Partition_map.static ~parts:m))
+    in
+    let shard_rebal =
+      if rebalance_on t then
+        Some
+          (Array.init shards (fun _ ->
+               rebal_make ~workers:(m + k) ~parts:m ~n_batches))
+      else None
+    in
     let cc_stats =
       Array.init (shards * m) (fun gp ->
           let s = gp / m and j = gp mod m in
@@ -1855,7 +2057,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             (* Slab owner ids are global partition ids, unique across
                shards, so the arena-discipline audit keeps one owner per
                chain. *)
-            alloc = V.alloc_make ~owner:gp;
+            alloc = V.alloc_make ~shared:(rebalance_on t) ~owner:gp ();
             cc_obs;
             cc_obs_pub = (if j = 0 then obs_cc_pub.(s) else [||]);
           })
@@ -1917,12 +2119,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                in
                let pre_barrier = Sync.Barrier.create ~parties:workers in
                let routes_s = Option.map (fun r -> r.(s)) routes in
+               let rebal_s = Option.map (fun r -> r.(s)) shard_rebal in
                List.init workers (fun me ->
                    R.spawn (fun () ->
                        preprocess_loop t
                          (Some ctxs.(s))
                          wrapped me workers pre_barrier pre_dones.(s)
-                         timings.(s) routes_s pre_bufs.(me) n_batches))))
+                         timings.(s) routes_s shard_maps.(s) rebal_s
+                         pre_bufs.(me) n_batches))))
     in
     let cc_threads =
       List.concat
@@ -1954,6 +2158,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     List.iter R.join cc_threads;
     List.iter R.join exec_threads;
     let elapsed = R.now () -. start in
+    t.pmap_log <-
+      (match shard_rebal with Some _ -> shard_maps | None -> [||]);
     t.votes_log <-
       List.concat
         (List.init shards (fun s ->
@@ -1986,24 +2192,28 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
       ~extra:
-        [
-          ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
-          ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
-          ( "slabs_opened",
-            float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
-          ( "slabs_retired",
-            float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
-          ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
-          ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
-          ( "exec_retry_scans",
-            float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
-          ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
-          ("cross_shard_txns", float_of_int cross_shard_txns);
-          ("shard_votes", float_of_int (shards * n_batches));
-          ("vote_aborts", float_of_int vote_aborts);
-          ("cc_batch0_start_us", timings.(0).cc_batch0_start *. 1e6);
-          ("pre_complete_us", timings.(0).pre_complete *. 1e6);
-        ]
+        ([
+           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
+           ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
+           ( "slabs_opened",
+             float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
+           ( "slabs_retired",
+             float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
+           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
+           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
+           ( "exec_retry_scans",
+             float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
+           ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
+           ("cross_shard_txns", float_of_int cross_shard_txns);
+           ("shard_votes", float_of_int (shards * n_batches));
+           ("vote_aborts", float_of_int vote_aborts);
+           ("cc_batch0_start_us", timings.(0).cc_batch0_start *. 1e6);
+           ("pre_complete_us", timings.(0).pre_complete *. 1e6);
+         ]
+        @ rebal_extra
+            (match shard_rebal with
+            | Some rbs -> Array.to_list rbs
+            | None -> []))
       ()
 
   let run t txns =
@@ -2018,9 +2228,28 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      [run] has joined the workers. *)
   let check_chains t report =
     let shards = Array.length t.stores in
+    let m = t.config.Config.cc_threads in
     R.without_cost (fun () ->
         Array.iteri
           (fun s store ->
+            (* When the last run rebalanced adaptively, a key's legal
+               slab owner is per-batch: the global partition id its
+               shard's map version assigned at that batch. The audit
+               then checks each entry against the map pinned to the
+               entry's batch instead of the one-owner-per-chain
+               discipline. *)
+            let owner_of_key =
+              if Array.length t.pmap_log = 0 then fun _ -> None
+              else
+                let maps = t.pmap_log.(s) in
+                let last = Array.length maps - 1 in
+                fun k ->
+                  let h = Key.hash k in
+                  Some
+                    (fun b ->
+                      (s * m)
+                      + Partition_map.partition_of_hash maps.(min b last) h)
+            in
             Store.iter store (fun k slot ->
                 (* Every per-shard store indexes the full key space; only
                    the owning shard's chain for a key ever grows, so audit
@@ -2032,13 +2261,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                         ~end_ts:(Some (V.get_end_ts v))
                         ~filled:(R.Cell.get (V.data_cell v) <> None)
                         ~dangling_waiters:(V.unclaimed_waiters v)
-                        ?slab:(V.slab_coord v) ()
+                        ?slab:(V.slab_coord v) ?batch:(V.slab_batch v) ()
                     in
                     match V.prev v with
                     | None -> List.rev (e :: acc)
                     | Some older -> entries older (e :: acc)
                   in
-                  Bohm_analysis.Chain.check_key report k
+                  Bohm_analysis.Chain.check_key report ?owner_of:(owner_of_key k)
+                    k
                     (entries (R.Cell.get slot) [])))
           t.stores)
 

@@ -103,6 +103,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       CC began batch 0 and preprocessing finished its last batch — the
       pipeline-overlap witness; both 0 when preprocessing is off).
 
+      With adaptive repartitioning live ([Config.cc_rebalance] {e and}
+      [preprocess]) the run additionally reports ["rebalances"]
+      (partition-map epochs published), ["segs_moved"] (hash segments
+      that changed owner, summed over publications),
+      ["cc_imbalance_max"] / ["cc_imbalance_mean"] (per-batch measured
+      occupancy max/mean ratio across CC partitions, worst and average —
+      measured under the map each batch actually ran with, so an
+      effective rebalancer keeps even these near 1 on a skewed
+      workload), and ["cc_occ_p<j>"] (total footprint entries partition
+      [j] owned over the run, summed across shards). None of these keys
+      exist otherwise.
+
       Sharded runs ([Config.shards] > 1) additionally report
       ["cross_shard_txns"] (transactions owning keys on more than one
       shard), ["shard_votes"] (votes published: shards × batches) and
@@ -130,8 +142,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       waiter surviving quiescence is a lost wakeup), and — for
       slab-allocated versions — the arena discipline on every prev link
       (one owning thread per chain, no link into a newer slab, bump order
-      within a slab). Call after {!run} returns (quiescence); charges
-      nothing. *)
+      within a slab). After a run with adaptive repartitioning live the
+      arena discipline is checked map-aware instead: every slab entry's
+      owner must be the partition its shard's map version assigned the
+      key at the entry's batch (cross-owner links are legal exactly at
+      batch boundaries where the key moved). Call after {!run} returns
+      (quiescence); charges nothing. *)
 
   val inject_lost_fill : t -> Bohm_txn.Key.t -> unit
   (** Fault injection for the sanitizer's mutation tests: clears the

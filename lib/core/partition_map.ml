@@ -1,0 +1,134 @@
+(* Epoch-versioned key→CC-partition maps.
+
+   The static engine routes a key to a CC partition with
+   [Key.hash k mod cc_threads].  Under skew (Zipfian theta=0.9, flash
+   crowds) that assignment is the per-shard throughput ceiling: the CC
+   stage runs at the speed of its most loaded partition because the
+   batch barrier couples all partitions, so one hot partition serializes
+   the whole stage while its siblings idle.
+
+   A partition map generalizes the modulo: the hash space is split into
+   [segs_per_part * parts] fixed segments ([seg = hash mod nsegs]) and
+   the map stores one owner partition per segment.  The initial map
+   assigns [seg mod parts], which makes the lookup
+   [(hash mod (segs_per_part * parts)) mod parts = hash mod parts] —
+   bit-for-bit the static hash.  Rebalancing moves whole segments
+   between partitions from measured per-segment load; the segment
+   granularity keeps the map small (a few dozen bytes), deterministic
+   and cheap to compare, while still splitting a hot set that lands in
+   distinct segments.
+
+   Everything here is pure, deterministic host-side arithmetic: maps are
+   immutable once published, rebalancing depends only on (base map,
+   load vector), and ties break toward the incumbent owner so uniform
+   load never churns the assignment. *)
+
+type t = {
+  epoch : int;  (* bumped once per published rebalance *)
+  parts : int;  (* number of CC partitions the map targets *)
+  seg_of : int array;  (* owner partition per segment; length nsegs *)
+}
+
+let segs_per_part = 8
+
+let static ~parts =
+  if parts <= 0 then invalid_arg "Partition_map.static: parts must be positive";
+  {
+    epoch = 0;
+    parts;
+    seg_of = Array.init (segs_per_part * parts) (fun s -> s mod parts);
+  }
+
+let epoch t = t.epoch
+let parts t = t.parts
+let nsegs t = Array.length t.seg_of
+
+(* [hash] may be any non-negative int (Key.hash is non-negative). *)
+let segment_of_hash t h = h mod Array.length t.seg_of
+let partition_of_hash t h = t.seg_of.(h mod Array.length t.seg_of)
+let partition_of_segment t s = t.seg_of.(s)
+
+let load_per_partition t seg_load =
+  let out = Array.make t.parts 0 in
+  Array.iteri (fun s l -> out.(t.seg_of.(s)) <- out.(t.seg_of.(s)) + l) seg_load;
+  out
+
+(* Max/mean ratio of a load vector; 1.0 when there is no load (a
+   perfectly balanced nothing). *)
+let imbalance loads =
+  let total = Array.fold_left ( + ) 0 loads in
+  if total = 0 || Array.length loads = 0 then 1.0
+  else
+    let max_l = Array.fold_left max 0 loads in
+    float_of_int max_l /. (float_of_int total /. float_of_int (Array.length loads))
+
+let moved a b =
+  if a.parts <> b.parts || nsegs a <> nsegs b then
+    invalid_arg "Partition_map.moved: incompatible maps";
+  let n = ref 0 in
+  Array.iteri (fun s p -> if b.seg_of.(s) <> p then incr n) a.seg_of;
+  !n
+
+(* Greedy LPT bin-pack of segments onto partitions.
+
+   Deterministic: segments are sorted by (load desc, index asc) and
+   placed on the least-loaded partition, breaking partition ties toward
+   the segment's current owner and then the lowest index.  Zero-load
+   segments keep their current owner (nothing measured, nothing moved).
+
+   Hysteresis gates publication three ways so uniform workloads never
+   churn:
+   - [min_samples]: below this total load the measurement is noise; no
+     rebalance.
+   - [threshold]: the base map's measured max/mean imbalance must exceed
+     it; a balanced map stays.
+   - [margin]: the packed map's predicted max load must beat the base
+     map's by this relative margin, and the assignment must actually
+     differ.
+
+   Returns [None] when any gate holds (caller keeps the base map). *)
+let rebalance base ~load ~min_samples ~threshold ~margin =
+  let nsegs = nsegs base and m = base.parts in
+  if Array.length load <> nsegs then
+    invalid_arg "Partition_map.rebalance: load vector length mismatch";
+  let total = Array.fold_left ( + ) 0 load in
+  if m <= 1 || total < min_samples then None
+  else
+    let base_parts = load_per_partition base load in
+    if imbalance base_parts <= threshold then None
+    else begin
+      let order = Array.init nsegs (fun s -> s) in
+      Array.sort
+        (fun a b ->
+          if load.(b) <> load.(a) then compare load.(b) load.(a)
+          else compare a b)
+        order;
+      let bin = Array.make m 0 in
+      let seg_of = Array.copy base.seg_of in
+      Array.iter
+        (fun s ->
+          if load.(s) > 0 then begin
+            let incumbent = base.seg_of.(s) in
+            let best = ref incumbent in
+            for p = 0 to m - 1 do
+              if bin.(p) < bin.(!best) then best := p
+            done;
+            seg_of.(s) <- !best;
+            bin.(!best) <- bin.(!best) + load.(s)
+          end)
+        order;
+      let base_max = Array.fold_left max 0 base_parts in
+      let packed_max = Array.fold_left max 0 bin in
+      if
+        float_of_int packed_max <= (1.0 -. margin) *. float_of_int base_max
+        && seg_of <> base.seg_of
+      then Some { epoch = base.epoch + 1; parts = m; seg_of }
+      else None
+    end
+
+let pp fmt t =
+  Format.fprintf fmt "epoch=%d parts=%d segs=[" t.epoch t.parts;
+  Array.iteri
+    (fun s p -> Format.fprintf fmt "%s%d" (if s = 0 then "" else " ") p)
+    t.seg_of;
+  Format.fprintf fmt "]"

@@ -1,0 +1,58 @@
+(** Epoch-versioned key→CC-partition maps.
+
+    The hash space is split into [segs_per_part * parts] fixed segments
+    ([segment = Key.hash k mod nsegs]) and the map assigns one owner CC
+    partition per segment.  The initial ({!static}) map assigns
+    [seg mod parts], so the lookup reduces to [Key.hash k mod parts] —
+    bit-for-bit the static modulo the engine has always used.
+    {!rebalance} produces a new epoch by greedy LPT bin-packing of
+    segments from measured per-segment load, with hysteresis so uniform
+    workloads never churn.  Maps are immutable once built; the engine
+    publishes one map version per batch and every pipeline stage reads
+    the version pinned to its batch. *)
+
+type t
+
+val segs_per_part : int
+(** Segments per partition (8): [nsegs = segs_per_part * parts]. *)
+
+val static : parts:int -> t
+(** Epoch-0 map equivalent to [hash mod parts]. *)
+
+val epoch : t -> int
+val parts : t -> int
+val nsegs : t -> int
+
+val segment_of_hash : t -> int -> int
+(** [segment_of_hash t h] = [h mod nsegs t] for non-negative [h]. *)
+
+val partition_of_hash : t -> int -> int
+(** Owner partition of the segment [h] falls in. *)
+
+val partition_of_segment : t -> int -> int
+
+val load_per_partition : t -> int array -> int array
+(** Fold a per-segment load vector (length [nsegs t]) into per-partition
+    totals under this map's assignment. *)
+
+val imbalance : int array -> float
+(** Max/mean ratio of a load vector; [1.0] when total load is zero. *)
+
+val moved : t -> t -> int
+(** Number of segments whose owner differs between two compatible maps. *)
+
+val rebalance :
+  t -> load:int array -> min_samples:int -> threshold:float -> margin:float ->
+  t option
+(** [rebalance base ~load ~min_samples ~threshold ~margin] greedily
+    bin-packs segments by measured load (largest first, deterministic
+    tie-breaks toward the incumbent owner; zero-load segments keep their
+    owner) and returns [Some map] at [epoch base + 1] only when all
+    hysteresis gates pass: total load reaches [min_samples], the base
+    map's measured max/mean imbalance exceeds [threshold], and the
+    packed map's predicted max load improves on the base by the relative
+    [margin] with an actually-different assignment.  [None] means "keep
+    the base map" — in particular always for single-partition maps and
+    uniform load. *)
+
+val pp : Format.formatter -> t -> unit

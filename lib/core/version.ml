@@ -79,12 +79,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     s_data : Bohm_txn.Value.t option R.Cell.t array;
     s_producer : 'txn option array;
     s_waiters : waitq R.Cell.t array;
-    (* Owner-only bookkeeping (single-writer chains, §3.3.2): never read
-       off-thread, so plain fields. *)
+    (* Allocation cursor: written only by the owning CC thread while the
+       slab is open, so a plain field. *)
     mutable s_fill : int;
-    mutable s_live : int;
-    mutable s_closed : bool;
-    mutable s_retired : bool;
+    (* Retirement bookkeeping. Host-level (uncharged) atomics rather
+       than plain fields: under adaptive repartitioning a key's chain
+       can run through a slab whose owner no longer owns the key, so
+       the slab's allocator and the key's current owner may decrement
+       [s_live] concurrently from different CC threads. The seq_cst
+       store-load pairing between [close_current]'s close and a
+       truncator's decrement guarantees at least one of them observes
+       the other's write, so no retirement is lost; the CAS on
+       [s_retired] makes the retirement (and its [Costs.slab_retire]
+       charge) exactly-once. With the static map these degenerate to the
+       old single-writer fields at no charge difference. *)
+    s_live : int Atomic.t;
+    s_closed : bool Atomic.t;
+    s_retired : bool Atomic.t;
   }
 
   (* Waiter lists carry the fill-triggered wakeup protocol: the list CAS
@@ -318,14 +329,30 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   type 'txn alloc = {
     al_owner : int;
+    (* Mark the end-timestamp column lines of every slab this allocator
+       opens as tracer-sync cells. Under adaptive repartitioning two CC
+       threads may invalidate versions of different keys that share one
+       packed end-column line (the stores land in distinct slots of the
+       same line cell, and the cell's payload is always the same raw
+       array — benign on the real runtime); without it the end column
+       stays an ordinary data column so the tracer keeps verifying the
+       static engine's single-writer discipline. *)
+    al_shared : bool;
     mutable al_seq : int;
     mutable al_cur : 'txn slab option;
     mutable al_opened : int;
     mutable al_retired : int;
   }
 
-  let alloc_make ~owner =
-    { al_owner = owner; al_seq = 0; al_cur = None; al_opened = 0; al_retired = 0 }
+  let alloc_make ?(shared = false) ~owner () =
+    {
+      al_owner = owner;
+      al_shared = shared;
+      al_seq = 0;
+      al_cur = None;
+      al_opened = 0;
+      al_retired = 0;
+    }
 
   let slabs_opened al = al.al_opened
   let slabs_retired al = al.al_retired
@@ -336,9 +363,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      every dropped record onto a freelist. Only closed slabs retire —
      the open slab's entries all sit above the watermark (their begin
      timestamps are in the current batch), so it can never drain. *)
+  (* [al] is the calling thread's allocator, which under repartitioning
+     may not be the slab's: the retirement is attributed to whoever
+     observed the slab drain (stats sum over all allocators, so totals
+     stay right). The CAS keeps the charge exactly-once when the closer
+     and a remote truncator race on the last version. *)
   let retire_if_dead al s =
-    if s.s_closed && (not s.s_retired) && s.s_live = 0 then begin
-      s.s_retired <- true;
+    if
+      Atomic.get s.s_closed
+      && Atomic.get s.s_live = 0
+      && Atomic.compare_and_set s.s_retired false true
+    then begin
       al.al_retired <- al.al_retired + 1;
       R.work !Bohm_runtime.Costs.slab_retire
     end
@@ -347,11 +382,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     match al.al_cur with
     | None -> ()
     | Some s ->
-        s.s_closed <- true;
+        Atomic.set s.s_closed true;
         al.al_cur <- None;
         retire_if_dead al s
 
-  let make_slab ~owner ~seq ~batch =
+  let make_slab ~shared ~owner ~seq ~batch =
     let mk_col init =
       let raw = Array.init lane_count (fun _ -> Array.make lane_width init) in
       (raw, Array.map R.Cell.make raw)
@@ -360,6 +395,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     (* End slots are born at infinity by the arena (allocation is not
        modelled), so an insert never writes its own end column. *)
     let end_raw, end_c = mk_col infinity_ts in
+    if shared then Array.iter R.Cell.mark_sync end_c;
     let prev_raw, prev_c = mk_col prev_none in
     (* A GC cut rewrites a prev slot while execution threads may be
        walking neighbouring slots of the same line — racy by design,
@@ -385,9 +421,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       s_producer = Array.make slab_capacity None;
       s_waiters = Array.init slab_capacity (fun _ -> make_waitq (Waiting []));
       s_fill = 0;
-      s_live = 0;
-      s_closed = false;
-      s_retired = false;
+      s_live = Atomic.make 0;
+      s_closed = Atomic.make false;
+      s_retired = Atomic.make false;
     }
 
   (* Bump-allocate the next placeholder into the owner's current slab,
@@ -402,7 +438,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Some s when s.s_batch = batch && s.s_fill < slab_capacity -> s
       | Some _ | None ->
           close_current al;
-          let s = make_slab ~owner:al.al_owner ~seq:al.al_seq ~batch in
+          let s =
+            make_slab ~shared:al.al_shared ~owner:al.al_owner ~seq:al.al_seq
+              ~batch
+          in
           al.al_seq <- al.al_seq + 1;
           al.al_opened <- al.al_opened + 1;
           al.al_cur <- Some s;
@@ -410,7 +449,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     let i = s.s_fill in
     s.s_fill <- i + 1;
-    s.s_live <- s.s_live + 1;
+    Atomic.incr s.s_live;
     s.s_producer.(i) <- Some producer;
     s.s_prev_ref.(i) <- Some p;
     line_set s.s_begin_raw s.s_begin i ts;
@@ -421,13 +460,18 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     | Heap _ -> None
     | Slab (s, i) -> Some (s.s_owner, s.s_seq, i)
 
+  let slab_batch = function Heap _ -> None | Slab (s, _) -> Some s.s_batch
+
   (* Slab-shaped Condition-3 truncation: the same chain walk and cut as
      [truncate_collect], but each dropped slab entry decrements its
      slab's live count (heap records met mid-chain — bulk-loaded tails —
      are just counted), and a slab whose count reaches zero retires
      whole. Returns (versions dropped, slabs retired by this call).
-     Single-writer contract as above: every slab on a key's chain belongs
-     to the partition's owning CC thread, which is the only caller. *)
+     The caller is the key's current owning CC thread; with the static
+     map that is also every chained slab's allocator, while under
+     adaptive repartitioning the walk may cross slabs another thread
+     allocated before the key moved — the atomic live counts above make
+     that safe. *)
   let truncate_retire al v ~gc_ts =
     match visible_at v ~ts:gc_ts with
     | None -> (0, 0)
@@ -441,7 +485,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               (match v with
               | Heap _ -> ()
               | Slab (s, _) ->
-                  s.s_live <- s.s_live - 1;
+                  Atomic.decr s.s_live;
                   retire_if_dead al s);
               match prev v with None -> n | Some p -> drop p n
             in

@@ -159,9 +159,21 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
 
   type 'txn alloc
   (** A CC thread's slab allocator: the open slab plus retirement
-      counters. Owner-thread state; never shared. *)
+      counters. Owner-thread state; never shared — though under adaptive
+      repartitioning the {e slabs} it opens can later be truncated by
+      other CC threads (their retirement bookkeeping is atomic). *)
 
-  val alloc_make : owner:int -> 'txn alloc
+  val alloc_make : ?shared:bool -> owner:int -> unit -> 'txn alloc
+  (** [shared] (default false): build slabs whose packed end-timestamp
+      column lines are classified as synchronization cells for the race
+      tracer. Set it when adaptive CC repartitioning is live: after a
+      key moves partitions, its new owner invalidates versions in slabs
+      the old owner allocated, so two CC threads may store into distinct
+      slots of one shared end-column line — value-benign on the real
+      runtime (the cell payload is always the same raw array), and
+      deliberate here, but indistinguishable from a lost update to a
+      data-cell tracer. Off preserves the tracer's verification of the
+      static engine's single-writer end-column discipline. *)
 
   val slab_placeholder :
     'txn alloc -> batch:int -> ts:int -> producer:'txn -> prev:'txn t -> 'txn t
@@ -178,8 +190,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
       slab's live count — one owner-local counter per version instead of
       a freelist cons — and a closed slab whose count reaches zero
       retires whole (one [Costs.slab_retire] charge). Returns (versions
-      dropped, slabs retired by this call). Same single-writer /
-      Condition-3 contract as {!truncate_older_than}. *)
+      dropped, slabs retired by this call). Same Condition-3 contract as
+      {!truncate_older_than}; the caller is the key's current owner,
+      which under adaptive repartitioning may differ from a chained
+      slab's allocator (the retirement is then attributed to the
+      caller's counters — stats sum over all allocators). *)
 
   val slabs_opened : 'txn alloc -> int
   val slabs_retired : 'txn alloc -> int
@@ -187,9 +202,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) : sig
   val slab_coord : 'txn t -> (int * int * int) option
   (** [(owner, slab sequence number, entry index)] for a slab entry,
       [None] for a heap record. Allocation discipline guarantees, along
-      any chain: one owner per key, slab sequence numbers non-increasing
-      toward older versions, and strictly decreasing entry indices within
-      one slab — what the chain audit checks. *)
+      any chain under the static map: one owner per key, slab sequence
+      numbers non-increasing toward older versions, and strictly
+      decreasing entry indices within one slab — what the chain audit
+      checks. Under adaptive repartitioning the owner along a chain is
+      instead the key's map assignment {e at the entry's batch}
+      ({!slab_batch}), which is what the map-aware audit checks. *)
+
+  val slab_batch : 'txn t -> int option
+  (** The batch the entry's slab serves, [None] for a heap record. *)
 
   (** {2 Chain operations} *)
 

@@ -38,6 +38,7 @@ type bohm_opts = {
   cc_routing : bool;
   exec_wakeup : bool;
   version_slabs : bool;
+  cc_rebalance : bool;
   obs : bool;
 }
 
@@ -53,6 +54,7 @@ let default_bohm_opts =
     cc_routing = true;
     exec_wakeup = true;
     version_slabs = true;
+    cc_rebalance = true;
     obs = false;
   }
 
@@ -64,13 +66,13 @@ let split_threads opts threads =
 
 let run_bohm_sim ~cc ~exec ?(batch = 1000) ?(shards = 1) ?(gc = true)
     ?(annotate = true) ?(preprocess = false) ?(probe_memo = true)
-    ?(cc_routing = true) ?(exec_wakeup = true) ?(version_slabs = true) spec
-    txns =
+    ?(cc_routing = true) ?(exec_wakeup = true) ?(version_slabs = true)
+    ?(cc_rebalance = true) spec txns =
   Sim.run (fun () ->
       let config =
         Bohm_core.Config.make ~cc_threads:cc ~exec_threads:exec ~batch_size:batch
           ~shards ~gc ~read_annotation:annotate ~preprocess ~probe_memo
-          ~cc_routing ~exec_wakeup ~version_slabs ()
+          ~cc_routing ~exec_wakeup ~version_slabs ~cc_rebalance ()
       in
       let db = Bohm_sim.create config ~tables:spec.tables spec.init in
       Bohm_sim.run db txns)
@@ -95,7 +97,7 @@ let run_engine ?report ~bohm engine ~threads spec txns =
               ~read_annotation:bohm.read_annotation ~preprocess:bohm.preprocess
               ~probe_memo:bohm.probe_memo ~cc_routing:bohm.cc_routing
               ~exec_wakeup:bohm.exec_wakeup ~version_slabs:bohm.version_slabs
-              ~obs:bohm.obs ()
+              ~cc_rebalance:bohm.cc_rebalance ~obs:bohm.obs ()
           in
           let db = Bohm_sim.create config ~tables:spec.tables spec.init in
           check Bohm_sim.check_chains db (Bohm_sim.run db txns))

@@ -39,6 +39,9 @@ type bohm_opts = {
   version_slabs : bool;
       (** Slab-arena version store (cache-conscious SoA chains,
           whole-slab GC); off replays the heap-record/freelist store. *)
+  cc_rebalance : bool;
+      (** Adaptive CC repartitioning ([Config.cc_rebalance]): inert
+          without [preprocess]; off pins the static hash assignment. *)
   obs : bool;
       (** [Config.obs]: lets BOHM emit into an installed
           {!Bohm_obs.Recorder}. {!run_sim_obs} forces it on. *)
@@ -47,7 +50,8 @@ type bohm_opts = {
 val default_bohm_opts : bohm_opts
 (** cc_fraction 0.25, batch 1000, one shard, gc on, annotation on,
     preprocessing off, probe memoization on, batch routing on, wakeup on,
-    version slabs on, observability off. *)
+    version slabs on, rebalancing on (inert while preprocessing is off),
+    observability off. *)
 
 val run_sim :
   ?bohm:bohm_opts -> engine -> threads:int -> spec -> Bohm_txn.Txn.t array ->
@@ -98,6 +102,7 @@ val run_bohm_sim :
   ?cc_routing:bool ->
   ?exec_wakeup:bool ->
   ?version_slabs:bool ->
+  ?cc_rebalance:bool ->
   spec ->
   Bohm_txn.Txn.t array ->
   Bohm_txn.Stats.t

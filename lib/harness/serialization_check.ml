@@ -37,9 +37,41 @@ let distinct_rows rng rows n =
   done;
   chosen
 
-let make_workload ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed =
+(* [distinct_rows] with a flash-crowd bias: each candidate row comes from
+   a [hot_keys]-wide window at [base] with probability [hot_frac], else
+   uniform. The hot/cold coin is re-flipped inside the rejection loop, so
+   the sampler terminates whenever [hot_frac < 1] even with a hot window
+   smaller than the footprint. *)
+let distinct_rows_hot rng rows n ~base ~hot_keys ~hot_frac =
+  let chosen = Array.make n (-1) in
+  let seen = Hashtbl.create (2 * n) in
+  let filled = ref 0 in
+  while !filled < n do
+    let candidate =
+      if Rng.float rng 1.0 < hot_frac then (base + Rng.int rng hot_keys) mod rows
+      else Rng.int rng rows
+    in
+    if not (Hashtbl.mem seen candidate) then begin
+      Hashtbl.add seen candidate ();
+      chosen.(!filled) <- candidate;
+      incr filled
+    end
+  done;
+  chosen
+
+let make_workload_gen ?flash ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed () =
   if rows < rmws_per_txn + reads_per_txn then
     invalid_arg "Serialization_check.make_workload: footprint exceeds rows";
+  (match flash with
+  | Some (phases, hot_keys, hot_frac) ->
+      if phases <= 0 || hot_keys <= 0 || hot_keys >= rows then
+        invalid_arg "Serialization_check.make_workload: bad flash window";
+      if hot_frac < 0. || hot_frac > 1. then
+        invalid_arg "Serialization_check.make_workload: hot_frac out of range";
+      if hot_frac = 1. && hot_keys < rmws_per_txn + reads_per_txn then
+        invalid_arg
+          "Serialization_check.make_workload: hot set smaller than footprint"
+  | None -> ());
   let rng = Rng.create ~seed in
   let observations =
     Array.init txns (fun _ -> { rmw_preds = []; pure_reads = [] })
@@ -47,7 +79,17 @@ let make_workload ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed =
   let txn_array =
     Array.init txns (fun i ->
         let id = i + 1 (* 0 is the initial-version writer *) in
-        let all = distinct_rows rng rows (rmws_per_txn + reads_per_txn) in
+        let all =
+          match flash with
+          | None -> distinct_rows rng rows (rmws_per_txn + reads_per_txn)
+          | Some (phases, hot_keys, hot_frac) ->
+              let stride = max 1 (rows / phases) in
+              let phase_len = max 1 ((txns + phases - 1) / phases) in
+              let base = min (phases - 1) (i / phase_len) * stride mod rows in
+              distinct_rows_hot rng rows
+                (rmws_per_txn + reads_per_txn)
+                ~base ~hot_keys ~hot_frac
+        in
         let rmw_rows = Array.sub all 0 rmws_per_txn in
         let read_rows = Array.sub all rmws_per_txn reads_per_txn in
         let keys rows_arr =
@@ -75,6 +117,15 @@ let make_workload ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed =
             Txn.Commit))
   in
   { rows; txn_array; observations }
+
+let make_workload ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed =
+  make_workload_gen ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed ()
+
+let make_flash_workload ~phases ~hot_keys ~hot_frac ~rows ~txns ~rmws_per_txn
+    ~reads_per_txn ~seed =
+  make_workload_gen
+    ~flash:(phases, hot_keys, hot_frac)
+    ~rows ~txns ~rmws_per_txn ~reads_per_txn ~seed ()
 
 let txns w = w.txn_array
 

@@ -36,6 +36,24 @@ val make_workload :
     keys distinct within a transaction. Initial record values must be 0
     (use {!initial_value}). *)
 
+val make_flash_workload :
+  phases:int ->
+  hot_keys:int ->
+  hot_frac:float ->
+  rows:int ->
+  txns:int ->
+  rmws_per_txn:int ->
+  reads_per_txn:int ->
+  seed:int ->
+  workload
+(** {!make_workload} with the key draws biased into a flash crowd
+    (mirroring [Ycsb.generate_flash_crowd]): a [hot_keys]-wide window of
+    consecutive rows receives [hot_frac] of the draws and jumps to a new
+    region of the row space at each of [phases] phase boundaries (every
+    [txns / phases] transactions) — the hot-set-migration workload for
+    validating adaptive CC repartitioning end to end. [hot_frac = 1.]
+    requires the window to cover a whole footprint. *)
+
 val initial_value : Bohm_txn.Key.t -> Bohm_txn.Value.t
 
 val txns : workload -> Bohm_txn.Txn.t array

@@ -100,6 +100,15 @@ val cc_insert_slab : int ref
     allocator visit) and a recycled one ([cc_insert_recycled], 24 cycles:
     no freelist pop, no record re-initialization). *)
 
+val cc_rebalance : int ref
+(** Charged once by preprocessing worker 0 each time an adaptive CC
+    repartition actually publishes a new partition-map epoch: summing
+    the per-segment occupancy counters, the greedy segment bin-pack,
+    and the map publication at the batch barrier. Evaluation that
+    leaves the map unchanged charges nothing, so a workload uniform
+    enough that the hysteresis never fires replays the static-hash
+    schedule bit-for-bit. *)
+
 val slab_retire : int ref
 (** Per slab returned to the arena when Condition-3 GC drops its live
     count to zero: unlinking the slab and making its storage reusable.

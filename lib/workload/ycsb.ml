@@ -126,6 +126,88 @@ let generate_sharded ~rows ~theta ~count ~seed ~shards ~cross_fraction profile
       let read_keys = Array.sub keys profile.rmws profile.reads in
       update_txn ~id ~rmw_keys ~read_keys)
 
+(* Time-varying "flash crowd": a tight hot set of [hot_keys] rows
+   receives [hot_frac] of all {e read} draws, and the hot set jumps to a
+   different region of the row space [phases] times over the run (one
+   jump every [count / phases] transactions). Writes stay uniform over
+   the whole table — everyone reads the items of the hour, few update
+   them — which also makes the workload a clean CC stressor: the read
+   flood piles footprint entries (annotation and dispatch work) onto the
+   partitions owning the hot keys' segments, while execution keeps its
+   parallelism (versioned reads never block, and the uniform writes build
+   no deep dependency chains).
+
+   Hot rows are chosen by {e hash class}, not contiguously: phase [p]'s
+   hot set is the first [hot_keys] rows at or after the phase base whose
+   [Key.hash] is congruent to [p] modulo 8. BOHM's static assignment
+   sends segment [hash mod 8m] to partition [seg mod m], so these rows
+   occupy segments [p, p+8, p+16, ...] — which the static map piles onto
+   the {e single} partition [p mod m] whenever [m] divides 8 (the engine
+   uses 8 segments per partition). This is the adversarial-but-ordinary
+   case a load-oblivious hash cannot rule out and adaptive repartitioning
+   exists for: the whole flash crowd lands on one CC thread, every batch
+   runs at that thread's pace, and each phase jump re-pins the crowd to a
+   different partition, invalidating any one-shot manual fix. A
+   load-measuring rebalancer sees m independently movable hot segments
+   and can spread them evenly. Cold reads may land in the hot set; that
+   only sharpens it. Deterministic in [seed]. *)
+let generate_flash_crowd ~rows ~count ~seed ?(phases = 4) ?(hot_keys = 8)
+    ?(hot_frac = 0.75) profile =
+  if phases <= 0 then invalid_arg "Ycsb.generate_flash_crowd: phases";
+  if hot_keys <= 0 || hot_keys >= rows then
+    invalid_arg "Ycsb.generate_flash_crowd: hot_keys out of range";
+  if hot_frac < 0. || hot_frac > 1. then
+    invalid_arg "Ycsb.generate_flash_crowd: hot_frac out of range";
+  let n = profile.rmws + profile.reads in
+  if hot_frac = 1. && hot_keys < profile.reads then
+    invalid_arg "Ycsb.generate_flash_crowd: hot set smaller than read set";
+  let stride = max 1 (rows / phases) in
+  let hot_sets =
+    Array.init phases (fun p ->
+        let set = Array.make hot_keys (-1) in
+        let found = ref 0 and off = ref 0 in
+        while !found < hot_keys && !off < rows do
+          let row = ((p * stride) + !off) mod rows in
+          if Key.hash (Key.make ~table:0 ~row) mod 8 = p mod 8 then begin
+            set.(!found) <- row;
+            incr found
+          end;
+          incr off
+        done;
+        if !found < hot_keys then
+          invalid_arg "Ycsb.generate_flash_crowd: hot_keys too large for rows";
+        set)
+  in
+  let rng = Rng.create ~seed in
+  let phase_len = max 1 ((count + phases - 1) / phases) in
+  Array.init count (fun id ->
+      let phase = min (phases - 1) (id / phase_len) in
+      let hot = hot_sets.(phase) in
+      let picked = Array.make n (-1) in
+      let filled = ref 0 in
+      while !filled < n do
+        (* Slots [0, rmws) are the RMWs: always cold. The hot/cold coin is
+           re-flipped on every rejection so the sampler terminates even
+           with a hot set smaller than the read set. *)
+        let candidate =
+          if !filled >= profile.rmws && Rng.float rng 1.0 < hot_frac then
+            hot.(Rng.int rng hot_keys)
+          else Rng.int rng rows
+        in
+        let duplicate = ref false in
+        for i = 0 to !filled - 1 do
+          if picked.(i) = candidate then duplicate := true
+        done;
+        if not !duplicate then begin
+          picked.(!filled) <- candidate;
+          incr filled
+        end
+      done;
+      let keys = Array.map (fun row -> Key.make ~table:0 ~row) picked in
+      let rmw_keys = Array.sub keys 0 profile.rmws in
+      let read_keys = Array.sub keys profile.rmws profile.reads in
+      update_txn ~id ~rmw_keys ~read_keys)
+
 let read_only_txn ~id ~keys =
   Txn.make ~id ~read_set:(Array.to_list keys) ~write_set:[] (fun ctx ->
       Array.iter (fun k -> ignore (ctx.Txn.read k)) keys;

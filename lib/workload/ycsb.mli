@@ -61,6 +61,35 @@ val generate_sharded :
     degenerate to per-shard-local transactions (though the key {e draws}
     differ from {!generate}'s). Deterministic in [seed]. *)
 
+val generate_flash_crowd :
+  rows:int ->
+  count:int ->
+  seed:int ->
+  ?phases:int ->
+  ?hot_keys:int ->
+  ?hot_frac:float ->
+  profile ->
+  Bohm_txn.Txn.t array
+(** Time-varying flash-crowd workload for adaptive CC repartitioning: a
+    tight hot set of [hot_keys] (default 8) rows receives [hot_frac]
+    (default 0.75) of all {e read} draws, and the set jumps to a new
+    region of the row space at each of [phases] (default 4) phase
+    boundaries (every [count / phases] transactions). RMW slots and
+    remaining read draws are uniform over the whole table, so writes
+    build no deep dependency chains and execution keeps its parallelism;
+    footprints stay duplicate-free by rejection, so [hot_frac = 1.]
+    requires [hot_keys >= reads]. Phase [p]'s hot rows are chosen by hash
+    class — the first [hot_keys] rows at or after the phase base with
+    [Key.hash] congruent to [p] mod 8 — so under the static
+    [segment mod partitions] assignment the whole crowd lands on the
+    {e single} CC partition [p mod m] whenever [m] divides 8, the
+    adversarial-but-ordinary collision a load-oblivious hash cannot rule
+    out: every batch runs at that one thread's pace, and each migration
+    re-pins the crowd elsewhere, invalidating any one-shot manual
+    placement. A load-measuring rebalancer sees m independently movable
+    hot segments and spreads them evenly — the workload an
+    epoch-versioned rebalancer exists for. Deterministic in [seed]. *)
+
 val generate_read_only :
   rows:int -> scan:int -> count:int -> seed:int -> Bohm_txn.Txn.t array
 (** Read-only transactions reading [scan] records chosen uniformly

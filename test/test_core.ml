@@ -39,10 +39,10 @@ let transfer_txn id a b n =
 
 let default_config ?(cc = 2) ?(ex = 2) ?(batch = 16) ?(gc = true) ?(annotate = true)
     ?(preprocess = false) ?(probe_memo = true) ?(routing = true)
-    ?(slabs = true) () =
+    ?(slabs = true) ?(rebalance = true) () =
   Config.make ~cc_threads:cc ~exec_threads:ex ~batch_size:batch ~gc
     ~read_annotation:annotate ~preprocess ~probe_memo ~cc_routing:routing
-    ~version_slabs:slabs ()
+    ~version_slabs:slabs ~cc_rebalance:rebalance ()
 
 let run_sim ?config txns =
   let config = match config with Some c -> c | None -> default_config () in
@@ -771,7 +771,7 @@ let test_slab_chain_spans_slabs () =
   (* A chain crossing >= 3 slabs stays walkable across the boundaries,
      and Condition-3 truncation retires exactly the drained closed slabs
      (the open slab holds the keeper and can never retire). *)
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let n = (2 * Version.slab_capacity) + 40 in
   let head = build_slab_chain al (Version.initial (vi 0)) ~n in
   Alcotest.(check int) "three slabs opened" 3 (Version.slabs_opened al);
@@ -804,7 +804,7 @@ let test_slab_chain_spans_slabs () =
 let test_slab_partial_truncate_then_retire () =
   (* A slab drained across two truncations retires on the call that drops
      its last live entry, not before. *)
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let n = Version.slab_capacity + 12 in
   let head = build_slab_chain al (Version.initial (vi 0)) ~n in
   Alcotest.(check int) "two slabs" 2 (Version.slabs_opened al);
@@ -826,7 +826,7 @@ let test_slab_batch_boundary_closes_slab () =
   (* Slabs never span batches: a new batch opens a fresh slab even when
      the current one has room, so whole-slab GC frees batch-shaped
      arenas. *)
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let v0 = Version.initial (vi 0) in
   let v1 = Version.slab_placeholder al ~batch:0 ~ts:10 ~producer:1 ~prev:v0 in
   Version.set_end_ts v0 10;
@@ -845,7 +845,7 @@ let test_slab_mixed_chain_truncate () =
      recycled by a slabs-off run) with slab entries above them: slab
      truncation cuts across the boundary, counting every dropped version
      but touching live counts only for slab entries. *)
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let v0 = Version.initial (vi 0) in
   let v1 = Version.placeholder ~ts:10 ~producer:1 ~prev:v0 in
   Version.set_end_ts v0 10;
@@ -877,7 +877,7 @@ let test_slab_mixed_chain_truncate () =
 let test_slab_recycle_rejected () =
   (* Slab entries die with their slab: handing one to the freelist would
      let a recycled incarnation outlive its arena. *)
-  let al = Version.alloc_make ~owner:0 in
+  let al = Version.alloc_make ~owner:0 () in
   let v0 = Version.initial (vi 0) in
   let v1 = Version.slab_placeholder al ~batch:0 ~ts:10 ~producer:1 ~prev:v0 in
   Alcotest.check_raises "recycle refuses slab entries"
@@ -1252,6 +1252,280 @@ let test_real_no_lost_wakeup_hot_key () =
   Alcotest.(check bool) "chains clean (no dangling waiter)" true
     (Bohm_analysis.Report.is_clean report)
 
+(* --- adaptive CC repartitioning (epoch-versioned partition maps) --- *)
+
+module Pmap = Bohm_core.Partition_map
+
+let test_pmap_static () =
+  List.iter
+    (fun m ->
+      let t = Pmap.static ~parts:m in
+      Alcotest.(check int) "epoch" 0 (Pmap.epoch t);
+      Alcotest.(check int) "parts" m (Pmap.parts t);
+      Alcotest.(check int) "nsegs" (Pmap.segs_per_part * m) (Pmap.nsegs t);
+      (* The epoch-0 map must reduce to the engine's historical
+         [hash mod parts] for every hash. *)
+      List.iter
+        (fun h ->
+          Alcotest.(check int)
+            (Printf.sprintf "m=%d h=%d" m h)
+            (h mod m)
+            (Pmap.partition_of_hash t h))
+        [ 0; 1; 7; 8; 63; 64; 1_000_003; max_int ])
+    [ 1; 2; 4; 8 ]
+
+let test_pmap_rebalance_lpt () =
+  let base = Pmap.static ~parts:2 in
+  let nsegs = Pmap.nsegs base in
+  (* Two heavy segments (0 and 8) both statically owned by partition 0
+     (even segments), light uniform load elsewhere: the classic collision
+     the LPT repack must split. *)
+  let load = Array.make nsegs 10 in
+  load.(0) <- 100;
+  load.(8) <- 100;
+  let rebal () =
+    Pmap.rebalance base ~load ~min_samples:1 ~threshold:1.25 ~margin:0.05
+  in
+  match rebal () with
+  | None -> Alcotest.fail "expected a rebalanced map"
+  | Some m ->
+      Alcotest.(check int) "epoch bumped" 1 (Pmap.epoch m);
+      Alcotest.(check bool) "segments moved" true (Pmap.moved base m > 0);
+      (* The two heavy segments end up on different partitions, and the
+         repack strictly improves the measured imbalance. *)
+      Alcotest.(check bool) "heavy segments split" true
+        (Pmap.partition_of_segment m 0 <> Pmap.partition_of_segment m 8);
+      let imb t = Pmap.imbalance (Pmap.load_per_partition t load) in
+      Alcotest.(check bool) "imbalance reduced" true (imb m < imb base);
+      (* Deterministic: the same inputs repack to the same assignment. *)
+      (match rebal () with
+      | None -> Alcotest.fail "second rebalance disagreed"
+      | Some m' ->
+          for s = 0 to nsegs - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "seg %d deterministic" s)
+              (Pmap.partition_of_segment m s)
+              (Pmap.partition_of_segment m' s)
+          done)
+
+let test_pmap_hysteresis () =
+  let base = Pmap.static ~parts:2 in
+  let nsegs = Pmap.nsegs base in
+  let gate name load ~min_samples =
+    Alcotest.(check bool) name true
+      (Pmap.rebalance base ~load ~min_samples ~threshold:1.25 ~margin:0.05
+      = None)
+  in
+  (* Uniform load never churns. *)
+  gate "uniform" (Array.make nsegs 50) ~min_samples:1;
+  (* Too few samples to trust the measurement. *)
+  let skewed = Array.make nsegs 1 in
+  skewed.(0) <- 30;
+  gate "insufficient samples" skewed ~min_samples:1_000;
+  (* One mega-segment: imbalanced, but moving whole segments cannot
+     improve the max, so the margin gate keeps the base map. *)
+  let mega = Array.make nsegs 0 in
+  mega.(0) <- 1_000;
+  gate "indivisible hot segment" mega ~min_samples:1;
+  (* Single partition: nothing to balance, ever. *)
+  let one = Pmap.static ~parts:1 in
+  Alcotest.(check bool) "single partition" true
+    (Pmap.rebalance one
+       ~load:(Array.make (Pmap.nsegs one) 99)
+       ~min_samples:1 ~threshold:1.25 ~margin:0.05
+    = None)
+
+(* Commits, final values, chain lengths, audit verdict and throughput of
+   one simulated preprocessing run — everything that must be bit-for-bit
+   identical between rebalance on and off when the hysteresis never
+   publishes (uniform load): occupancy is measured host-side, so a map
+   that never changes must leave the charged schedule untouched. Batch 10
+   keeps every batch's occupancy (<= 10 txns x 4 keys x 2 entries) under
+   the rebalancer's min-samples gate (4 x 24 segments), so the uniform
+   workload provably never publishes. *)
+let rebalance_fingerprint ~rebalance ~seed txns =
+  Sim.run ~jitter:(Rng.create ~seed) (fun () ->
+      let db =
+        Sim_engine.create
+          (default_config ~cc:3 ~ex:3 ~batch:10 ~gc:false ~preprocess:true
+             ~rebalance ())
+          ~tables init_zero
+      in
+      let stats = Sim_engine.run db txns in
+      let report = Bohm_analysis.Report.create () in
+      Sim_engine.check_chains db report;
+      let values =
+        Array.init 64 (fun i -> Value.to_int (Sim_engine.read_latest db (key i)))
+      in
+      let chains =
+        Array.init 64 (fun i -> Sim_engine.chain_length db (key i))
+      in
+      ( stats.Stats.committed,
+        values,
+        chains,
+        Bohm_analysis.Report.is_clean report,
+        Stats.throughput stats,
+        Stats.extra stats "rebalances" ))
+
+let prop_rebalance_off_equals_on_uniform =
+  QCheck.Test.make ~count:12
+    ~name:"rebalance on equals off under uniform load (bit-for-bit)"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let txns = Array.init 150 (fun i -> random_rmw_txn rng i) in
+      let committed_on, values_on, chains_on, clean_on, tput_on, rb_on =
+        rebalance_fingerprint ~rebalance:true ~seed:(seed + 23) txns
+      in
+      let committed_off, values_off, chains_off, clean_off, tput_off, rb_off =
+        rebalance_fingerprint ~rebalance:false ~seed:(seed + 23) txns
+      in
+      clean_on && clean_off
+      && committed_on = committed_off
+      && values_on = values_off
+      && chains_on = chains_off
+      && tput_on = tput_off
+      (* Live feature reports its (zero) publications; off emits no keys. *)
+      && rb_on = Some 0.
+      && rb_off = None)
+
+(* Rows of the 64-row test table in hash class [cls] (mod 8): with cc=2
+   the engine has nsegs=16, so class-0 rows occupy exactly segments 0 and
+   8 — both statically partition 0. Hammering them gives the rebalancer a
+   measurable, splittable imbalance. *)
+let class_rows cls =
+  List.filter (fun r -> Key.hash (key r) mod 8 = cls) (List.init 64 Fun.id)
+
+let rmw3_txn id a b c =
+  let ks = [ key a; key b; key c ] in
+  Txn.make ~id ~read_set:ks ~write_set:ks (fun ctx ->
+      List.iter (fun k -> ctx.Txn.write k (Value.add (ctx.Txn.read k) 1)) ks;
+      Txn.Commit)
+
+(* Skewed workload for the live-rebalance tests: every transaction RMWs
+   two distinct hot-class rows plus one cold row. *)
+let hot_class_txns count =
+  let hot = Array.of_list (class_rows 0) in
+  let cold =
+    Array.of_list
+      (List.filter (fun r -> Key.hash (key r) mod 8 <> 0) (List.init 64 Fun.id))
+  in
+  let nh = Array.length hot and nc = Array.length cold in
+  Alcotest.(check bool) "enough hot rows" true (nh >= 2);
+  Array.init count (fun i ->
+      rmw3_txn i hot.(i mod nh) hot.((i + 1) mod nh) cold.(i mod nc))
+
+let test_rebalance_live_extras () =
+  let txns = hot_class_txns 300 in
+  let run rebalance =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create
+            (default_config ~cc:2 ~ex:3 ~batch:32 ~preprocess:true ~rebalance
+               ())
+            ~tables init_zero
+        in
+        Sim_engine.run db txns)
+  in
+  let stats = run true in
+  Alcotest.(check int) "all committed" 300 stats.Stats.committed;
+  let extra name =
+    match Stats.extra stats name with
+    | Some f -> f
+    | None -> Alcotest.failf "missing stat %s" name
+  in
+  Alcotest.(check bool) "rebalances fired" true (extra "rebalances" >= 1.);
+  Alcotest.(check bool) "segments moved" true (extra "segs_moved" >= 1.);
+  Alcotest.(check bool) "imbalance measured" true
+    (extra "cc_imbalance_max" >= 1.25);
+  Alcotest.(check bool) "mean imbalance sane" true
+    (extra "cc_imbalance_mean" >= 1.0);
+  (* Per-partition occupancy covers every footprint entry exactly once
+     (each RMW key is one read entry plus one write entry). *)
+  Alcotest.(check int) "occupancy total" (300 * 6)
+    (int_of_float (extra "cc_occ_p0" +. extra "cc_occ_p1"));
+  (* Feature off: no rebalance keys at all (bit-identical stat surface to
+     the pre-feature engine). *)
+  let off = run false in
+  Alcotest.(check bool) "off emits no extras" true
+    (Stats.extra off "rebalances" = None
+    && Stats.extra off "cc_occ_p0" = None)
+
+let test_rebalance_live_equals_reference () =
+  (* Live mid-run map publications must not change any committed value:
+     the skewed run under adaptive repartitioning still equals the serial
+     reference execution. *)
+  ignore
+    (check_equals_reference
+       ~config:
+         (default_config ~cc:2 ~ex:3 ~batch:32 ~preprocess:true
+            ~rebalance:true ())
+       (Array.to_list (hot_class_txns 300)))
+
+let test_flash_serialization_check_sim () =
+  (* Migrating hot-set workload under live repartitioning: the run must be
+     provably serializable and its chains clean under the map-aware
+     audit. *)
+  let w =
+    Bohm_harness.Serialization_check.make_flash_workload ~phases:3
+      ~hot_keys:12 ~hot_frac:0.9 ~rows:48 ~txns:300 ~rmws_per_txn:2
+      ~reads_per_txn:2 ~seed:29
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"flash" ~rows:48 ~record_bytes:8 |]
+  in
+  let db, clean =
+    Sim.run (fun () ->
+        let db =
+          Sim_engine.create
+            (default_config ~cc:3 ~ex:3 ~batch:32 ~preprocess:true
+               ~rebalance:true ())
+            ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+        in
+        ignore (Sim_engine.run db (Bohm_harness.Serialization_check.txns w));
+        let report = Bohm_analysis.Report.create () in
+        Sim_engine.check_chains db report;
+        (db, Bohm_analysis.Report.is_clean report))
+  in
+  Alcotest.(check bool) "chains clean" true clean;
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Sim_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
+let test_flash_serialization_check_real () =
+  let w =
+    Bohm_harness.Serialization_check.make_flash_workload ~phases:3
+      ~hot_keys:12 ~hot_frac:0.9 ~rows:48 ~txns:300 ~rmws_per_txn:2
+      ~reads_per_txn:2 ~seed:31
+  in
+  let check_tables =
+    [| Table.make ~tid:0 ~name:"flash" ~rows:48 ~record_bytes:8 |]
+  in
+  let db =
+    Real_engine.create
+      (default_config ~cc:3 ~ex:3 ~batch:32 ~preprocess:true ~rebalance:true
+         ())
+      ~tables:check_tables Bohm_harness.Serialization_check.initial_value
+  in
+  ignore (Real_engine.run db (Bohm_harness.Serialization_check.txns w));
+  let report = Bohm_analysis.Report.create () in
+  Real_engine.check_chains db report;
+  Alcotest.(check bool) "chains clean" true
+    (Bohm_analysis.Report.is_clean report);
+  let verdict =
+    Bohm_harness.Serialization_check.check w
+      ~final_read:(Real_engine.read_latest db)
+  in
+  Alcotest.(check string) "serializable" "serializable"
+    (match verdict with
+    | Bohm_harness.Serialization_check.Serializable -> "serializable"
+    | v -> Bohm_harness.Serialization_check.verdict_to_string v)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -1383,6 +1657,23 @@ let suite =
         Alcotest.test_case "increments" `Quick test_real_runtime_increments;
         Alcotest.test_case "serial equivalence" `Quick test_real_runtime_serial_equivalence;
       ] );
+    ( "bohm-rebalance",
+      [
+        Alcotest.test_case "partition map static = hash mod m" `Quick
+          test_pmap_static;
+        Alcotest.test_case "LPT repack splits heavy segments" `Quick
+          test_pmap_rebalance_lpt;
+        Alcotest.test_case "hysteresis gates" `Quick test_pmap_hysteresis;
+        Alcotest.test_case "live rebalance extras" `Quick
+          test_rebalance_live_extras;
+        Alcotest.test_case "live rebalance equals reference" `Quick
+          test_rebalance_live_equals_reference;
+        Alcotest.test_case "serialization check, flash (sim)" `Quick
+          test_flash_serialization_check_sim;
+        Alcotest.test_case "serialization check, flash (real)" `Quick
+          test_flash_serialization_check_real;
+      ]
+      @ qcheck [ prop_rebalance_off_equals_on_uniform ] );
   ]
 
 let () = Alcotest.run "bohm_core" suite

@@ -186,6 +186,70 @@ let test_sharded_serialization_real () =
         (Check.verdict_to_string verdict))
     [ (11, 2); (29, 4) ]
 
+(* Migrating hot-set (flash-crowd) workload with adaptive repartitioning
+   live in every per-shard pipeline: map publications inside one shard
+   must never leak into another's routing or the vote round, and the runs
+   must stay provably serializable at 1, 2 and 4 shards. *)
+let flash_workload ~seed =
+  Check.make_flash_workload ~phases:3 ~hot_keys:12 ~hot_frac:0.9 ~rows:64
+    ~txns:240 ~rmws_per_txn:2 ~reads_per_txn:2 ~seed
+
+let test_flash_serialization_sim () =
+  List.iter
+    (fun (seed, shards) ->
+      let w = flash_workload ~seed in
+      let tables = [| Table.make ~tid:0 ~name:"ser" ~rows:64 ~record_bytes:8 |] in
+      let db =
+        Sim.run (fun () ->
+            let db =
+              Sim_engine.create
+                (Config.make ~cc_threads:2 ~exec_threads:3 ~batch_size:32
+                   ~shards ~preprocess:true ())
+                ~tables Check.initial_value
+            in
+            ignore (Sim_engine.run db (Check.txns w));
+            db)
+      in
+      let verdict =
+        if shards = 1 then Check.check w ~final_read:(Sim_engine.read_latest db)
+        else
+          Check.check_sharded w ~shards
+            ~final_read:(Sim_engine.read_latest db)
+            ~vote_log:(Sim_engine.vote_log db)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "flash serializable (seed=%d shards=%d)" seed shards)
+        "serializable"
+        (Check.verdict_to_string verdict))
+    [ (43, 1); (43, 2); (47, 2); (43, 4) ]
+
+let test_flash_serialization_real () =
+  List.iter
+    (fun (seed, shards) ->
+      let w = flash_workload ~seed in
+      let tables = [| Table.make ~tid:0 ~name:"ser" ~rows:64 ~record_bytes:8 |] in
+      let db =
+        Real_engine.create
+          (Config.make ~cc_threads:2 ~exec_threads:2 ~batch_size:32 ~shards
+             ~preprocess:true ())
+          ~tables Check.initial_value
+      in
+      ignore (Real_engine.run db (Check.txns w));
+      let verdict =
+        if shards = 1 then
+          Check.check w ~final_read:(Real_engine.read_latest db)
+        else
+          Check.check_sharded w ~shards
+            ~final_read:(Real_engine.read_latest db)
+            ~vote_log:(Real_engine.vote_log db)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "flash serializable (real, seed=%d shards=%d)" seed
+           shards)
+        "serializable"
+        (Check.verdict_to_string verdict))
+    [ (51, 1); (51, 2); (51, 4) ]
+
 (* The chain audit must stay clean across every shard's store. *)
 let test_sharded_chain_audit () =
   let rows = 256 in
@@ -427,6 +491,10 @@ let () =
         [
           Alcotest.test_case "sim 2/4 shards multi-seed" `Quick
             test_sharded_serialization_sim;
+          Alcotest.test_case "flash sim 1/2/4 shards" `Quick
+            test_flash_serialization_sim;
+          Alcotest.test_case "flash real 1/2/4 shards" `Quick
+            test_flash_serialization_real;
           Alcotest.test_case "real 2/4 shards" `Quick
             test_sharded_serialization_real;
           Alcotest.test_case "lost vote caught" `Quick test_lost_vote_caught;

@@ -116,6 +116,75 @@ let test_ycsb_mix_extremes () =
   Alcotest.(check bool) "none read-only" true
     (Array.for_all (fun t -> not (Txn.is_read_only t)) none_ro)
 
+let test_ycsb_flash_crowd () =
+  let rows = 4096 and count = 400 and phases = 4 in
+  let profile = Ycsb.mixed_profile ~rmws:2 ~reads:8 in
+  let generate seed =
+    Ycsb.generate_flash_crowd ~rows ~count ~seed ~phases ~hot_keys:32
+      ~hot_frac:0.9 profile
+  in
+  let txns = generate 7 in
+  Alcotest.(check int) "count" count (Array.length txns);
+  let phase_len = (count + phases - 1) / phases in
+  let hot_reads = Array.make phases 0 and all_reads = Array.make phases 0 in
+  let hot_writes = ref 0 and all_writes = ref 0 in
+  Array.iteri
+    (fun i t ->
+      let phase = min (phases - 1) (i / phase_len) in
+      Alcotest.(check int) "2 distinct writes" 2 (Array.length t.Txn.write_set);
+      Alcotest.(check int) "10 distinct footprint keys" 10
+        (Array.length t.Txn.read_set);
+      let is_write k = Array.exists (Key.equal k) t.Txn.write_set in
+      Array.iter
+        (fun k ->
+          let in_class = Key.hash k mod 8 = phase mod 8 in
+          if is_write k then begin
+            incr all_writes;
+            if in_class then incr hot_writes
+          end
+          else begin
+            all_reads.(phase) <- all_reads.(phase) + 1;
+            if in_class then hot_reads.(phase) <- hot_reads.(phase) + 1
+          end)
+        t.Txn.read_set)
+    txns;
+  (* Reads concentrate on the phase's hash class (hot_frac = 0.9 plus the
+     ~1/8 of cold draws that land in the class by chance); writes stay
+     uniform, so only ~1/8 of them fall in the class. *)
+  for p = 0 to phases - 1 do
+    let frac = float_of_int hot_reads.(p) /. float_of_int all_reads.(p) in
+    Alcotest.(check bool)
+      (Printf.sprintf "phase %d reads hot (%.2f)" p frac)
+      true (frac > 0.8)
+  done;
+  let wfrac = float_of_int !hot_writes /. float_of_int !all_writes in
+  Alcotest.(check bool)
+    (Printf.sprintf "writes cold (%.2f)" wfrac)
+    true (wfrac < 0.3);
+  let rows_of txns =
+    Array.to_list txns
+    |> List.concat_map (fun t -> Array.to_list t.Txn.read_set)
+    |> List.map Key.row
+  in
+  Alcotest.(check (list int)) "deterministic" (rows_of txns) (rows_of (generate 7));
+  Alcotest.(check bool) "seed matters" true (rows_of txns <> rows_of (generate 8))
+
+let test_ycsb_flash_crowd_invalid () =
+  let p = Ycsb.mixed_profile ~rmws:2 ~reads:8 in
+  Alcotest.check_raises "phases"
+    (Invalid_argument "Ycsb.generate_flash_crowd: phases") (fun () ->
+      ignore (Ycsb.generate_flash_crowd ~rows:64 ~count:1 ~seed:0 ~phases:0 p));
+  Alcotest.check_raises "hot_keys"
+    (Invalid_argument "Ycsb.generate_flash_crowd: hot_keys out of range")
+    (fun () ->
+      ignore
+        (Ycsb.generate_flash_crowd ~rows:64 ~count:1 ~seed:0 ~hot_keys:64 p));
+  Alcotest.check_raises "hot_frac"
+    (Invalid_argument "Ycsb.generate_flash_crowd: hot_frac out of range")
+    (fun () ->
+      ignore
+        (Ycsb.generate_flash_crowd ~rows:64 ~count:1 ~seed:0 ~hot_frac:1.5 p))
+
 let test_ycsb_invalid_args () =
   Alcotest.check_raises "profile" (Invalid_argument "Ycsb.rmw_profile: n must be positive")
     (fun () -> ignore (Ycsb.rmw_profile 0));
@@ -326,6 +395,9 @@ let suite =
         Alcotest.test_case "read-only shape" `Quick test_ycsb_read_only_shape;
         Alcotest.test_case "mix fraction" `Quick test_ycsb_mix_fraction;
         Alcotest.test_case "mix extremes" `Quick test_ycsb_mix_extremes;
+        Alcotest.test_case "flash crowd shape" `Quick test_ycsb_flash_crowd;
+        Alcotest.test_case "flash crowd invalid args" `Quick
+          test_ycsb_flash_crowd_invalid;
         Alcotest.test_case "invalid args" `Quick test_ycsb_invalid_args;
       ]
       @ qcheck [ prop_ycsb_any_profile_consistent ] );

@@ -8,7 +8,7 @@
    ablation-annotation ablation-gc ablation-cc-split ablation-preprocess
    ablation-probe-memo ablation-cc-routing ablation-exec-wakeup
    ablation-version-slabs ablation-cc-rebalance flash-crowd
-   latency-profile micro micro-slabs smoke)
+   latency-profile critical-path micro micro-slabs smoke)
    to run a subset; --quick shrinks sweeps for smoke runs; --scale=F
    multiplies transaction counts; --json=PATH also writes every table of
    the run (with per-column throughput ceilings) as one JSON document. *)

@@ -186,4 +186,101 @@ dune exec bench/main.exe -- ablation-cc-rebalance --quick > /dev/null \
 dune exec bench/main.exe -- flash-crowd --quick > /dev/null \
   && echo "flash-crowd smoke PASS"
 
+# Sixth determinism gate: the metrics/timeline instrumentation must be
+# invisible when obs is off. fig4 runs unobserved, so the same --quick
+# fig4 cells (tmp5 above) must also reproduce the BENCH_PR9.json cells
+# bit-for-bit — a charged instruction leaking from a Metrics shard, a
+# timeline instant or the dep-stall blame path shows up here.
+for x in 2 8; do
+  got=$(row "$tmp5" $x)
+  want=$(row BENCH_PR9.json $x | awk -F', ' '{print $1 ", " $3}')
+  if [ -z "$got" ] || [ "$got" != "$want" ]; then
+    echo "FAIL: unobserved fig4 diverges from BENCH_PR9.json at exec=$x"
+    echo "  got:  [$got]"
+    echo "  want: [$want]"
+    exit 1
+  fi
+done
+echo "fig4 obs-off determinism gate PASS (matches BENCH_PR9.json at exec=2,8 / CC=1,4)"
+
+# Timeline-schema gate: the per-batch JSONL export must carry every
+# schema key on every line, batch ids must be strictly increasing, and
+# the disjoint stage windows must sum to at most the batch makespan
+# (gc is nested inside cc and excluded from the sum).
+tmp6=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6"' EXIT
+dune exec bin/bohm_cli.exe -- run -e bohm --preprocess -t 6 -n 3000 \
+  --theta 0.4 --timeline "$tmp6" > /dev/null
+awk '
+  function val(key,    pat) {
+    pat = "\"" key "\": -?[0-9]+"
+    if (!match($0, pat)) {
+      print "FAIL: timeline line missing " key; bad = 1; exit 1
+    }
+    # + 0: force numeric comparison below
+    return substr($0, RSTART + length(key) + 4, RLENGTH - length(key) - 4) + 0
+  }
+  {
+    lines++
+    n = split("batch start finish makespan d_sequence d_preprocess " \
+              "d_rebalance d_cc d_gc d_exec d_vote committed steals " \
+              "wakeups retry_scans recycled dep_stall slab_occ", keys, " ")
+    for (i = 1; i <= n; i++) v[keys[i]] = val(keys[i])
+    if (!/"cc_imbalance": /) {
+      print "FAIL: missing cc_imbalance"; bad = 1; exit 1
+    }
+    if (!/"votes": \{/) {
+      print "FAIL: missing votes object"; bad = 1; exit 1
+    }
+    if (lines > 1 && v["batch"] <= prev_batch) {
+      print "FAIL: batch ids not strictly increasing at line " lines
+      bad = 1; exit 1
+    }
+    prev_batch = v["batch"]
+    if (v["makespan"] != v["finish"] - v["start"]) {
+      print "FAIL: makespan != finish - start at batch " v["batch"]
+      bad = 1; exit 1
+    }
+    sum = v["d_sequence"] + v["d_preprocess"] + v["d_rebalance"] + \
+          v["d_cc"] + v["d_exec"] + v["d_vote"]
+    if (sum > v["makespan"]) {
+      print "FAIL: stage windows exceed makespan at batch " v["batch"] \
+            " (" sum " > " v["makespan"] ")"
+      bad = 1; exit 1
+    }
+  }
+  END {
+    if (bad) exit 1
+    if (lines == 0) { print "FAIL: empty timeline"; exit 1 }
+    print "timeline schema gate PASS (" lines " batches, stage sums bounded)"
+  }' "$tmp6"
+
+# Observer-overhead gate: the same deterministic fig4-configuration run
+# with and without recording must print the identical stat block —
+# virtual time, commits, every extras key — differing only in the trace
+# artifact lines. Recording is host-side; any drift here is a charged
+# instruction leaking from the obs layer.
+tmp7=$(mktemp)
+tmp8=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6" "$tmp7" "$tmp8"' EXIT
+obs_run() { # obs_run [extra flags...] -> the filtered stat block
+  dune exec bin/bohm_cli.exe -- run -e bohm -w 10rmw --theta 0 -t 12 \
+    --cc-fraction 0.34 -n 2000 "$@" \
+    | grep -v -e '^trace: ' -e '^timeline: ' -e '^$'
+}
+obs_run > "$tmp7"
+obs_run --trace /dev/null --timeline /dev/null > "$tmp8"
+if ! cmp -s "$tmp7" "$tmp8"; then
+  echo "FAIL: observed run's stat block diverges from the unobserved run"
+  diff "$tmp7" "$tmp8" || true
+  exit 1
+fi
+echo "observer-overhead gate PASS (obs on/off stat blocks identical)"
+
+# Critical-path smoke: the binding-stage/blame analysis must run on all
+# six engines (BOHM plus the five single-layer baselines over nominal
+# batches); an empty batch or a malformed blame instant exits non-zero.
+dune exec bench/main.exe -- critical-path --quick > /dev/null \
+  && echo "critical-path smoke PASS"
+
 exec dune exec bench/main.exe -- smoke "$@"

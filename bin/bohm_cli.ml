@@ -176,6 +176,18 @@ let run_cmd =
             "Record pipeline phase spans and write a Chrome trace-event \
              JSON file to $(docv) (loadable in Perfetto / chrome://tracing).")
   in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docv:"PATH"
+          ~doc:
+            "Record the run and write the per-batch timeline (makespan, \
+             per-stage durations, commit/steal/wakeup counts, slab \
+             occupancy, CC imbalance, vote latencies) as JSONL to $(docv). \
+             With $(b,--trace) the same records also ride the trace file \
+             as Chrome counter tracks.")
+  in
   let latency =
     Arg.(
       value & flag
@@ -196,7 +208,7 @@ let run_cmd =
   let action engine workload threads shards cross_shard_pct theta rows count
       seed cc_fraction batch no_gc no_annotation preprocess no_probe_memo
       no_cc_routing no_exec_wakeup no_version_slabs no_cc_rebalance trace
-      latency sanitize =
+      timeline latency sanitize =
     let ycsb_gen profile =
       if shards > 1 then
         Ycsb.generate_sharded ~rows ~theta ~count ~seed ~shards
@@ -231,7 +243,7 @@ let run_cmd =
             },
             Smallbank.generate ~customers:rows ~count ~seed ~spin:4_000 () )
     in
-    let obs_on = trace <> None || latency in
+    let obs_on = trace <> None || timeline <> None || latency in
     let bohm =
       {
         Runner.cc_fraction;
@@ -293,7 +305,7 @@ let run_cmd =
     if latency then begin
       print_newline ();
       Report.print_series ~x_label:"phase"
-        ~columns:[ "p50"; "p95"; "p99"; "mean"; "count" ]
+        ~columns:[ "p50"; "p95"; "p99"; "p999"; "mean"; "stddev"; "count" ]
         ~rows:
           (List.map
              (fun (phase, h) ->
@@ -303,16 +315,34 @@ let run_cmd =
                    Some (float_of_int s.Bohm_util.Histogram.s_p50);
                    Some (float_of_int s.Bohm_util.Histogram.s_p95);
                    Some (float_of_int s.Bohm_util.Histogram.s_p99);
+                   Some (float_of_int s.Bohm_util.Histogram.s_p999);
                    Some s.Bohm_util.Histogram.s_mean;
+                   Some s.Bohm_util.Histogram.s_stddev;
                    Some (float_of_int s.Bohm_util.Histogram.s_count);
                  ] ))
              stats.Stats.latency)
     end;
-    (match (trace, recorder) with
-    | Some path, Some r ->
-        Bohm_obs.Chrome.write ~path r;
-        Printf.printf "\ntrace: %s\n" path
-    | _ -> ());
+    (match recorder with
+    | None -> ()
+    | Some r ->
+        (* One replay feeds both export paths. *)
+        let records =
+          if timeline <> None || trace <> None then
+            Bohm_obs.Timeline.of_recorder r
+          else []
+        in
+        (match timeline with
+        | Some path ->
+            Bohm_obs.Timeline.write_jsonl ~path records;
+            Printf.printf "\ntimeline: %s\n" path
+        | None -> ());
+        (match trace with
+        | Some path ->
+            Bohm_obs.Chrome.write
+              ~counters:(Bohm_obs.Timeline.counters records)
+              ~path r;
+            Printf.printf "\ntrace: %s\n" path
+        | None -> ()));
     match sanitizer with
     | None -> ()
     | Some report ->
@@ -325,8 +355,8 @@ let run_cmd =
       const action $ engine $ workload $ threads $ shards $ cross_shard_pct
       $ theta $ rows $ count $ seed $ cc_fraction $ batch $ no_gc
       $ no_annotation $ preprocess $ no_probe_memo $ no_cc_routing
-      $ no_exec_wakeup $ no_version_slabs $ no_cc_rebalance $ trace $ latency
-      $ sanitize)
+      $ no_exec_wakeup $ no_version_slabs $ no_cc_rebalance $ trace $ timeline
+      $ latency $ sanitize)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one engine/workload configuration on the simulator.") term
 
@@ -573,6 +603,47 @@ let analyze_cmd =
       const action $ workload $ rows $ count $ seed $ theta $ partitions
       $ shards $ cross_validate $ threads)
 
+(* --- report command (critical-path analysis of a saved trace) --- *)
+
+let report_cmd =
+  let trace =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Chrome trace-event file written by $(b,bohm_cli run --trace) \
+             (or any file accepted by the re-importer).")
+  in
+  let top =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Rows per section of the summary (binding stages, blamed \
+                (writer, key) pairs).")
+  in
+  let action trace top =
+    let recorder =
+      match
+        try Bohm_obs.Chrome.read ~path:trace
+        with Sys_error msg -> Error msg
+      with
+      | Ok r -> r
+      | Error msg ->
+          prerr_endline ("bohm_cli report: " ^ msg);
+          exit 2
+    in
+    let cp = Bohm_obs.Critical_path.analyze recorder in
+    Report.header ~title:(Printf.sprintf "Critical path: %s" trace);
+    Format.printf "%a@." (Bohm_obs.Critical_path.pp ~top) cp
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Replay a saved trace and print the per-batch critical path: \
+          binding pipeline stages and the dependency-stall blame ledger.")
+    Term.(const action $ trace $ top)
+
 (* --- bench command --- *)
 
 let bench_cmd =
@@ -601,4 +672,6 @@ let bench_cmd =
 let () =
   let doc = "BOHM multi-version concurrency control — experiment driver" in
   let info = Cmd.info "bohm_cli" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; analyze_cmd; bench_cmd; tune_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; analyze_cmd; report_cmd; bench_cmd; tune_cmd ]))

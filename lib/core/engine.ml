@@ -98,6 +98,12 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        from dependency-stall in the latency profile. Plain host field:
        written only while the wrapper is exclusively claimed. *)
     mutable obs_first : int;
+    (* Observability only: the last (writer seq, key) pair this wrapper
+       blocked on, as ["<writer_seq>:<key>"] ([""] = never blocked). Same
+       claimed-exclusively discipline as [obs_first]; the completing
+       attempt turns it into one [dep_stall:<writer>:<key>] instant for
+       the stall-blame ledger. *)
+    mutable obs_blocker : string;
   }
 
   type t = {
@@ -239,14 +245,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       rb_imb_batches = 0;
     }
 
-  (* Stats extras for a run's rebalancing state (one [rebal] per shard;
-     [[]] when the feature is off — no keys are emitted at all, keeping
-     rebalance-off extras bit-identical to the pre-feature engine).
-     Imbalance ratios are measured occupancy max/mean per batch, under
-     the map each batch actually ran with. *)
-  let rebal_extra rebals =
+  (* Metrics gauges for a run's rebalancing state (one [rebal] per shard;
+     a no-op on [[]] when the feature is off — no keys are selected at
+     all, keeping rebalance-off extras bit-identical to the pre-feature
+     engine). Imbalance ratios are measured occupancy max/mean per batch,
+     under the map each batch actually ran with. *)
+  let rebal_metrics sheet rebals =
     match rebals with
-    | [] -> []
+    | [] -> ()
     | hd :: _ ->
         let sum f = List.fold_left (fun a rb -> a + f rb) 0 rebals in
         let occ = Array.make (Array.length hd.rb_occ_parts) 0 in
@@ -261,17 +267,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         let imb_max =
           List.fold_left (fun a rb -> max a rb.rb_imb_max) 1.0 rebals
         in
-        [
-          ("rebalances", float_of_int (sum (fun rb -> rb.rb_rebalances)));
-          ("segs_moved", float_of_int (sum (fun rb -> rb.rb_segs_moved)));
-          ("cc_imbalance_max", imb_max);
-          ( "cc_imbalance_mean",
-            if batches = 0 then 1.0 else imb_sum /. float_of_int batches );
-        ]
-        @ Array.to_list
-            (Array.mapi
-               (fun p l -> (Printf.sprintf "cc_occ_p%d" p, float_of_int l))
-               occ)
+        Obs.Metrics.seti sheet Obs.Metrics.rebalances
+          (sum (fun rb -> rb.rb_rebalances));
+        Obs.Metrics.seti sheet Obs.Metrics.segs_moved
+          (sum (fun rb -> rb.rb_segs_moved));
+        Obs.Metrics.set sheet Obs.Metrics.cc_imbalance_max imb_max;
+        Obs.Metrics.set sheet Obs.Metrics.cc_imbalance_mean
+          (if batches = 0 then 1.0 else imb_sum /. float_of_int batches);
+        Array.iteri
+          (fun p l -> Obs.Metrics.seti sheet (Obs.Metrics.cc_occ_p p) l)
+          occ
 
   (* Capacity for [n] footprint entries at load factor <= 1/2, so linear
      probing always terminates on an empty slot. *)
@@ -367,6 +372,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       inputs = [||];
       input_frontier = 0;
       obs_first = min_int;
+      obs_blocker = "";
     }
 
   (* Index of [k] in a sorted key array, or -1. *)
@@ -411,14 +417,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* --- Concurrency-control phase (§3.2) --- *)
 
   type cc_stat = {
-    mutable gc_collected : int;
     mutable inserted : int;
     (* Partition-local version freelist: records unlinked by Condition-3
        truncation, reincarnated as placeholders by later inserts. Owned by
        one CC thread, never shared — only this thread's truncations feed
        it and only this thread's inserts drain it. *)
     mutable pool : wrapped V.t list;
-    mutable recycled : int;
+    (* Telemetry counters ([gc_collected], [versions_recycled]) that only
+       feed the [--json] extras, shard-local and merged at the barrier. *)
+    cc_ms : Obs.Metrics.shard;
     (* Slab-arena allocator ([Config.version_slabs]): the partition's open
        slab plus retirement counters. Owner-thread state like [pool]; the
        freelist and the arena are mutually exclusive per run. *)
@@ -464,7 +471,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                because every transaction that could see the old incarnation
                had finished executing before truncation unlinked it. *)
             stat.pool <- rest;
-            stat.recycled <- stat.recycled + 1;
+            Obs.Metrics.incr stat.cc_ms Obs.Metrics.versions_recycled;
             (match stat.cc_obs with
             | Some buf ->
                 Obs.Buf.instant buf ~name:"recycle"
@@ -498,16 +505,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               version, the slab freed when its count reaches zero —
               nothing is consed and nothing is recycled record-by-record. *)
            let dropped, _retired = V.truncate_retire stat.alloc v ~gc_ts in
-           stat.gc_collected <- stat.gc_collected + dropped
+           Obs.Metrics.add stat.cc_ms Obs.Metrics.gc_collected dropped
          end
          else if recycling_on t then begin
            let dropped = V.truncate_collect v ~gc_ts in
-           stat.gc_collected <- stat.gc_collected + List.length dropped;
+           Obs.Metrics.add stat.cc_ms Obs.Metrics.gc_collected
+             (List.length dropped);
            stat.pool <- List.rev_append dropped stat.pool
          end
          else
-           stat.gc_collected <-
-             stat.gc_collected + V.truncate_older_than v ~gc_ts);
+           Obs.Metrics.add stat.cc_ms Obs.Metrics.gc_collected
+             (V.truncate_older_than v ~gc_ts));
         match stat.cc_obs with
         | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
         | None -> ()
@@ -634,7 +642,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      transactions of other shards contribute nothing here and are never
      charged a routing cost anywhere. *)
   let preprocess_loop t sh wrapped me workers pre_barrier pre_done timing
-      routes maps rebal obs_buf n_batches =
+      routes maps rebal obs_buf pre_lat n_batches =
     let m = t.config.Config.cc_threads in
     let bs = t.config.Config.batch_size in
     let n = Array.length wrapped in
@@ -761,7 +769,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               let r = Partition_map.imbalance part_load in
               if r > rb.rb_imb_max then rb.rb_imb_max <- r;
               rb.rb_imb_sum <- rb.rb_imb_sum +. r;
-              rb.rb_imb_batches <- rb.rb_imb_batches + 1
+              rb.rb_imb_batches <- rb.rb_imb_batches + 1;
+              match obs_buf with
+              | Some buf ->
+                  (* Per-batch measured imbalance for the timeline, in
+                     thousandths (instants carry ints). *)
+                  Obs.Buf.instant buf ~name:"cc_imbalance" ~batch:b
+                    ~value:(int_of_float (r *. 1000.))
+                    ~ts:(R.now_ns ())
+              | None -> ()
             end;
             if b + rebalance_lag < n_batches then begin
               let base = maps.(b + rebalance_lag - 1) in
@@ -781,9 +797,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                   maps.(b + rebalance_lag) <- pmap';
                   (match obs_buf with
                   | Some buf ->
+                      let t1 = R.now_ns () in
                       Obs.Buf.begin_span buf ~phase:"rebalance" ~batch:b
                         ~ts:ts0;
-                      Obs.Buf.end_span buf ~ts:(R.now_ns ())
+                      Obs.Buf.end_span buf ~ts:t1;
+                      (match pre_lat with
+                      | Some lat ->
+                          Obs.Latency.add lat Obs.Latency.Rebalance (t1 - ts0)
+                      | None -> ())
                   | None -> ())
               | None ->
                   (* Propagate the kept map so every batch's slot holds
@@ -858,7 +879,15 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
               ~batch:b ~idx wrapped.(idx)
           done);
       (match stat.cc_obs with
-      | Some buf -> Obs.Buf.end_span buf ~ts:(R.now_ns ())
+      | Some buf ->
+          let ts = R.now_ns () in
+          if slabs_on t then
+            (* Open-slab occupancy at the partition's batch boundary —
+               the timeline takes the max across partitions. *)
+            Obs.Buf.instant buf ~name:"slab_occ" ~batch:b
+              ~value:(V.slabs_opened stat.alloc - V.slabs_retired stat.alloc)
+              ~ts;
+          Obs.Buf.end_span buf ~ts
       | None -> ());
       Sync.Barrier.await barrier;
       if my_partition = 0 then begin
@@ -887,13 +916,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type exec_stat = {
     mutable committed : int;
     mutable logic_aborts : int;
-    mutable dep_blocks : int;
-    mutable steals : int;
-    (* Passes over the thread's blocked list (retry path: [sweep] calls;
-       wakeup path: polls of the busy list). *)
-    mutable retry_scans : int;
-    (* Wakeups this thread pushed as a filler. *)
-    mutable wakeups : int;
+    (* Telemetry counters that only feed the [--json] extras
+       ([dep_blocks], [steals], [exec_retry_scans] — passes over the
+       thread's blocked list — and [wakeups] this thread pushed as a
+       filler): one {!Obs.Metrics.shard} per thread, merged at the
+       barrier. Charged stats ([committed], [logic_aborts]) stay plain
+       fields. *)
+    es_ms : Obs.Metrics.shard;
     exec_obs : exec_obs option;
   }
 
@@ -1167,7 +1196,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                           R.work !Bohm_runtime.Costs.exec_wake_push;
                           Sync.Mpsc.push wk.wk_queues.(wt.V.w_owner)
                             wt.V.w_index;
-                          stat.wakeups <- stat.wakeups + 1;
+                          Obs.Metrics.incr stat.es_ms Obs.Metrics.wakeups;
                           (match stat.exec_obs with
                           | Some ob ->
                               Obs.Buf.instant ob.ob_buf ~name:"wakeup"
@@ -1240,11 +1269,24 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           Obs.Latency.add ob.ob_lat Obs.Latency.Queue_wait
             (w.obs_first - cc_pub);
           Obs.Latency.add ob.ob_lat Obs.Latency.Cc_wait
-            (cc_pub - ob.ob_run_start));
+            (cc_pub - ob.ob_run_start);
+          (* Stall blame: attribute this transaction's dep_stall window to
+             the last (writer, key) pair it blocked on. *)
+          if w.obs_blocker <> "" then
+            Obs.Buf.instant ob.ob_buf
+              ~name:("dep_stall:" ^ w.obs_blocker)
+              ~batch:b
+              ~value:(obs_t0 - w.obs_first)
+              ~ts:t1);
       wake_waiters t stat local wake ~depth w;
       None
     with Blocked_on (bk, bv, dep) ->
-      stat.dep_blocks <- stat.dep_blocks + 1;
+      Obs.Metrics.incr stat.es_ms Obs.Metrics.dep_blocks;
+      (match stat.exec_obs with
+      | Some _ ->
+          w.obs_blocker <-
+            Printf.sprintf "%d:%s" dep.seq (Key.to_string bk)
+      | None -> ());
       Some (bk, bv, dep)
 
   and try_advance t stat local wake ~depth ~mine w =
@@ -1264,14 +1306,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           | _ -> None
         with
         | Some (bk, bv, dep) ->
-            stat.dep_blocks <- stat.dep_blocks + 1;
+            Obs.Metrics.incr stat.es_ms Obs.Metrics.dep_blocks;
+            (match stat.exec_obs with
+            | Some _ ->
+                w.obs_blocker <-
+                  Printf.sprintf "%d:%s" dep.seq (Key.to_string bk)
+            | None -> ());
             on_block retries (bk, bv, dep)
         | None ->
             if claim w then begin
               match attempt t stat local wake ~depth w with
               | None ->
                   if not mine then begin
-                    stat.steals <- stat.steals + 1;
+                    Obs.Metrics.incr stat.es_ms Obs.Metrics.steals;
                     match stat.exec_obs with
                     | Some ob ->
                         Obs.Buf.instant ob.ob_buf ~name:"steal"
@@ -1352,6 +1399,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
          placeholders (and any dependency's, in this batch or earlier) are
          then guaranteed to exist. One watermark unsharded. *)
       Array.iter (fun c -> Sync.Watermark.await c ~at_least:b) cc_dones;
+      let obs_c0 = stat.committed in
       (match stat.exec_obs with
       | Some ob ->
           Obs.Buf.begin_span ob.ob_buf ~phase:"exec" ~batch:b ~ts:(R.now_ns ())
@@ -1440,7 +1488,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
              resolved; with [force] also the ones still apparently
              blocked. *)
           let sweep ~force =
-            stat.retry_scans <- stat.retry_scans + 1;
+            Obs.Metrics.incr stat.es_ms Obs.Metrics.exec_retry_scans;
             (match stat.exec_obs with
             | Some ob ->
                 Obs.Buf.instant ob.ob_buf ~name:"retry_scan" ~batch:b
@@ -1591,7 +1639,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             match !busy with
             | [] -> false
             | entries ->
-                stat.retry_scans <- stat.retry_scans + 1;
+                Obs.Metrics.incr stat.es_ms Obs.Metrics.exec_retry_scans;
                 (match stat.exec_obs with
                 | Some ob ->
                     Obs.Buf.instant ob.ob_buf ~name:"retry_scan" ~batch:b
@@ -1628,7 +1676,13 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           done);
       ignore (steal_pass ~bounded:false);
       (match stat.exec_obs with
-      | Some ob -> Obs.Buf.end_span ob.ob_buf ~ts:(R.now_ns ())
+      | Some ob ->
+          let ts = R.now_ns () in
+          (* Per-thread commit delta for this batch; the timeline sums
+             the instants across execution tracks. *)
+          Obs.Buf.instant ob.ob_buf ~name:"batch_commit" ~batch:b
+            ~value:(stat.committed - obs_c0) ~ts;
+          Obs.Buf.end_span ob.ob_buf ~ts
       | None -> ());
       R.Cell.set exec_progress.(gme) (b + 1);
       (match sh with
@@ -1745,7 +1799,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Some r -> Some (Obs.Recorder.track r ~name:"driver")
     in
     (match driver_buf with
-    | Some buf -> Obs.Buf.begin_span buf ~phase:"sequence" ~ts:(R.now_ns ())
+    | Some buf ->
+        Obs.Buf.begin_span buf ~phase:"sequence" ~batch:0 ~ts:(R.now_ns ())
     | None -> ());
     let wrapped = Array.mapi (wrap t) txns in
     t.next_ts <- t.next_ts + n;
@@ -1801,10 +1856,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                 Some (Obs.Recorder.track r ~name:(Printf.sprintf "cc-%d" j))
           in
           {
-            gc_collected = 0;
             inserted = 0;
             pool = [];
-            recycled = 0;
+            cc_ms = Obs.Metrics.shard ();
             alloc = V.alloc_make ~shared:(rebalance_on t) ~owner:j ();
             cc_obs;
             cc_obs_pub = (if j = 0 then obs_cc_pub else [||]);
@@ -1828,10 +1882,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           {
             committed = 0;
             logic_aborts = 0;
-            dep_blocks = 0;
-            steals = 0;
-            retry_scans = 0;
-            wakeups = 0;
+            es_ms = Obs.Metrics.shard ();
             exec_obs;
           })
     in
@@ -1869,6 +1920,11 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
        consume it and publish through [cc_done], execution threads consume
        that — so preprocessing of batch [b+1] overlaps CC of batch [b]
        overlaps execution of batch [b-1]. *)
+    (* Rebalance-publication latency is recorded by preprocessing worker 0
+       only (the sole publisher). *)
+    let pre_lat =
+      match recorder with None -> None | Some _ -> Some (Obs.Latency.create ())
+    in
     let pre_threads =
       if not t.config.Config.preprocess then []
       else begin
@@ -1884,7 +1940,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         List.init workers (fun me ->
             R.spawn (fun () ->
                 preprocess_loop t None wrapped me workers pre_barrier pre_done
-                  timing routes maps rebal pre_bufs.(me) n_batches))
+                  timing routes maps rebal pre_bufs.(me)
+                  (if me = 0 then pre_lat else None)
+                  n_batches))
       end
     in
     let cc_threads =
@@ -1915,31 +1973,43 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | None -> []
       | Some _ ->
           Obs.Latency.merge_all
-            (Array.to_list exec_stats
-            |> List.filter_map (fun s ->
-                   Option.map (fun o -> o.ob_lat) s.exec_obs))
+            ((Array.to_list exec_stats
+             |> List.filter_map (fun s ->
+                    Option.map (fun o -> o.ob_lat) s.exec_obs))
+            @ Option.to_list pre_lat)
     in
+    (* Extras go through the typed metrics sheet: per-thread counter
+       shards summed at this (post-join) barrier, run-level gauges set
+       here. [to_extra] emits exactly the selected keys, so the [--json]
+       surface is unchanged from the hand-rolled list it replaces. *)
+    let sheet =
+      Obs.Metrics.collect
+        ~select:
+          Obs.Metrics.
+            [
+              gc_collected;
+              versions_recycled;
+              dep_blocks;
+              steals;
+              exec_retry_scans;
+              wakeups;
+            ]
+        (Array.to_list (Array.map (fun s -> s.cc_ms) cc_stats)
+        @ Array.to_list (Array.map (fun s -> s.es_ms) exec_stats))
+    in
+    Obs.Metrics.seti sheet Obs.Metrics.slabs_opened
+      (sum (fun s -> V.slabs_opened s.alloc) cc_stats);
+    Obs.Metrics.seti sheet Obs.Metrics.slabs_retired
+      (sum (fun s -> V.slabs_retired s.alloc) cc_stats);
+    (* Microseconds: virtual times are sub-millisecond, and the harness
+       prints extras rounded to integers. *)
+    Obs.Metrics.set sheet Obs.Metrics.cc_batch0_start_us
+      (timing.cc_batch0_start *. 1e6);
+    Obs.Metrics.set sheet Obs.Metrics.pre_complete_us
+      (timing.pre_complete *. 1e6);
+    rebal_metrics sheet (Option.to_list rebal);
     Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
-      ~extra:
-        ([
-           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
-           ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
-           ( "slabs_opened",
-             float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
-           ( "slabs_retired",
-             float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
-           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
-           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
-           ( "exec_retry_scans",
-             float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
-           ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
-           (* Microseconds: virtual times are sub-millisecond, and the
-              harness prints extras rounded to integers. *)
-           ("cc_batch0_start_us", timing.cc_batch0_start *. 1e6);
-           ("pre_complete_us", timing.pre_complete *. 1e6);
-         ]
-        @ rebal_extra (Option.to_list rebal))
-      ()
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   (* Multi-shard driver: [shards] complete pipelines over the same shared
      input log. Everything per-shard is instantiated [shards] times —
@@ -1974,7 +2044,8 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Some r -> Some (Obs.Recorder.track r ~name:"driver")
     in
     (match driver_buf with
-    | Some buf -> Obs.Buf.begin_span buf ~phase:"sequence" ~ts:(R.now_ns ())
+    | Some buf ->
+        Obs.Buf.begin_span buf ~phase:"sequence" ~batch:0 ~ts:(R.now_ns ())
     | None -> ());
     let wrapped = Array.mapi (wrap t) txns in
     t.next_ts <- t.next_ts + n;
@@ -2050,10 +2121,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                   (Obs.Recorder.track r ~name:(Printf.sprintf "s%d/cc-%d" s j))
           in
           {
-            gc_collected = 0;
             inserted = 0;
             pool = [];
-            recycled = 0;
+            cc_ms = Obs.Metrics.shard ();
             (* Slab owner ids are global partition ids, unique across
                shards, so the arena-discipline audit keeps one owner per
                chain. *)
@@ -2082,10 +2152,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           {
             committed = 0;
             logic_aborts = 0;
-            dep_blocks = 0;
-            steals = 0;
-            retry_scans = 0;
-            wakeups = 0;
+            es_ms = Obs.Metrics.shard ();
             exec_obs;
           })
     in
@@ -2102,6 +2169,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       Array.init shards (fun _ -> { cc_batch0_start = 0.; pre_complete = 0. })
     in
     let start = R.now () in
+    (* One rebalance-latency recorder per shard, held by that shard's
+       preprocessing worker 0 (the sole publisher). *)
+    let pre_lats =
+      Array.init shards (fun _ ->
+          match recorder with
+          | None -> None
+          | Some _ -> Some (Obs.Latency.create ()))
+    in
     let pre_threads =
       if not t.config.Config.preprocess then []
       else
@@ -2126,7 +2201,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
                          (Some ctxs.(s))
                          wrapped me workers pre_barrier pre_dones.(s)
                          timings.(s) routes_s shard_maps.(s) rebal_s
-                         pre_bufs.(me) n_batches))))
+                         pre_bufs.(me)
+                         (if me = 0 then pre_lats.(s) else None)
+                         n_batches))))
     in
     let cc_threads =
       List.concat
@@ -2186,35 +2263,43 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | None -> []
       | Some _ ->
           Obs.Latency.merge_all
-            (Array.to_list exec_stats
-            |> List.filter_map (fun s ->
-                   Option.map (fun o -> o.ob_lat) s.exec_obs))
+            ((Array.to_list exec_stats
+             |> List.filter_map (fun s ->
+                    Option.map (fun o -> o.ob_lat) s.exec_obs))
+            @ List.filter_map Fun.id (Array.to_list pre_lats))
     in
+    (* Extras via the typed metrics sheet, exactly as in [run_single],
+       plus the sharded-run gauges. *)
+    let sheet =
+      Obs.Metrics.collect
+        ~select:
+          Obs.Metrics.
+            [
+              gc_collected;
+              versions_recycled;
+              dep_blocks;
+              steals;
+              exec_retry_scans;
+              wakeups;
+            ]
+        (Array.to_list (Array.map (fun s -> s.cc_ms) cc_stats)
+        @ Array.to_list (Array.map (fun s -> s.es_ms) exec_stats))
+    in
+    Obs.Metrics.seti sheet Obs.Metrics.slabs_opened
+      (sum (fun s -> V.slabs_opened s.alloc) cc_stats);
+    Obs.Metrics.seti sheet Obs.Metrics.slabs_retired
+      (sum (fun s -> V.slabs_retired s.alloc) cc_stats);
+    Obs.Metrics.seti sheet Obs.Metrics.cross_shard_txns cross_shard_txns;
+    Obs.Metrics.seti sheet Obs.Metrics.shard_votes (shards * n_batches);
+    Obs.Metrics.seti sheet Obs.Metrics.vote_aborts vote_aborts;
+    Obs.Metrics.set sheet Obs.Metrics.cc_batch0_start_us
+      (timings.(0).cc_batch0_start *. 1e6);
+    Obs.Metrics.set sheet Obs.Metrics.pre_complete_us
+      (timings.(0).pre_complete *. 1e6);
+    rebal_metrics sheet
+      (match shard_rebal with Some rbs -> Array.to_list rbs | None -> []);
     Stats.make ~txns:n ~committed ~logic_aborts ~cc_aborts:0 ~elapsed ~latency
-      ~extra:
-        ([
-           ("gc_collected", float_of_int (sum (fun s -> s.gc_collected) cc_stats));
-           ("versions_recycled", float_of_int (sum (fun s -> s.recycled) cc_stats));
-           ( "slabs_opened",
-             float_of_int (sum (fun s -> V.slabs_opened s.alloc) cc_stats) );
-           ( "slabs_retired",
-             float_of_int (sum (fun s -> V.slabs_retired s.alloc) cc_stats) );
-           ("dep_blocks", float_of_int (sum (fun s -> s.dep_blocks) exec_stats));
-           ("steals", float_of_int (sum (fun s -> s.steals) exec_stats));
-           ( "exec_retry_scans",
-             float_of_int (sum (fun s -> s.retry_scans) exec_stats) );
-           ("wakeups", float_of_int (sum (fun s -> s.wakeups) exec_stats));
-           ("cross_shard_txns", float_of_int cross_shard_txns);
-           ("shard_votes", float_of_int (shards * n_batches));
-           ("vote_aborts", float_of_int vote_aborts);
-           ("cc_batch0_start_us", timings.(0).cc_batch0_start *. 1e6);
-           ("pre_complete_us", timings.(0).pre_complete *. 1e6);
-         ]
-        @ rebal_extra
-            (match shard_rebal with
-            | Some rbs -> Array.to_list rbs
-            | None -> []))
-      ()
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   let run t txns =
     if t.config.Config.shards > 1 then run_sharded t txns else run_single t txns

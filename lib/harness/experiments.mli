@@ -67,10 +67,17 @@ val ablation_probe_memo : ?scale:float -> ?quick:bool -> unit -> series list
     memoized hot path removes from the CC layer's critical path. *)
 
 val latency_profile : ?scale:float -> ?quick:bool -> unit -> series list
-(** Per-phase latency percentiles (p50/p95/p99/mean, virtual cycles) for
-    all six engines under an observed run ({!Runner.run_sim_obs}): where a
-    transaction's life goes — queue wait, concurrency control, dependency
-    or retry stalls, execution. *)
+(** Per-phase latency percentiles (p50/p95/p99/p999/mean/stddev, virtual
+    cycles) for all six engines under an observed run
+    ({!Runner.run_sim_obs}): where a transaction's life goes — queue
+    wait, concurrency control, dependency or retry stalls, execution. *)
+
+val critical_path : ?scale:float -> ?quick:bool -> unit -> series list
+(** Per-batch binding-stage shares ({!Bohm_obs.Critical_path}) — which
+    pipeline stage dominates each batch's makespan — for BOHM at CC=4/8,
+    exec=20, shards=1/4 (plus the blamed dependency-stall cycle total)
+    and for the five single-layer engines over their nominal
+    1000-transaction batches. *)
 
 val extension_mvto : ?scale:float -> ?quick:bool -> unit -> series list
 (** BOHM against classic multiversion timestamp ordering (Reed): the

@@ -75,11 +75,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type worker_stat = {
     mutable committed : int;
     mutable logic_aborts : int;
-    mutable ww_aborts : int;
-    mutable validation_aborts : int;
-    mutable dep_aborts : int;
-    mutable faa : int;
-    mutable version_steps : int;
+    (* Telemetry counters (counter_faa, version_steps, and the three
+       abort species, which also fold into the charged [cc_aborts] total
+       at merge): one metrics shard per worker, summed at the join. *)
+    ms : Obs.Metrics.shard;
   }
 
   type attempt = {
@@ -137,7 +136,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     | Vis when end_covers att.self att.begin_ts v -> (v, None)
     | Spec tx -> (v, Some tx)
     | Vis | Newer | Skip -> (
-        stat.version_steps <- stat.version_steps + 1;
+        Obs.Metrics.incr stat.ms Obs.Metrics.version_steps;
         match v.prev with
         | Some p -> find_visible stat att p
         | None -> assert false (* the bulk-loaded version is always visible *))
@@ -248,7 +247,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
 
   let commit t stat att =
     let end_ts = R.Cell.faa t.counter 1 in
-    stat.faa <- stat.faa + 1;
+    Obs.Metrics.incr stat.ms Obs.Metrics.counter_faa;
     R.Cell.set att.self.end_ts end_ts;
     R.Cell.set att.self.state st_preparing;
     if t.mode = Hekaton then validate t att end_ts;
@@ -268,7 +267,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
      [first] anchors dependency-stall: the [now_ns] at which the worker
      first dispatched this transaction (retries keep the original). All
      recording is host-side and uncharged. *)
-  let run_attempt t stat ob ~first txn =
+  let run_attempt t stat ob ~first ~seq txn =
+    (* Nominal batch for trace attribution ([Timeline]/[Critical_path]
+       bucket the single-layer engines by quantized input index). *)
+    let batch = seq / Obs.Timeline.baseline_quantum in
     let self =
       {
         state = sync (R.Cell.make st_active);
@@ -279,7 +281,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       }
     in
     let begin_ts = R.Cell.faa t.counter 1 in
-    stat.faa <- stat.faa + 1;
+    Obs.Metrics.incr stat.ms Obs.Metrics.counter_faa;
     let att = { self; begin_ts; reads = []; writes = [] } in
     (* A read-only transaction observing one consistent snapshot is
        serializable at its begin timestamp, so Hekaton skips read tracking
@@ -294,7 +296,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | None -> 0
       | Some o ->
           let ts = R.now_ns () in
-          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~batch ~ts;
           ts
     in
     try
@@ -324,7 +326,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             | Some o ->
                 let ts = R.now_ns () in
                 Obs.Buf.end_span o.Obs.Worker.buf ~ts;
-                Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~ts;
+                Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~batch ~ts;
                 ts
           in
           commit t stat att;
@@ -358,9 +360,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     with Conflict reason ->
       rollback att;
       (match reason with
-      | Ww -> stat.ww_aborts <- stat.ww_aborts + 1
-      | Validation -> stat.validation_aborts <- stat.validation_aborts + 1
-      | Dep -> stat.dep_aborts <- stat.dep_aborts + 1);
+      | Ww -> Obs.Metrics.incr stat.ms Obs.Metrics.ww_aborts
+      | Validation -> Obs.Metrics.incr stat.ms Obs.Metrics.validation_aborts
+      | Dep -> Obs.Metrics.incr stat.ms Obs.Metrics.dep_aborts);
       (match ob with
       | None -> ()
       | Some o ->
@@ -372,7 +374,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           while Obs.Buf.depth buf > obs_depth do
             Obs.Buf.end_span buf ~ts
           done;
-          Obs.Buf.instant buf ~name:(conflict_name reason) ~ts);
+          Obs.Buf.instant buf ~name:(conflict_name reason) ~batch ~ts);
       false
 
   let worker_loop t me stat ob txns =
@@ -381,7 +383,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     while !idx < n do
       let first = match ob with None -> 0 | Some _ -> R.now_ns () in
       let backoff = ref 1 in
-      while not (run_attempt t stat ob ~first txns.(!idx)) do
+      while not (run_attempt t stat ob ~first ~seq:!idx txns.(!idx)) do
         (* Retry after back-off, like the paper's optimistic baselines. *)
         for _ = 1 to !backoff do
           R.relax ()
@@ -394,15 +396,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let run t txns =
     let stats =
       Array.init t.workers (fun _ ->
-          {
-            committed = 0;
-            logic_aborts = 0;
-            ww_aborts = 0;
-            validation_aborts = 0;
-            dep_aborts = 0;
-            faa = 0;
-            version_steps = 0;
-          })
+          { committed = 0; logic_aborts = 0; ms = Obs.Metrics.shard () })
     in
     (* Observability: tracks are created on the driver thread before the
        spawns; recording is host-side and uncharged. *)
@@ -436,20 +430,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
     let committed = sum (fun s -> s.committed) in
     let logic_aborts = sum (fun s -> s.logic_aborts) in
-    let ww = sum (fun s -> s.ww_aborts) in
-    let vald = sum (fun s -> s.validation_aborts) in
-    let dep = sum (fun s -> s.dep_aborts) in
-    Stats.make ~txns:(Array.length txns) ~committed ~logic_aborts
-      ~cc_aborts:(ww + vald + dep) ~elapsed ~latency
-      ~extra:
-        [
-          ("counter_faa", float_of_int (sum (fun s -> s.faa)));
-          ("version_steps", float_of_int (sum (fun s -> s.version_steps)));
-          ("ww_aborts", float_of_int ww);
-          ("validation_aborts", float_of_int vald);
-          ("dep_aborts", float_of_int dep);
-        ]
-      ()
+    let sheet =
+      Obs.Metrics.collect
+        ~select:
+          Obs.Metrics.
+            [ counter_faa; version_steps; ww_aborts; validation_aborts;
+              dep_aborts ]
+        (Array.to_list (Array.map (fun s -> s.ms) stats))
+    in
+    let cc_aborts =
+      int_of_float
+        (Obs.Metrics.get sheet Obs.Metrics.ww_aborts
+        +. Obs.Metrics.get sheet Obs.Metrics.validation_aborts
+        +. Obs.Metrics.get sheet Obs.Metrics.dep_aborts)
+    in
+    Stats.make ~txns:(Array.length txns) ~committed ~logic_aborts ~cc_aborts
+      ~elapsed ~latency
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   (* --- inspection --- *)
 

@@ -42,10 +42,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type worker_stat = {
     mutable committed : int;
     mutable logic_aborts : int;
-    mutable reader_induced : int;
-    mutable wait_aborts : int;
-    mutable faa : int;
-    mutable read_stamps : int;
+    (* Telemetry counters (counter_faa, read_stamps, and the two abort
+       species, which also fold into the charged [cc_aborts] total at
+       merge): one metrics shard per worker, summed at the join. *)
+    ms : Obs.Metrics.shard;
   }
 
   (* Writers mutate chains under the record lock, but readers walk them
@@ -123,7 +123,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             let current = R.Cell.get v.read_ts in
             if current >= ts then ()
             else if R.Cell.cas v.read_ts current ts then
-              stat.read_stamps <- stat.read_stamps + 1
+              Obs.Metrics.incr stat.ms Obs.Metrics.read_stamps
             else bump ()
           in
           bump ();
@@ -238,13 +238,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* [ob]/[first]: host-side observability context, as in the other
      engines — [first] anchors this transaction's first dispatch so retry
      attempts accumulate into the dependency-stall phase. *)
-  let run_attempt t stat ob ~first txn =
+  let run_attempt t stat ob ~first ~seq txn =
+    (* Nominal batch for trace attribution: the single-layer engines have
+       no real batches, so quantize the input index — which lets the
+       per-batch [Timeline]/[Critical_path] analyses run on every engine. *)
+    let batch = seq / Obs.Timeline.baseline_quantum in
     let att_ts =
       match ob with
       | None -> 0
       | Some o ->
           let ts = R.now_ns () in
-          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~batch ~ts;
           ts
     in
     let record_done () =
@@ -261,7 +265,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     in
     let self = { state = sync (R.Cell.make st_active) } in
     let ts = R.Cell.faa t.counter 1 in
-    stat.faa <- stat.faa + 1;
+    Obs.Metrics.incr stat.ms Obs.Metrics.counter_faa;
     let writes = ref [] in
     let buffer = Local_writes.create () in
     try
@@ -298,8 +302,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       R.Cell.set self.state st_aborted;
       unlink t self !writes;
       (match reason with
-      | `Reader_induced -> stat.reader_induced <- stat.reader_induced + 1
-      | `Wait -> stat.wait_aborts <- stat.wait_aborts + 1);
+      | `Reader_induced ->
+          Obs.Metrics.incr stat.ms Obs.Metrics.reader_induced_aborts
+      | `Wait -> Obs.Metrics.incr stat.ms Obs.Metrics.wait_aborts);
       (match ob with
       | None -> ()
       | Some o ->
@@ -310,7 +315,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
             | `Reader_induced -> "reader_abort"
             | `Wait -> "wait_abort"
           in
-          Obs.Buf.instant o.Obs.Worker.buf ~name ~ts);
+          Obs.Buf.instant o.Obs.Worker.buf ~name ~batch ~ts);
       false
 
   let worker_loop t me stat ob txns =
@@ -319,7 +324,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     while !idx < n do
       let first = match ob with None -> 0 | Some _ -> R.now_ns () in
       let backoff = ref 1 in
-      while not (run_attempt t stat ob ~first txns.(!idx)) do
+      while not (run_attempt t stat ob ~first ~seq:!idx txns.(!idx)) do
         for _ = 1 to !backoff do
           R.relax ()
         done;
@@ -331,14 +336,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let run t txns =
     let stats =
       Array.init t.workers (fun _ ->
-          {
-            committed = 0;
-            logic_aborts = 0;
-            reader_induced = 0;
-            wait_aborts = 0;
-            faa = 0;
-            read_stamps = 0;
-          })
+          { committed = 0; logic_aborts = 0; ms = Obs.Metrics.shard () })
     in
     let recorder = Obs.Recorder.current () in
     let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
@@ -366,19 +364,23 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
     in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+    let sheet =
+      Obs.Metrics.collect
+        ~select:
+          Obs.Metrics.
+            [ counter_faa; read_stamps; reader_induced_aborts; wait_aborts ]
+        (Array.to_list (Array.map (fun s -> s.ms) stats))
+    in
+    let cc_aborts =
+      int_of_float
+        (Obs.Metrics.get sheet Obs.Metrics.reader_induced_aborts
+        +. Obs.Metrics.get sheet Obs.Metrics.wait_aborts)
+    in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
-      ~cc_aborts:(sum (fun s -> s.reader_induced) + sum (fun s -> s.wait_aborts))
-      ~elapsed ~latency
-      ~extra:
-        [
-          ("counter_faa", float_of_int (sum (fun s -> s.faa)));
-          ("read_stamps", float_of_int (sum (fun s -> s.read_stamps)));
-          ("reader_induced_aborts", float_of_int (sum (fun s -> s.reader_induced)));
-          ("wait_aborts", float_of_int (sum (fun s -> s.wait_aborts)));
-        ]
-      ()
+      ~cc_aborts ~elapsed ~latency
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   (* Post-quiescence audit. MVTO stamps no end times ([end_ts = None]
      skips the begin/end consistency check); a version whose producer is

@@ -39,13 +39,27 @@ let event_line ~tid e =
          \"s\": \"t\"%s}"
         (us ts) tid (escape name) args
 
-let to_string recorder =
+(* Counter samples render as "C" events on a dedicated tid above the
+   span tracks; Perfetto draws each distinct name as its own curve. *)
+let counter_line ~tid (ts, name, value) =
+  Printf.sprintf
+    "{\"ph\": \"C\", \"ts\": %s, \"pid\": 0, \"tid\": %d, \"name\": \"%s\", \
+     \"args\": {\"value\": %.3f}}"
+    (us ts) tid (escape name) value
+
+let to_string ?(counters = []) recorder =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\": [\n";
   let first = ref true in
   let emit line =
     if !first then first := false else Buffer.add_string b ",\n";
     Buffer.add_string b line
+  in
+  let counter_tid =
+    List.fold_left
+      (fun acc buf -> max acc (Buf.tid buf + 1))
+      0
+      (Recorder.tracks recorder)
   in
   List.iter
     (fun buf ->
@@ -58,14 +72,22 @@ let to_string recorder =
            (escape (Buf.name buf)));
       List.iter (fun e -> emit (event_line ~tid e)) (Buf.events buf))
     (Recorder.tracks recorder);
+  if counters <> [] then begin
+    emit
+      (Printf.sprintf
+         "{\"ph\": \"M\", \"ts\": 0, \"pid\": 0, \"tid\": %d, \"name\": \
+          \"thread_name\", \"args\": {\"name\": \"timeline\"}}"
+         counter_tid);
+    List.iter (fun c -> emit (counter_line ~tid:counter_tid c)) counters
+  end;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b
 
-let write ~path recorder =
+let write ?counters ~path recorder =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string recorder))
+    (fun () -> output_string oc (to_string ?counters recorder))
 
 (* --- validation ------------------------------------------------------- *)
 
@@ -142,7 +164,7 @@ let validate doc =
                        "line %d: E event closes below zero on tid %d"
                        (lineno + 1) tid)
                 else Hashtbl.replace depth tid (d - 1)
-            | Some ('i' | 'M') -> ()
+            | Some ('i' | 'M' | 'C') -> ()
             | Some c ->
                 fail (Printf.sprintf "line %d: unknown ph %C" (lineno + 1) c)
             | None ->
@@ -159,3 +181,149 @@ let validate doc =
         depth
   | Some _ -> ());
   match !error with None -> Ok () | Some msg -> Error msg
+
+(* --- re-import ------------------------------------------------------ *)
+
+(* Parse a document we exported back into a recorder, so analyses
+   ([Timeline], [Critical_path], `bohm_cli report`) run on saved trace
+   files. Same line-wise discipline as [validate]; only our own one-
+   event-per-line shape is supported. *)
+
+let unescape s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | 'n' -> Buffer.add_char b '\n'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       incr i
+     end
+     else Buffer.add_char b s.[!i]);
+    incr i
+  done;
+  Buffer.contents b
+
+(* The quoted string value following a key, up to the closing unescaped
+   quote. [last] picks the final occurrence — metadata lines carry two
+   [name] keys (the literal thread_name and the track name in args). *)
+let find_str ?(last = false) line key =
+  let pat = Printf.sprintf "\"%s\": \"" key in
+  let plen = String.length pat and llen = String.length line in
+  let value_at i =
+    let j = ref (i + plen) in
+    let stop = ref None in
+    while !stop = None && !j < llen do
+      if line.[!j] = '\\' then j := !j + 2
+      else if line.[!j] = '"' then stop := Some !j
+      else incr j
+    done;
+    Option.map
+      (fun e -> unescape (String.sub line (i + plen) (e - (i + plen))))
+      !stop
+  in
+  let rec search i best =
+    if i + plen > llen then best
+    else if String.sub line i plen = pat then
+      let v = value_at i in
+      if last then search (i + 1) (match v with None -> best | v -> v)
+      else v
+    else search (i + 1) best
+  in
+  search 0 None
+
+(* Timestamps were printed as microseconds with three decimals, i.e.
+   exact thousandths — scale back to integral ns/cycles. *)
+let find_ts line =
+  let pat = "\"ts\":" in
+  let plen = String.length pat and llen = String.length line in
+  let rec search i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then begin
+      let j = ref (i + plen) in
+      while !j < llen && line.[!j] = ' ' do incr j done;
+      let start = !j in
+      while
+        !j < llen
+        && (line.[!j] = '-' || line.[!j] = '.'
+           || (line.[!j] >= '0' && line.[!j] <= '9'))
+      do
+        incr j
+      done;
+      if !j > start then
+        Some
+          (int_of_float
+             (Float.round
+                (float_of_string (String.sub line start (!j - start)) *. 1000.)))
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let of_string doc =
+  let tracks : (int, Buf.t) Hashtbl.t = Hashtbl.create 16 in
+  let recorder = Recorder.create () in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then
+      error := Some (Printf.sprintf "line %d: %s" (lineno + 1) msg)
+  in
+  List.iteri
+    (fun lineno line ->
+      if !error = None && has_key line "ph" then
+        match (ph_of line, find_int line "tid") with
+        | None, _ -> fail lineno "unparseable ph"
+        | _, None -> fail lineno "unparseable tid"
+        | Some 'M', Some tid -> (
+            match find_str ~last:true line "name" with
+            | Some name when name <> "thread_name" || has_key line "args" ->
+                if name = "timeline" then () (* counter track: derived *)
+                else if Hashtbl.mem tracks tid then
+                  fail lineno "duplicate thread_name metadata"
+                else begin
+                  let buf = Recorder.track recorder ~name in
+                  if Buf.tid buf <> tid then
+                    fail lineno "non-sequential track tids"
+                  else Hashtbl.replace tracks tid buf
+                end
+            | _ -> fail lineno "metadata without a track name")
+        | Some 'C', _ -> () (* counters are derived from the spans *)
+        | Some ph, Some tid -> (
+            match (Hashtbl.find_opt tracks tid, find_ts line) with
+            | None, _ -> fail lineno "event before its track metadata"
+            | _, None -> fail lineno "unparseable ts"
+            | Some buf, Some ts -> (
+                let name =
+                  Option.value ~default:"" (find_str line "name")
+                in
+                let batch = Option.value ~default:(-1) (find_int line "batch") in
+                match ph with
+                | 'B' -> Buf.begin_span buf ~phase:name ~batch ~ts
+                | 'E' ->
+                    if Buf.depth buf = 0 then fail lineno "E below zero"
+                    else Buf.end_span buf ~ts
+                | 'i' ->
+                    let value =
+                      Option.value ~default:0 (find_int line "value")
+                    in
+                    Buf.instant buf ~name ~batch ~value ~ts
+                | c -> fail lineno (Printf.sprintf "unknown ph %C" c))))
+    (String.split_on_char '\n' doc);
+  (if !error = None && Recorder.tracks recorder = [] then
+     error := Some "no tracks found");
+  match !error with None -> Ok recorder | Some msg -> Error msg
+
+let read ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let doc = really_input_string ic n in
+      of_string doc)

@@ -1,0 +1,52 @@
+(** Critical-path / stall-blame analysis over a recorded run.
+
+    {!analyze} replays every track's spans and instants and computes,
+    per batch:
+
+    - the {e binding chain}: one {!link} per pipeline stage, carrying the
+      stage's wall window and its last-finishing track — the thread the
+      downstream watermark actually waited on before releasing the next
+      stage;
+    - the {e binding stage}: the link whose window dominates the batch
+      makespan (exact ties go to the upstream stage, so [cc] beats its
+      nested [gc]);
+
+    and, across the run, the {e stall-blame ledger}: the BOHM execution
+    layer emits one [dep_stall:<writer>:<key>] instant per transaction
+    that ever blocked, valued with the completing attempt's
+    dependency-stall duration; summed per (writer txn, key) pair this
+    attributes the anonymous [dep_stall] latency phase to the specific
+    blocking producer.
+
+    Works on a live recorder after a run, or on a recorder re-imported
+    from a saved trace file via {!Chrome.read}. *)
+
+type link = { l_stage : string; l_track : string; l_start : int; l_finish : int }
+type batch_path = { bp_batch : int; bp_chain : link list; bp_binding : link }
+
+type blame = {
+  bl_writer : int;
+  bl_key : string;
+  bl_cycles : int;
+  bl_count : int;
+}
+
+type t = {
+  cp_batches : batch_path list;  (** ascending batch order *)
+  cp_binding : (string * int) list;
+      (** stage -> batches it binds, descending *)
+  cp_blame : blame list;  (** descending by blamed cycles *)
+}
+
+val window : link -> int
+
+val analyze : Recorder.t -> t
+(** Raises [Invalid_argument] only if a batch id appears with no spans at
+    all (a malformed hand-built recorder). *)
+
+val binding_share : t -> string -> float
+(** Fraction of batches a stage binds; 0 when absent. *)
+
+val pp : ?top:int -> Format.formatter -> t -> unit
+(** Terminal summary: top-[top] binding stages and hottest blaming
+    (writer, key) pairs. *)

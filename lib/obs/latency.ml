@@ -1,6 +1,6 @@
 module Histogram = Bohm_util.Histogram
 
-type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote | Rebalance
 
 let phase_name = function
   | Queue_wait -> "queue_wait"
@@ -8,8 +8,9 @@ let phase_name = function
   | Dep_stall -> "dep_stall"
   | Exec -> "exec"
   | Shard_vote -> "shard_vote"
+  | Rebalance -> "rebalance"
 
-let phases = [ Queue_wait; Cc_wait; Dep_stall; Exec; Shard_vote ]
+let phases = [ Queue_wait; Cc_wait; Dep_stall; Exec; Shard_vote; Rebalance ]
 let phase_names = List.map phase_name phases
 
 type t = {
@@ -18,6 +19,7 @@ type t = {
   stall : Histogram.t;
   exec : Histogram.t;
   vote : Histogram.t;
+  rebal : Histogram.t;
 }
 
 let create () =
@@ -27,6 +29,7 @@ let create () =
     stall = Histogram.create ();
     exec = Histogram.create ();
     vote = Histogram.create ();
+    rebal = Histogram.create ();
   }
 
 let histogram t = function
@@ -35,6 +38,7 @@ let histogram t = function
   | Dep_stall -> t.stall
   | Exec -> t.exec
   | Shard_vote -> t.vote
+  | Rebalance -> t.rebal
 
 let add t phase v = Histogram.add (histogram t phase) v
 

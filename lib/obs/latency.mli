@@ -13,24 +13,29 @@
       abort-and-retry time in the optimistic engines);
     - [Exec] — duration of the completing attempt's logic.
 
-    One per-batch phase, recorded only by the sharded BOHM engine:
+    Two per-batch phases, recorded only by the BOHM engine:
     - [Shard_vote] — duration of the batch-commit vote round on each
       shard's voter thread (publishing its own ready/abort, then awaiting
       and merging every peer shard's vote); one sample per (shard,
       batch). Empty for single-shard engines.
+    - [Rebalance] — duration of the adaptive CC-repartitioning step at
+      the preprocessing barrier (occupancy scan + LPT repack + map
+      publication), one sample per *published* map on each pipeline's
+      preprocess worker 0. Empty when preprocessing or [cc_rebalance] is
+      off, or when the hysteresis gates never fire.
 
     Durations are in the runtime's [now_ns] unit: cycles under Sim, wall
     nanoseconds under Real. Like everything in [Bohm_obs], recording is
     host-side only and charges nothing. *)
 
-type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote
+type phase = Queue_wait | Cc_wait | Dep_stall | Exec | Shard_vote | Rebalance
 
 val phase_name : phase -> string
 (** ["queue_wait"], ["cc_wait"], ["dep_stall"], ["exec"],
-    ["shard_vote"]. *)
+    ["shard_vote"], ["rebalance"]. *)
 
 val phase_names : string list
-(** All five, in pipeline order. *)
+(** All six, in pipeline order. *)
 
 type t
 

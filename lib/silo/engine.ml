@@ -27,8 +27,10 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type worker_stat = {
     mutable committed : int;
     mutable logic_aborts : int;
-    mutable validation_aborts : int;
-    mutable read_retries : int;
+    (* Telemetry counters (read_validation_aborts — also the charged
+       [cc_aborts] total — and read_retries): one metrics shard per
+       worker, summed at the join. *)
+    ms : Obs.Metrics.shard;
   }
 
   (* Both record cells are racy by design — the TID word is the lock and
@@ -56,7 +58,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let rec stable_read stat r =
     let t1 = R.Cell.get r.tid in
     if locked t1 then begin
-      stat.read_retries <- stat.read_retries + 1;
+      Obs.Metrics.incr stat.ms Obs.Metrics.read_retries;
       R.relax ();
       stable_read stat r
     end
@@ -64,7 +66,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       let v = R.Cell.get r.value in
       let t2 = R.Cell.get r.tid in
       if t1 <> t2 then begin
-        stat.read_retries <- stat.read_retries + 1;
+        Obs.Metrics.incr stat.ms Obs.Metrics.read_retries;
         stable_read stat r
       end
       else (v, t1)
@@ -84,13 +86,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* [ob]/[first]: host-side observability context, as in the other
      engines — [first] is the [now_ns] of this transaction's first
      dispatch (retries keep it), anchoring the dependency-stall phase. *)
-  let run_attempt t me stat ob ~first txn =
+  let run_attempt t me stat ob ~first ~seq txn =
+    (* Nominal batch for trace attribution ([Timeline]/[Critical_path]
+       bucket the single-layer engines by quantized input index). *)
+    let batch = seq / Obs.Timeline.baseline_quantum in
     let att_ts =
       match ob with
       | None -> 0
       | Some o ->
           let ts = R.now_ns () in
-          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~batch ~ts;
           ts
     in
     let reads : (record * int) list ref = ref [] in
@@ -139,7 +144,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           | Some o ->
               let ts = R.now_ns () in
               Obs.Buf.end_span o.Obs.Worker.buf ~ts;
-              Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~ts;
+              Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"commit" ~batch ~ts;
               ts
         in
         (* Phase 1: lock written records in sorted key order (the declared
@@ -201,13 +206,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
           true
         with Conflict ->
           unlock_all ~restore:true;
-          stat.validation_aborts <- stat.validation_aborts + 1;
+          Obs.Metrics.incr stat.ms Obs.Metrics.read_validation_aborts;
           (match ob with
           | None -> ()
           | Some o ->
               let ts = R.now_ns () in
               Obs.Buf.end_span o.Obs.Worker.buf ~ts;
-              Obs.Buf.instant o.Obs.Worker.buf ~name:"validation_abort" ~ts);
+              Obs.Buf.instant o.Obs.Worker.buf ~name:"validation_abort" ~batch
+                ~ts);
           false)
 
   let worker_loop t me stat ob txns =
@@ -220,7 +226,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let backoff = ref 1 in
     while !idx < n do
       let first = match ob with None -> 0 | Some _ -> R.now_ns () in
-      while not (run_attempt t me stat ob ~first txns.(!idx)) do
+      while not (run_attempt t me stat ob ~first ~seq:!idx txns.(!idx)) do
         for _ = 1 to !backoff do
           R.relax ()
         done;
@@ -233,7 +239,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   let run t txns =
     let stats =
       Array.init t.workers (fun _ ->
-          { committed = 0; logic_aborts = 0; validation_aborts = 0; read_retries = 0 })
+          { committed = 0; logic_aborts = 0; ms = Obs.Metrics.shard () })
     in
     let recorder = Obs.Recorder.current () in
     let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
@@ -260,17 +266,19 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
     in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+    let sheet =
+      Obs.Metrics.collect
+        ~select:Obs.Metrics.[ read_validation_aborts; read_retries ]
+        (Array.to_list (Array.map (fun s -> s.ms) stats))
+    in
+    let cc_aborts =
+      int_of_float (Obs.Metrics.get sheet Obs.Metrics.read_validation_aborts)
+    in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
-      ~cc_aborts:(sum (fun s -> s.validation_aborts))
-      ~elapsed ~latency
-      ~extra:
-        [
-          ("read_validation_aborts", float_of_int (sum (fun s -> s.validation_aborts)));
-          ("read_retries", float_of_int (sum (fun s -> s.read_retries)));
-        ]
-      ()
+      ~cc_aborts ~elapsed ~latency
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   let read_latest t k = R.Cell.get (Store.get t.store k).value
 

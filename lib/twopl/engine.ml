@@ -22,7 +22,9 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   type worker_stat = {
     mutable committed : int;
     mutable logic_aborts : int;
-    mutable locks_acquired : int;
+    (* Telemetry counters ([locks_acquired]) that only feed the [--json]
+       extras: one metrics shard per worker, summed at the join. *)
+    ms : Obs.Metrics.shard;
   }
 
   let create ~workers ~tables init =
@@ -38,14 +40,17 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
   (* [ob]: host-side observability context (see [Bohm_obs]). 2PL never
      aborts on conflicts — it waits — so lock acquisition is its whole
      concurrency-control cost and maps onto the [Cc_wait] phase. *)
-  let run_one t stat ob txn =
+  let run_one t stat ob ~seq txn =
     let footprint = Txn.footprint txn in
+    (* Nominal batch for trace attribution ([Timeline]/[Critical_path]
+       bucket the single-layer engines by quantized input index). *)
+    let batch = seq / Obs.Timeline.baseline_quantum in
     let t0 =
       match ob with
       | None -> 0
       | Some o ->
           let ts = R.now_ns () in
-          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"lock" ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"lock" ~batch ~ts;
           ts
     in
     (* Growing phase: whole footprint, ascending key order — deadlock-free
@@ -53,7 +58,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     Array.iter
       (fun k ->
         Locks.acquire t.locks k (mode_for txn k);
-        stat.locks_acquired <- stat.locks_acquired + 1)
+        Obs.Metrics.incr stat.ms Obs.Metrics.locks_acquired)
       footprint;
     let t1 =
       match ob with
@@ -61,7 +66,7 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
       | Some o ->
           let ts = R.now_ns () in
           Obs.Buf.end_span o.Obs.Worker.buf ~ts;
-          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~ts;
+          Obs.Buf.begin_span o.Obs.Worker.buf ~phase:"exec" ~batch ~ts;
           ts
     in
     let buffer = Local_writes.create () in
@@ -105,14 +110,14 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
     let n = Array.length txns in
     let idx = ref me in
     while !idx < n do
-      run_one t stat ob txns.(!idx);
+      run_one t stat ob ~seq:!idx txns.(!idx);
       idx := !idx + t.workers
     done
 
   let run t txns =
     let stats =
       Array.init t.workers (fun _ ->
-          { committed = 0; logic_aborts = 0; locks_acquired = 0 })
+          { committed = 0; logic_aborts = 0; ms = Obs.Metrics.shard () })
     in
     let recorder = Obs.Recorder.current () in
     let start_ns = match recorder with None -> 0 | Some _ -> R.now_ns () in
@@ -139,12 +144,16 @@ module Make (R : Bohm_runtime.Runtime_intf.S) = struct
         |> List.filter_map (Option.map (fun o -> o.Obs.Worker.lat)))
     in
     let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+    let sheet =
+      Obs.Metrics.collect
+        ~select:[ Obs.Metrics.locks_acquired ]
+        (Array.to_list (Array.map (fun s -> s.ms) stats))
+    in
     Stats.make ~txns:(Array.length txns)
       ~committed:(sum (fun s -> s.committed))
       ~logic_aborts:(sum (fun s -> s.logic_aborts))
       ~cc_aborts:0 ~elapsed ~latency
-      ~extra:[ ("locks_acquired", float_of_int (sum (fun s -> s.locks_acquired))) ]
-      ()
+      ~extra:(Obs.Metrics.to_extra sheet) ()
 
   let read_latest t k = R.Cell.get (Store.get t.store k)
 

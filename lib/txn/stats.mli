@@ -15,7 +15,9 @@ type t = {
   elapsed : float;  (** Seconds of (virtual or wall) time for the run. *)
   extra : (string * float) list;
       (** Engine-specific counters (GC reclamations, chain steps,
-          barrier rounds, …). Normalized by {!make}: sorted by key,
+          barrier rounds, …). Every key/value on this surface is
+          produced by the [Bohm_obs.Metrics] registry — engines never
+          build extras by hand. Normalized by {!make}: sorted by key,
           duplicate keys last-wins — so equal runs serialize
           identically regardless of thread-merge order. *)
   latency : (string * Bohm_util.Histogram.t) list;

@@ -129,22 +129,35 @@ let percentile t p =
 type summary = {
   s_count : int;
   s_mean : float;
+  s_stddev : float;
   s_p50 : int;
   s_p95 : int;
   s_p99 : int;
+  s_p999 : int;
   s_max : int;
 }
 
 let to_summary t =
   if t.count = 0 then
-    { s_count = 0; s_mean = 0.; s_p50 = 0; s_p95 = 0; s_p99 = 0; s_max = 0 }
+    {
+      s_count = 0;
+      s_mean = 0.;
+      s_stddev = 0.;
+      s_p50 = 0;
+      s_p95 = 0;
+      s_p99 = 0;
+      s_p999 = 0;
+      s_max = 0;
+    }
   else
     {
       s_count = t.count;
       s_mean = mean t;
+      s_stddev = stddev t;
       s_p50 = percentile t 50.;
       s_p95 = percentile t 95.;
       s_p99 = percentile t 99.;
+      s_p999 = percentile t 99.9;
       s_max = t.max_v;
     }
 

@@ -33,12 +33,16 @@ val percentile : t -> float -> int
 type summary = {
   s_count : int;
   s_mean : float;
+  s_stddev : float;
   s_p50 : int;
   s_p95 : int;
   s_p99 : int;
+  s_p999 : int;
   s_max : int;
 }
-(** Fixed snapshot of the distribution for reporting layers. *)
+(** Fixed snapshot of the distribution for reporting layers. [s_p999] is
+    the 99.9th percentile; [s_stddev] the population standard deviation
+    from the running moments. *)
 
 val to_summary : t -> summary
 (** All-zero summary on an empty histogram (never raises). Percentiles

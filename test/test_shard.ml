@@ -423,6 +423,89 @@ let test_sharded_obs () =
         (Histogram.count h)
   | None -> Alcotest.fail "shard_vote phase missing"
 
+(* The Chrome export of a sharded run with adaptive repartitioning on:
+   every worker track carries its s<shard>/ prefix, every track's B/E
+   events balance, the exported document validates (counter tracks
+   included), and each shard contributes exactly one shard_vote span per
+   batch. *)
+let test_sharded_chrome_export () =
+  let rows = 256 and count = 400 and shards = 2 and batch = 64 in
+  let txns =
+    Ycsb.generate_sharded ~rows ~theta:0.0 ~count ~seed:7 ~shards
+      ~cross_fraction:0.1 (Ycsb.rmw_profile 4)
+  in
+  let spec = { Runner.tables = ycsb_tables rows; init = Ycsb.initial_value } in
+  let bohm =
+    {
+      Runner.default_bohm_opts with
+      Runner.batch_size = batch;
+      preprocess = true;
+      cc_rebalance = true;
+      shards;
+      cc_fraction = 0.5;
+    }
+  in
+  let _stats, recorder =
+    Runner.run_sim_obs ~bohm Runner.Bohm ~threads:4 spec txns
+  in
+  (* Track-prefix integrity: everything except the driver lives under
+     its shard's namespace. *)
+  List.iter
+    (fun buf ->
+      let name = Bohm_obs.Buf.name buf in
+      let prefixed =
+        name = "driver"
+        || List.exists
+             (fun s ->
+               let p = Printf.sprintf "s%d/" s in
+               String.length name > String.length p
+               && String.sub name 0 (String.length p) = p)
+             (List.init shards Fun.id)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "track %s shard-prefixed" name)
+        true prefixed)
+    (Recorder.tracks recorder);
+  (* Balanced begin/end per track, and the vote spans: one per (shard,
+     batch), each inside its own shard's namespace. *)
+  let batches = (count + batch - 1) / batch in
+  let votes = ref 0 in
+  List.iter
+    (fun buf ->
+      let name = Bohm_obs.Buf.name buf in
+      let begins = ref 0 and ends = ref 0 in
+      List.iter
+        (fun (ev : Bohm_obs.Buf.event) ->
+          match ev with
+          | Bohm_obs.Buf.Begin { name = phase; _ } ->
+              incr begins;
+              if phase = "shard_vote" then begin
+                incr votes;
+                Alcotest.(check bool)
+                  (Printf.sprintf "vote span on shard track %s" name)
+                  true
+                  (String.length name > 1 && name.[0] = 's')
+              end
+          | Bohm_obs.Buf.End _ -> incr ends
+          | Bohm_obs.Buf.Instant _ -> ())
+        (Bohm_obs.Buf.events buf);
+      Alcotest.(check int)
+        (Printf.sprintf "balanced B/E on %s" name)
+        !begins !ends)
+    (Recorder.tracks recorder);
+  Alcotest.(check int) "one vote span per (shard, batch)" (shards * batches)
+    !votes;
+  (* The full export — counter tracks riding along — still validates. *)
+  let records = Bohm_obs.Timeline.of_recorder recorder in
+  let doc =
+    Bohm_obs.Chrome.to_string
+      ~counters:(Bohm_obs.Timeline.counters records)
+      recorder
+  in
+  match Bohm_obs.Chrome.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sharded trace invalid: %s" e
+
 (* --- single-shard untouchedness --- *)
 
 (* shards=1 must be charge-for-charge the engine from before the shard
@@ -507,7 +590,12 @@ let () =
             test_conflict_graph_shard_stats;
         ] );
       ( "obs",
-        [ Alcotest.test_case "sharded tracks + vote phase" `Quick test_sharded_obs ] );
+        [
+          Alcotest.test_case "sharded tracks + vote phase" `Quick
+            test_sharded_obs;
+          Alcotest.test_case "sharded chrome export" `Quick
+            test_sharded_chrome_export;
+        ] );
       ( "sync",
         [ Alcotest.test_case "votes board" `Quick test_votes_board ] );
     ]

@@ -299,8 +299,24 @@ let test_histogram_summary () =
   Alcotest.(check int) "p50" 50 s.Histogram.s_p50;
   Alcotest.(check int) "p95" 95 s.Histogram.s_p95;
   Alcotest.(check int) "p99" 99 s.Histogram.s_p99;
+  Alcotest.(check int) "p999" 100 s.Histogram.s_p999;
   Alcotest.(check int) "max" 100 s.Histogram.s_max;
-  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Histogram.s_mean
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Histogram.s_mean;
+  (* Population stddev of 1..100: sqrt((n^2 - 1) / 12). *)
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (9999. /. 12.))
+    s.Histogram.s_stddev;
+  Alcotest.(check (float 0.)) "empty p999 and stddev" 0.
+    (float_of_int empty.Histogram.s_p999 +. empty.Histogram.s_stddev);
+  (* p999 actually discriminates the tail: 99 samples of 1 plus one
+     outlier leave p99 at the floor and p999 on the outlier. *)
+  let tail = Histogram.create () in
+  for _ = 1 to 99 do
+    Histogram.add tail 1
+  done;
+  Histogram.add tail 5_000;
+  let st = Histogram.to_summary tail in
+  Alcotest.(check int) "tail p99" 1 st.Histogram.s_p99;
+  Alcotest.(check int) "tail p999" 5_000 st.Histogram.s_p999
 
 (* Merging must not let a bucket representative exceed the true maximum —
    the max of [into] must cap the merged percentiles just as a local max
